@@ -1,0 +1,58 @@
+//! Criterion end-to-end benchmarks: whole miniature experiments, and
+//! the two ablation dimensions DESIGN.md calls out (KSM scan rate and
+//! shared-cache capacity), measured as simulation throughput.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use tpslab::{Experiment, ExperimentConfig, KsmSchedule};
+
+fn bench_tiny_experiment(c: &mut Criterion) {
+    let mut group = c.benchmark_group("experiment");
+    group.sample_size(10);
+    for (name, sharing) in [("baseline", false), ("class_sharing", true)] {
+        group.bench_function(format!("tiny_3vm_{name}"), |b| {
+            let cfg = ExperimentConfig::tiny_test(3, sharing).with_duration_seconds(30);
+            b.iter(|| black_box(Experiment::run(&cfg)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_scan_rate_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_scan_rate");
+    group.sample_size(10);
+    for pages in [500usize, 2_000, 8_000] {
+        group.bench_function(format!("{pages}_pages_per_wake"), |b| {
+            let mut cfg = ExperimentConfig::tiny_test(3, true).with_duration_seconds(30);
+            cfg.ksm = KsmSchedule {
+                warmup: ksm::KsmParams::new(pages, 100),
+                steady: ksm::KsmParams::new(pages, 100),
+                warmup_seconds: 0,
+            };
+            b.iter(|| black_box(Experiment::run(&cfg)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_cache_size_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_cache_size");
+    group.sample_size(10);
+    for cache_mib in [1u64, 2, 4] {
+        group.bench_function(format!("{cache_mib}_mib_cache"), |b| {
+            let mut cfg = ExperimentConfig::tiny_test(3, true).with_duration_seconds(30);
+            for guest in &mut cfg.guests {
+                guest.benchmark.cache_mib = cache_mib as f64;
+            }
+            b.iter(|| black_box(Experiment::run(&cfg)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_tiny_experiment,
+    bench_scan_rate_ablation,
+    bench_cache_size_ablation
+);
+criterion_main!(benches);

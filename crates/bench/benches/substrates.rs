@@ -1,0 +1,124 @@
+//! Criterion micro-benchmarks of the substrate layers: KSM scan
+//! throughput, host-mm write/CoW paths, layout hashing, cache
+//! population and (de)serialisation.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use mem::{Fingerprint, LayoutWriter, Tick};
+use paging::{HostMm, MemTag};
+
+/// KSM steady-state scan over two VMs with many identical pages:
+/// measures pages scanned per second by the model.
+fn bench_ksm_scan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ksm_scan");
+    for pages in [1_000usize, 10_000] {
+        group.throughput(Throughput::Elements(pages as u64));
+        group.bench_function(format!("scan_{pages}_pages_per_wake"), |b| {
+            let mut mm = HostMm::new();
+            for vm in 0..2u64 {
+                let s = mm.create_space(format!("vm{vm}"));
+                let r = mm.map_region(s, 20_000, MemTag::VmGuestMemory, true);
+                for i in 0..20_000u64 {
+                    mm.write_page(s, r.offset(i), Fingerprint::of(&[i % 4096]), Tick(0));
+                }
+            }
+            let mut scanner = ksm::KsmScanner::new(ksm::KsmParams::new(pages, 100));
+            let mut t = 0u64;
+            b.iter(|| {
+                t += 1;
+                scanner.run(&mut mm, Tick(t));
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Host-mm fault/overwrite/CoW-break costs.
+fn bench_hostmm_writes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hostmm");
+    group.bench_function("overwrite_exclusive_page", |b| {
+        let mut mm = HostMm::new();
+        let s = mm.create_space("p");
+        let r = mm.map_region(s, 1024, MemTag::JavaHeap, true);
+        for i in 0..1024u64 {
+            mm.write_page(s, r.offset(i), Fingerprint::of(&[i]), Tick(0));
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            mm.write_page(s, r.offset(i % 1024), Fingerprint::of(&[i]), Tick(i));
+        });
+    });
+    group.bench_function("cow_break_cycle", |b| {
+        // Two identical pages merged, then one writer breaks the share;
+        // re-merge and repeat.
+        let mut mm = HostMm::new();
+        let a = mm.create_space("a");
+        let bs = mm.create_space("b");
+        let ra = mm.map_region(a, 1, MemTag::VmGuestMemory, true);
+        let rb = mm.map_region(bs, 1, MemTag::VmGuestMemory, true);
+        let fp = Fingerprint::of(&[1]);
+        mm.write_page(a, ra, fp, Tick(0));
+        mm.write_page(bs, rb, fp, Tick(0));
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1;
+            // Re-align contents, merge, then break.
+            mm.write_page(bs, rb, mm.fingerprint_at(a, ra).unwrap(), Tick(t));
+            let fa = mm.frame_at(a, ra).unwrap();
+            let fb = mm.frame_at(bs, rb).unwrap();
+            if fa != fb {
+                mm.merge_frames(fb, fa);
+            }
+            mm.write_page(bs, rb, Fingerprint::of(&[t]), Tick(t));
+        });
+    });
+    group.finish();
+}
+
+/// LayoutWriter hashing throughput (class-segment layout).
+fn bench_layout(c: &mut Criterion) {
+    c.bench_function("layout_1000_classes", |b| {
+        b.iter(|| {
+            let mut w = LayoutWriter::new();
+            for i in 0..1000u64 {
+                w.align_to(8);
+                w.append(i, 6000 + (i as usize % 4096));
+            }
+            black_box(w.finish())
+        });
+    });
+}
+
+/// Shared-class-cache population and file roundtrip.
+fn bench_cache(c: &mut Criterion) {
+    let classes = jvm::ClassSet::generate(42, 7, 14_000, 8_200, 700, 0.95);
+    c.bench_function("cache_populate_was_sized", |b| {
+        b.iter(|| {
+            let mut builder = cds::CacheBuilder::new("was", 120.0);
+            for class in classes.cacheable() {
+                builder.add(class.token, class.ro_bytes);
+            }
+            black_box(builder.finish())
+        });
+    });
+    let mut builder = cds::CacheBuilder::new("was", 120.0);
+    for class in classes.cacheable() {
+        builder.add(class.token, class.ro_bytes);
+    }
+    let cache = builder.finish();
+    c.bench_function("cache_file_roundtrip", |b| {
+        b.iter(|| {
+            let bytes = cache.to_bytes();
+            black_box(cds::SharedClassCache::from_bytes(&bytes).unwrap())
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_ksm_scan,
+    bench_hostmm_writes,
+    bench_layout,
+    bench_cache
+);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Ablation X3: the ballooning baseline (§VI related work). Ballooning
+//! reclaims guest-free (zero) pages by unmapping them; TPS shares them.
+//! Both relieve memory pressure — but ballooning cannot deduplicate the
+//! *used* read-only pages that class preloading exposes, so its savings
+//! cap out at the free-page pool.
+
+use bench::{banner, RunOpts};
+use hypervisor::BalloonDriver;
+use mem::Tick;
+use tpslab::hypervisor::{HostConfig, KvmHost};
+use tpslab::jvm::{JavaVm, JvmConfig};
+use tpslab::oskernel::OsImage;
+
+fn main() {
+    let opts = RunOpts::from_args();
+    banner(
+        "Ablation X3",
+        "ballooning vs TPS: reclaimable memory in 2 DayTrader guests",
+        &opts,
+    );
+    let bench = workloads::daytrader().scaled(opts.scale);
+    let mut host = KvmHost::new(HostConfig::paper_intel().scaled(opts.scale));
+    let image = OsImage::rhel55().scaled(opts.scale);
+    let mut javas = Vec::new();
+    for i in 0..2u64 {
+        let g = host.create_guest(
+            format!("vm{}", i + 1),
+            1024.0 / opts.scale,
+            &image,
+            i + 1,
+            Tick::ZERO,
+        );
+        let (mm, guest) = host.mm_and_guest_mut(g);
+        javas.push(JavaVm::launch(
+            mm,
+            &mut guest.os,
+            JvmConfig::new(6, 100 + i),
+            bench.profile.clone(),
+            Tick::ZERO,
+        ));
+    }
+    let end = Tick::from_seconds(opts.minutes * 60.0);
+    for t in 1..=end.0 {
+        for (i, java) in javas.iter_mut().enumerate() {
+            let (mm, guest) = host.mm_and_guest_mut(i);
+            java.tick(mm, &mut guest.os, Tick(t));
+        }
+    }
+    let resident_before = host.resident_mib();
+
+    // Balloon both guests: reclaim every zero page.
+    let balloon = BalloonDriver::new(4096.0);
+    let mut reclaimed = 0;
+    for i in 0..2 {
+        let (mm, guest) = host.mm_and_guest_mut(i);
+        reclaimed += balloon.inflate(mm, &mut guest.os);
+    }
+    println!(
+        "resident before: {:.1} MiB",
+        resident_before * opts.unscale()
+    );
+    println!(
+        "ballooning reclaimed {:.1} MiB of guest-free (zero) pages -> {:.1} MiB",
+        mem::pages_to_mib(reclaimed) * opts.unscale(),
+        host.resident_mib() * opts.unscale()
+    );
+    println!(
+        "\nTPS with preloading additionally shares the *in-use* read-only class\n\
+         pages (~100 MiB per extra guest) that ballooning cannot touch; and\n\
+         KVM ships no balloon manager, which is why the paper pursues TPS."
+    );
+}

@@ -1,0 +1,37 @@
+//! Ablation X2: shared-class-cache capacity sweep — how much cache is
+//! needed before the class-metadata sharing saturates (the paper used
+//! 120 MB for WAS, 25 MB for Tuscany; ≈100 MB was populated).
+
+use bench::{banner, RunOpts};
+use tpslab::{Experiment, ExperimentConfig};
+
+fn main() {
+    let opts = RunOpts::from_args();
+    banner(
+        "Ablation X2",
+        "cache capacity sweep, 4 x DayTrader with preloading",
+        &opts,
+    );
+    println!(
+        "{:>18} {:>16} {:>18} {:>22}",
+        "cache cap (MiB)", "populated (MiB)", "saving (MiB)", "class shared (%)"
+    );
+    for cap in [15.0f64, 30.0, 60.0, 90.0, 120.0, 240.0] {
+        let mut cfg = opts.apply(
+            ExperimentConfig::paper_daytrader_4vm(opts.scale).with_class_sharing(),
+        );
+        for guest in &mut cfg.guests {
+            guest.benchmark.cache_mib = cap / opts.scale;
+        }
+        let report = Experiment::run(&cfg);
+        let populated: f64 = report.caches.iter().map(|(_, _, mib)| mib).sum();
+        println!(
+            "{:>18.0} {:>16.1} {:>18.1} {:>21.1}%",
+            cap,
+            populated * opts.unscale(),
+            report.total_tps_saving_mib() * opts.unscale(),
+            100.0 * report.mean_nonprimary_class_saving_fraction(),
+        );
+    }
+    println!("\nsharing saturates once the cache holds the full middleware class set (~100 MiB).");
+}

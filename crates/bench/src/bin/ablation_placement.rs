@@ -1,0 +1,99 @@
+//! Ablation X5: Memory Buddies-style sharing-aware placement on top of
+//! class preloading. Four guests — two DayTrader, two Tuscany — must be
+//! split across two hosts. Bloom-filter page summaries predict which
+//! pairing shares most; with preloading, same-workload guests are
+//! excellent buddies (they map the same cache file).
+
+use bench::{banner, RunOpts};
+use hypervisor::{PageSummary, SharingPlanner};
+use mem::Tick;
+use tpslab::cds::{CacheBuilder, SharedClassCache};
+use tpslab::hypervisor::{HostConfig, KvmHost};
+use tpslab::jvm::{ClassSet, JavaVm, JvmConfig};
+use tpslab::oskernel::OsImage;
+use workloads::Benchmark;
+
+fn build_cache(bench: &Benchmark) -> SharedClassCache {
+    let classes = ClassSet::for_profile(&bench.profile);
+    let mut builder = CacheBuilder::new(&bench.profile.name, bench.cache_mib);
+    for class in classes.cacheable() {
+        builder.add(class.token, class.ro_bytes);
+    }
+    builder.finish()
+}
+
+fn main() {
+    let opts = RunOpts::from_args();
+    banner(
+        "Ablation X5",
+        "sharing-aware placement: 2 x DayTrader + 2 x Tuscany over 2 hosts",
+        &opts,
+    );
+    let daytrader = workloads::daytrader().scaled(opts.scale);
+    let tuscany = workloads::tuscany().scaled(opts.scale);
+    let image = OsImage::rhel55().scaled(opts.scale);
+    let caches = [build_cache(&daytrader), build_cache(&tuscany)];
+
+    // Boot all four guests on one staging host to collect summaries.
+    let mut host = KvmHost::new(HostConfig::paper_power().scaled(opts.scale));
+    let mut javas = Vec::new();
+    let specs = [&daytrader, &tuscany, &daytrader, &tuscany];
+    for (i, bench) in specs.iter().enumerate() {
+        let g = host.create_guest(
+            format!("vm{}-{}", i + 1, bench.profile.name),
+            1024.0 / opts.scale,
+            &image,
+            i as u64 + 1,
+            Tick::ZERO,
+        );
+        let cache = &caches[i % 2];
+        let cfg = JvmConfig::new(6, 500 + i as u64)
+            .with_shared_cache(SharedClassCache::from_bytes(&cache.to_bytes()).unwrap());
+        let (mm, guest) = host.mm_and_guest_mut(g);
+        javas.push(JavaVm::launch(
+            mm,
+            &mut guest.os,
+            cfg,
+            bench.profile.clone(),
+            Tick::ZERO,
+        ));
+    }
+    let end = Tick::from_seconds(opts.minutes * 60.0);
+    for t in 1..=end.0 {
+        for (i, java) in javas.iter_mut().enumerate() {
+            let (mm, guest) = host.mm_and_guest_mut(i);
+            java.tick(mm, &mut guest.os, Tick(t));
+        }
+    }
+
+    // Summarise each VM's pages and plan the split.
+    let summaries: Vec<PageSummary> = host
+        .guests()
+        .iter()
+        .map(|g| PageSummary::of_space(host.mm(), g.os.vm_space(), 1 << 20))
+        .collect();
+    println!("pairwise estimated common pages (MiB):");
+    for i in 0..4 {
+        for j in (i + 1)..4 {
+            println!(
+                "  {} <-> {}: {:.1}",
+                host.guest(i).name,
+                host.guest(j).name,
+                mem::pages_to_mib(summaries[i].estimated_common_pages(&summaries[j]) as usize)
+                    * opts.unscale(),
+            );
+        }
+    }
+    let placement = SharingPlanner::new(2).place(&summaries);
+    println!("\nplacement (2 slots per host):");
+    for (vm, host_idx) in placement.assignment.iter().enumerate() {
+        println!("  {} -> host {}", host.guest(vm).name, host_idx);
+    }
+    println!(
+        "estimated intra-host sharing: {:.1} MiB",
+        mem::pages_to_mib(placement.estimated_saving_pages as usize) * opts.unscale()
+    );
+    assert_eq!(placement.assignment[0], placement.assignment[2]);
+    assert_eq!(placement.assignment[1], placement.assignment[3]);
+    println!("\nsame-benchmark guests were collocated, as Memory Buddies intends.");
+}

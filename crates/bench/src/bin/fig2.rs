@@ -1,0 +1,19 @@
+//! Fig. 2: breakdown of physical memory usage and savings with TPS —
+//! four 1 GB KVM guests running WAS + DayTrader, *without* class
+//! preloading.
+//!
+//! Paper reference points: Java ≈750 MB per guest; guest kernel 219 MB
+//! in the owner VM and ≈106 MB elsewhere (≈50 % of the kernel area
+//! shared); TPS saving in the non-primary Java processes only ≈20 MB;
+//! total of the four guests ≈3 648 MB.
+
+use bench::{banner, print_guest_figure, RunOpts};
+use tpslab::{Experiment, ExperimentConfig};
+
+fn main() {
+    let opts = RunOpts::from_args();
+    banner("Fig. 2", "4 x DayTrader/WAS, baseline (no preloading)", &opts);
+    let cfg = opts.apply(ExperimentConfig::paper_daytrader_4vm(opts.scale));
+    let report = Experiment::run(&cfg);
+    print_guest_figure(&report, opts.unscale());
+}

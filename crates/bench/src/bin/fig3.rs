@@ -1,0 +1,36 @@
+//! Fig. 3: detailed breakdowns of Java process memory (baseline — no
+//! preloading). Three panels:
+//!
+//! * (a) the four WAS/DayTrader processes of Fig. 2,
+//! * (b) DayTrader / SPECjEnterprise 2010 / TPC-W in the same WAS,
+//! * (c) three Tuscany bigbank servers.
+//!
+//! Paper reference points: TPS shares the code area but almost nothing
+//! else; heap sharing ≈0.7 % (zero pages); "JVM and JIT work" sharing
+//! ≈9.2 % with the NIO buffers about half of it.
+
+use bench::{banner, print_java_figure, RunOpts};
+use tpslab::{Experiment, ExperimentConfig};
+
+fn main() {
+    let opts = RunOpts::from_args();
+    banner(
+        "Fig. 3(a)",
+        "per-JVM breakdown, 4 x DayTrader/WAS, baseline",
+        &opts,
+    );
+    let report = Experiment::run(&opts.apply(ExperimentConfig::paper_daytrader_4vm(opts.scale)));
+    print_java_figure(&report, opts.unscale());
+
+    banner(
+        "Fig. 3(b)",
+        "DayTrader / SPECjEnterprise / TPC-W in the same WAS, baseline",
+        &opts,
+    );
+    let report = Experiment::run(&opts.apply(ExperimentConfig::paper_mixed_was(opts.scale)));
+    print_java_figure(&report, opts.unscale());
+
+    banner("Fig. 3(c)", "3 x Tuscany bigbank, baseline", &opts);
+    let report = Experiment::run(&opts.apply(ExperimentConfig::paper_tuscany_3vm(opts.scale)));
+    print_java_figure(&report, opts.unscale());
+}

@@ -1,0 +1,43 @@
+//! Fig. 5: the Fig. 3 per-JVM breakdowns with class preloading. The
+//! paper's headline: 89.6 % of the class-metadata memory of the three
+//! non-primary JVMs is eliminated by TPS, and the per-process class
+//! sharing is nearly the same for every WAS workload (b) and for
+//! Tuscany (c).
+
+use bench::{banner, print_java_figure, RunOpts};
+use tpslab::{Experiment, ExperimentConfig};
+
+fn main() {
+    let opts = RunOpts::from_args();
+    banner(
+        "Fig. 5(a)",
+        "per-JVM breakdown, 4 x DayTrader/WAS, preloaded",
+        &opts,
+    );
+    let report = Experiment::run(
+        &opts
+            .apply(ExperimentConfig::paper_daytrader_4vm(opts.scale))
+            .with_class_sharing(),
+    );
+    print_java_figure(&report, opts.unscale());
+
+    banner(
+        "Fig. 5(b)",
+        "DayTrader / SPECjEnterprise / TPC-W in the same WAS, preloaded",
+        &opts,
+    );
+    let report = Experiment::run(
+        &opts
+            .apply(ExperimentConfig::paper_mixed_was(opts.scale))
+            .with_class_sharing(),
+    );
+    print_java_figure(&report, opts.unscale());
+
+    banner("Fig. 5(c)", "3 x Tuscany bigbank, preloaded", &opts);
+    let report = Experiment::run(
+        &opts
+            .apply(ExperimentConfig::paper_tuscany_3vm(opts.scale))
+            .with_class_sharing(),
+    );
+    print_java_figure(&report, opts.unscale());
+}

@@ -1,0 +1,37 @@
+//! Fig. 7: DayTrader throughput while increasing the number of 1 GB
+//! guest VMs on the 6 GB host, default WAS configuration vs. the class
+//! preloading approach.
+//!
+//! Paper reference points: both fine through 7 VMs (≈18.5 r/s per VM);
+//! at 8 VMs the default collapses to 17.2 r/s while preloading stays at
+//! ≈148 r/s; at 9 VMs both collapse (2.9 vs. 6.8 r/s).
+
+use bench::{banner, RunOpts};
+use tpslab::{Experiment, ExperimentConfig};
+
+fn main() {
+    let opts = RunOpts::from_args();
+    banner(
+        "Fig. 7",
+        "DayTrader total throughput (req/s) vs. number of guest VMs",
+        &opts,
+    );
+    println!(
+        "{:>4} {:>18} {:>18} {:>14} {:>14}",
+        "VMs", "default (req/s)", "preloaded (req/s)", "default slow", "preload slow"
+    );
+    for n in 1..=9usize {
+        let base_cfg = opts.apply(ExperimentConfig::paper_overcommit_daytrader(n, opts.scale));
+        let default = Experiment::run(&base_cfg);
+        let preload = Experiment::run(&base_cfg.clone().with_class_sharing());
+        println!(
+            "{:>4} {:>18.1} {:>18.1} {:>14.3} {:>14.3}",
+            n,
+            default.total_throughput(),
+            preload.total_throughput(),
+            default.slowdown,
+            preload.slowdown,
+        );
+    }
+    println!("\npaper: default knee at 8 VMs (17.2 r/s), preloaded knee at 9 VMs (148.1 r/s at 8).");
+}

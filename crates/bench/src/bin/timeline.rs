@@ -1,0 +1,38 @@
+//! Extra figure (not in the paper, but implied by its §II.C schedule):
+//! KSM sharing convergence over time — how fast the warm-up rate merges
+//! the preloaded class pages, and what the steady rate maintains.
+
+use bench::{banner, RunOpts};
+use tpslab::{Experiment, ExperimentConfig};
+
+fn main() {
+    let opts = RunOpts::from_args();
+    banner(
+        "Timeline",
+        "KSM sharing convergence, 4 x DayTrader with preloading",
+        &opts,
+    );
+    let cfg = opts
+        .apply(ExperimentConfig::paper_daytrader_4vm(opts.scale))
+        .with_class_sharing()
+        .with_timeline(15);
+    let report = Experiment::run(&cfg);
+    println!(
+        "{:>10} {:>16} {:>16} {:>16}",
+        "t (s)", "resident (MiB)", "pages sharing", "stable frames"
+    );
+    for point in &report.timeline {
+        println!(
+            "{:>10.0} {:>16.0} {:>16} {:>16}",
+            point.seconds,
+            point.resident_mib * opts.unscale(),
+            point.pages_sharing,
+            point.pages_shared,
+        );
+    }
+    println!(
+        "\nfinal saving: {:.1} MiB across {} stable frames",
+        report.total_tps_saving_mib() * opts.unscale(),
+        report.ksm.pages_shared
+    );
+}

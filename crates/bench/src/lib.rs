@@ -1,0 +1,225 @@
+//! Shared plumbing for the figure-regeneration binaries.
+//!
+//! Every table and figure of the paper's evaluation has a binary in
+//! `src/bin/` that reruns the corresponding experiment and prints the
+//! same rows/series the paper reports:
+//!
+//! | Binary | Reproduces |
+//! |---|---|
+//! | `fig2`  | Fig. 2 — per-guest usage + TPS saving, 4 DayTrader guests, baseline |
+//! | `fig3`  | Fig. 3(a/b/c) — per-JVM Table IV breakdowns, baseline |
+//! | `fig4`  | Fig. 4 — Fig. 2 with the shared class cache copied to all guests |
+//! | `fig5`  | Fig. 5(a/b/c) — Fig. 3 with preloading (89.6 % headline) |
+//! | `fig6`  | Fig. 6 — PowerVM/AIX before/after sharing, ±preloading |
+//! | `fig7`  | Fig. 7 — DayTrader throughput vs. number of guests |
+//! | `fig8`  | Fig. 8 — SPECjEnterprise EjOPS vs. number of guests + SLA |
+//! | `tables`| Tables I–IV — configuration and taxonomy |
+//! | `ablation_scan_rate` | X1 — KSM pages-to-scan sweep |
+//! | `ablation_cache_size` | X2 — shared-cache capacity sweep |
+//! | `ablation_balloon` | X3 — ballooning baseline under over-commit |
+//!
+//! All binaries accept `--scale <f64>` (divide all sizes; default 8 for
+//! quick runs), `--minutes <f64>` (simulated duration) and `--paper`
+//! (paper scale, longer run — what EXPERIMENTS.md records).
+
+#![forbid(unsafe_code)]
+
+use tpslab::{ExperimentConfig, KsmSchedule};
+
+/// Command-line options shared by the figure binaries.
+#[derive(Debug, Clone, Copy)]
+pub struct RunOpts {
+    /// Size divisor (1 = paper scale).
+    pub scale: f64,
+    /// Simulated duration in minutes.
+    pub minutes: f64,
+}
+
+impl RunOpts {
+    /// Default quick options: scale 8, 8 simulated minutes.
+    pub fn quick() -> RunOpts {
+        RunOpts {
+            scale: 8.0,
+            minutes: 8.0,
+        }
+    }
+
+    /// Paper-scale options: scale 1, 20 simulated minutes (the
+    /// aggressive KSM schedule converges to the 90-minute state well
+    /// within that window).
+    pub fn paper() -> RunOpts {
+        RunOpts {
+            scale: 1.0,
+            minutes: 20.0,
+        }
+    }
+
+    /// Parses `--scale`, `--minutes`, `--paper` from the process args.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on malformed arguments.
+    pub fn from_args() -> RunOpts {
+        let mut opts = RunOpts::quick();
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--paper" => opts = RunOpts::paper(),
+                "--scale" => {
+                    opts.scale = args
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--scale needs a number >= 1");
+                }
+                "--minutes" => {
+                    opts.minutes = args
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--minutes needs a number");
+                }
+                other => panic!("unknown argument {other} (try --paper, --scale N, --minutes M)"),
+            }
+        }
+        opts
+    }
+
+    /// Applies duration and the compressed-run KSM schedule to a config.
+    pub fn apply(&self, cfg: ExperimentConfig) -> ExperimentConfig {
+        let seconds = (self.minutes * 60.0) as u64;
+        cfg.with_duration_seconds(seconds)
+            .with_ksm(KsmSchedule::compressed(self.scale, seconds))
+    }
+
+    /// Multiplier to convert a scaled MiB value back to paper-scale MiB
+    /// for reporting.
+    pub fn unscale(&self) -> f64 {
+        self.scale
+    }
+}
+
+/// Prints the standard figure header.
+pub fn banner(figure: &str, what: &str, opts: &RunOpts) {
+    println!("================================================================");
+    println!("{figure}: {what}");
+    println!(
+        "scale 1/{} | {} simulated minutes | values in paper-scale MiB",
+        opts.scale, opts.minutes
+    );
+    println!("================================================================");
+}
+
+/// Prints the per-guest rows of Fig. 2 / Fig. 4.
+pub fn print_guest_figure(report: &tpslab::ExperimentReport, unscale: f64) {
+    println!(
+        "{:<8} {:>12} {:>12} {:>12} {:>12} {:>12} {:>12}",
+        "Guest", "Java", "Other", "Kernel", "GuestVM", "Usage", "TPS saving"
+    );
+    for g in &report.breakdown.guests {
+        println!(
+            "{:<8} {:>12.1} {:>12.1} {:>12.1} {:>12.1} {:>12.1} {:>12.1}",
+            g.name,
+            g.java_owned_mib * unscale,
+            g.other_owned_mib * unscale,
+            g.kernel_owned_mib * unscale,
+            g.vm_overhead_owned_mib * unscale,
+            g.owned_total_mib() * unscale,
+            g.tps_saving_mib() * unscale,
+        );
+    }
+    println!(
+        "\nTotal usage of all guests: {:.0} MiB (paper baseline: 3648, preloaded: 3314)",
+        report.breakdown.total_owned_mib * unscale
+    );
+    println!(
+        "Mean TPS saving per non-primary Java process: {:.1} MiB (paper: ~20 baseline, ~120 preloaded)",
+        report.mean_nonprimary_java_saving_mib() * unscale
+    );
+    println!(
+        "KSM: {} stable pages, {} duplicates elided, {} full scans",
+        report.ksm.pages_shared, report.ksm.pages_sharing, report.ksm.full_scans
+    );
+}
+
+/// Prints the per-JVM Table IV category rows of Fig. 3 / Fig. 5
+/// ("resident/shared" per category, paper-scale MiB).
+pub fn print_java_figure(report: &tpslab::ExperimentReport, unscale: f64) {
+    use jvm::MemoryCategory;
+    print!("{:<22}", "JVM");
+    for cat in [
+        MemoryCategory::Code,
+        MemoryCategory::ClassMetadata,
+        MemoryCategory::JitCompiledCode,
+        MemoryCategory::JavaHeap,
+        MemoryCategory::Stack,
+    ] {
+        print!(" {:>17}", cat.figure_label());
+    }
+    print!(" {:>17}", "JVM and JIT work");
+    println!(" {:>17}", "TOTAL");
+    for j in &report.breakdown.javas {
+        print!("{:<22}", format!("{} {}", j.guest_name, j.pid));
+        let mut work_res = 0.0;
+        let mut work_shared = 0.0;
+        let mut total_res = 0.0;
+        let mut total_shared = 0.0;
+        for (&cat, u) in &j.categories {
+            total_res += u.resident_mib;
+            total_shared += u.tps_shared_mib;
+            if matches!(cat, MemoryCategory::JitWork | MemoryCategory::JvmWork) {
+                work_res += u.resident_mib;
+                work_shared += u.tps_shared_mib;
+            }
+        }
+        for cat in [
+            MemoryCategory::Code,
+            MemoryCategory::ClassMetadata,
+            MemoryCategory::JitCompiledCode,
+            MemoryCategory::JavaHeap,
+            MemoryCategory::Stack,
+        ] {
+            let u = j.category(cat);
+            print!(
+                " {:>9.1}/{:>7.1}",
+                u.resident_mib * unscale,
+                u.tps_shared_mib * unscale
+            );
+        }
+        print!(" {:>9.1}/{:>7.1}", work_res * unscale, work_shared * unscale);
+        println!(
+            " {:>9.1}/{:>7.1}",
+            total_res * unscale,
+            total_shared * unscale
+        );
+    }
+    println!(
+        "\nMean class-metadata saving fraction over non-primary JVMs: {:.1} % (paper with preloading: 89.6 %)",
+        100.0 * report.mean_nonprimary_class_saving_fraction()
+    );
+}
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_and_paper_defaults() {
+        assert_eq!(RunOpts::quick().scale, 8.0);
+        assert_eq!(RunOpts::paper().scale, 1.0);
+        assert!(RunOpts::paper().minutes > RunOpts::quick().minutes);
+    }
+
+    #[test]
+    fn apply_sets_duration_and_schedule() {
+        let opts = RunOpts {
+            scale: 4.0,
+            minutes: 2.0,
+        };
+        let cfg = opts.apply(tpslab::ExperimentConfig::tiny_test(1, false));
+        assert_eq!(cfg.duration_seconds, 120);
+        // Aggressive head, paper-ratio steady tail.
+        assert!(cfg.ksm.warmup.pages_to_scan() > cfg.ksm.steady.pages_to_scan());
+        assert_eq!(cfg.ksm.steady.pages_to_scan(), 250);
+        assert_eq!(cfg.ksm.warmup_seconds, 80);
+    }
+}

@@ -1,0 +1,198 @@
+//! Serialising the cache to a portable byte image — "the memory-mapped
+//! file copied to all of the guest VMs" (§IV.B).
+
+use crate::{CacheEntry, SharedClassCache};
+use mem::{Fingerprint, LayoutImage};
+use std::error::Error;
+use std::fmt;
+
+const MAGIC: &[u8; 8] = b"J9SCC\0v1";
+
+/// Failure to decode a cache file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CacheFileError {
+    /// The byte stream does not start with the cache-file magic.
+    BadMagic,
+    /// The byte stream ended mid-record.
+    Truncated,
+    /// A length or count field is inconsistent with the payload.
+    Corrupt(&'static str),
+}
+
+impl fmt::Display for CacheFileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CacheFileError::BadMagic => write!(f, "not a shared class cache file"),
+            CacheFileError::Truncated => write!(f, "unexpected end of cache file"),
+            CacheFileError::Corrupt(what) => write!(f, "corrupt cache file: {what}"),
+        }
+    }
+}
+
+impl Error for CacheFileError {}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CacheFileError> {
+        let end = self.pos.checked_add(n).ok_or(CacheFileError::Truncated)?;
+        if end > self.buf.len() {
+            return Err(CacheFileError::Truncated);
+        }
+        let slice = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u64(&mut self) -> Result<u64, CacheFileError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn u128(&mut self) -> Result<u128, CacheFileError> {
+        Ok(u128::from_le_bytes(self.take(16)?.try_into().unwrap()))
+    }
+}
+
+impl SharedClassCache {
+    /// Serialises the cache to bytes (the persistent cache file).
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64 + self.image.pages.len() * 16 + self.entries.len() * 24);
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&(self.name.len() as u64).to_le_bytes());
+        out.extend_from_slice(self.name.as_bytes());
+        out.extend_from_slice(&(self.capacity_bytes as u64).to_le_bytes());
+        out.extend_from_slice(&(self.image.len_bytes as u64).to_le_bytes());
+        out.extend_from_slice(&(self.image.pages.len() as u64).to_le_bytes());
+        for fp in &self.image.pages {
+            out.extend_from_slice(&fp.as_u128().to_le_bytes());
+        }
+        out.extend_from_slice(&(self.entries.len() as u64).to_le_bytes());
+        for e in &self.entries {
+            out.extend_from_slice(&e.token.to_le_bytes());
+            out.extend_from_slice(&e.offset.to_le_bytes());
+            out.extend_from_slice(&e.len.to_le_bytes());
+        }
+        out
+    }
+
+    /// Decodes a cache file produced by [`to_bytes`](Self::to_bytes).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CacheFileError`] if the bytes are not a well-formed
+    /// cache file.
+    pub fn from_bytes(bytes: &[u8]) -> Result<SharedClassCache, CacheFileError> {
+        let mut r = Reader { buf: bytes, pos: 0 };
+        if r.take(8)? != MAGIC {
+            return Err(CacheFileError::BadMagic);
+        }
+        let name_len = r.u64()? as usize;
+        if name_len > 4096 {
+            return Err(CacheFileError::Corrupt("name length"));
+        }
+        let name = String::from_utf8(r.take(name_len)?.to_vec())
+            .map_err(|_| CacheFileError::Corrupt("name encoding"))?;
+        let capacity_bytes = r.u64()? as usize;
+        let len_bytes = r.u64()? as usize;
+        let n_pages = r.u64()? as usize;
+        if n_pages < mem::pages_for_bytes(len_bytes) || n_pages > (1 << 32) {
+            return Err(CacheFileError::Corrupt("page count"));
+        }
+        let mut pages = Vec::with_capacity(n_pages);
+        for _ in 0..n_pages {
+            pages.push(Fingerprint::from_u128(r.u128()?));
+        }
+        let n_entries = r.u64()? as usize;
+        if n_entries > (1 << 32) {
+            return Err(CacheFileError::Corrupt("entry count"));
+        }
+        let mut entries = Vec::with_capacity(n_entries);
+        for _ in 0..n_entries {
+            let (token, offset, len) = (r.u64()?, r.u64()?, r.u64()?);
+            if len == 0 || offset + len > len_bytes as u64 {
+                return Err(CacheFileError::Corrupt("entry bounds"));
+            }
+            entries.push(CacheEntry { token, offset, len });
+        }
+        if r.pos != bytes.len() {
+            return Err(CacheFileError::Corrupt("trailing bytes"));
+        }
+        Ok(SharedClassCache {
+            name,
+            capacity_bytes,
+            image: LayoutImage { pages, len_bytes },
+            entries,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CacheBuilder;
+
+    fn sample() -> SharedClassCache {
+        let mut b = CacheBuilder::new("webapp/node01", 2.0);
+        for i in 0..50u64 {
+            b.add(1000 + i, 2000 + (i as usize * 37) % 9000);
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn roundtrip_is_identity() {
+        let cache = sample();
+        let copied = SharedClassCache::from_bytes(&cache.to_bytes()).unwrap();
+        assert_eq!(cache, copied);
+        assert_eq!(copied.name(), "webapp/node01");
+        assert_eq!(copied.class_count(), 50);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut bytes = sample().to_bytes();
+        bytes[0] = b'X';
+        assert_eq!(
+            SharedClassCache::from_bytes(&bytes),
+            Err(CacheFileError::BadMagic)
+        );
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let bytes = sample().to_bytes();
+        for cut in [4, 20, bytes.len() / 2, bytes.len() - 1] {
+            let err = SharedClassCache::from_bytes(&bytes[..cut]).unwrap_err();
+            assert!(
+                matches!(err, CacheFileError::Truncated | CacheFileError::Corrupt(_)),
+                "cut at {cut}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let mut bytes = sample().to_bytes();
+        bytes.push(0);
+        assert_eq!(
+            SharedClassCache::from_bytes(&bytes),
+            Err(CacheFileError::Corrupt("trailing bytes"))
+        );
+    }
+
+    #[test]
+    fn error_display_nonempty() {
+        for e in [
+            CacheFileError::BadMagic,
+            CacheFileError::Truncated,
+            CacheFileError::Corrupt("x"),
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

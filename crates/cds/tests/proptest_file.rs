@@ -1,0 +1,63 @@
+//! Property tests for the cache-file format: roundtrips are exact and
+//! arbitrary corruption never panics the decoder.
+
+use cds::{CacheBuilder, SharedClassCache};
+use proptest::prelude::*;
+
+fn arb_cache() -> impl Strategy<Value = SharedClassCache> {
+    (
+        "[a-z]{1,16}",
+        0.01f64..4.0,
+        prop::collection::vec((any::<u64>(), 1..50_000usize), 0..64),
+    )
+        .prop_map(|(name, capacity_mib, items)| {
+            let mut builder = CacheBuilder::new(name, capacity_mib);
+            for (token, len) in items {
+                builder.add(token, len);
+            }
+            builder.finish()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn roundtrip_is_identity(cache in arb_cache()) {
+        let decoded = SharedClassCache::from_bytes(&cache.to_bytes()).unwrap();
+        prop_assert_eq!(decoded, cache);
+    }
+
+    #[test]
+    fn truncation_errors_cleanly(cache in arb_cache(), frac in 0.0f64..1.0) {
+        let bytes = cache.to_bytes();
+        let cut = ((bytes.len() as f64) * frac) as usize;
+        if cut < bytes.len() {
+            prop_assert!(SharedClassCache::from_bytes(&bytes[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn random_bytes_never_panic(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        // Either a clean error or (vanishingly unlikely) a valid file.
+        let _ = SharedClassCache::from_bytes(&bytes);
+    }
+
+    #[test]
+    fn bit_flips_never_panic(cache in arb_cache(), pos_frac in 0.0f64..1.0, bit in 0u8..8) {
+        let mut bytes = cache.to_bytes();
+        let len = bytes.len();
+        let pos = (((len - 1) as f64) * pos_frac) as usize;
+        bytes[pos] ^= 1 << bit;
+        let _ = SharedClassCache::from_bytes(&bytes);
+    }
+
+    #[test]
+    fn entries_are_within_bounds(cache in arb_cache()) {
+        for entry in cache.entries() {
+            prop_assert!(entry.len > 0);
+            prop_assert!((entry.offset + entry.len) as usize <= cache.used_bytes());
+            prop_assert!(entry.page_range().end <= cache.image().len_pages());
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! Ballooning baseline (§VI related work).
+
+use mem::Fingerprint;
+use oskernel::GuestOs;
+use paging::HostMm;
+
+/// A balloon driver: reclaims guest memory by unmapping pages the guest
+/// is not using, instead of (or in addition to) sharing them.
+///
+/// The paper's related-work section notes ballooning "requires a resource
+/// manager that can decide on the size of each guest VM" and that KVM
+/// ships none — this type is the comparator for the ablation benchmark,
+/// not part of the proposed technique.
+///
+/// The model reclaims pages whose content is all-zero (the guest-free
+/// proxy: Linux zeroes pages on free-to-allocator paths and the GC
+/// zero-fills collected space), up to a target.
+///
+/// # Example
+///
+/// ```
+/// use hypervisor::{BalloonDriver, HostConfig, KvmHost};
+/// use mem::{Fingerprint, Tick};
+/// use oskernel::OsImage;
+/// use paging::MemTag;
+///
+/// let mut host = KvmHost::new(HostConfig::paper_intel().scaled(16.0));
+/// let g = host.create_guest("vm1", 64.0, &OsImage::tiny_test(), 1, Tick(0));
+/// let (mm, guest) = host.mm_and_guest_mut(g);
+/// let pid = guest.os.spawn("app");
+/// let r = guest.os.add_region(pid, 8, MemTag::JavaHeap);
+/// for i in 0..8 {
+///     guest.os.write_page(mm, pid, r.offset(i), Fingerprint::ZERO, Tick(1));
+/// }
+/// let reclaimed = BalloonDriver::new(4.0).inflate(mm, &mut guest.os);
+/// assert!(reclaimed > 0);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct BalloonDriver {
+    target_mib: f64,
+}
+
+impl BalloonDriver {
+    /// Creates a balloon aiming to reclaim up to `target_mib` from a
+    /// guest per inflation.
+    #[must_use]
+    pub fn new(target_mib: f64) -> BalloonDriver {
+        BalloonDriver { target_mib }
+    }
+
+    /// Inflates the balloon inside `guest`: scans the guest's contexts
+    /// for zero pages and unmaps them (host frames are freed; the guest
+    /// page faults them back in on next use). Returns pages reclaimed.
+    pub fn inflate(&self, mm: &mut HostMm, guest: &mut GuestOs) -> usize {
+        let budget = mem::mib_to_pages(self.target_mib);
+        let mut victims = Vec::new();
+        let vm_space = guest.vm_space();
+        for (pid, gas) in guest.contexts() {
+            for region in gas.regions() {
+                for (vpn, gpfn) in region.iter_mapped() {
+                    if victims.len() >= budget {
+                        break;
+                    }
+                    let host_vpn = guest.host_vpn(gpfn);
+                    if mm.fingerprint_at(vm_space, host_vpn) == Some(Fingerprint::ZERO) {
+                        victims.push((pid, vpn));
+                    }
+                }
+            }
+        }
+        let reclaimed = victims.len();
+        for (pid, vpn) in victims {
+            // The guest returns the page: host frame freed, guest frame
+            // back on the free list.
+            guest.release_page(mm, pid, vpn);
+        }
+        reclaimed
+    }
+
+    /// The reclaim target, MiB.
+    #[must_use]
+    pub fn target_mib(&self) -> f64 {
+        self.target_mib
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{HostConfig, KvmHost};
+    use mem::Tick;
+    use oskernel::OsImage;
+    use paging::MemTag;
+
+    #[test]
+    fn inflate_reclaims_only_zero_pages_up_to_target() {
+        let mut host = KvmHost::new(HostConfig::paper_intel().scaled(16.0));
+        let g = host.create_guest("vm1", 64.0, &OsImage::tiny_test(), 1, Tick(0));
+        let (mm, guest) = host.mm_and_guest_mut(g);
+        let pid = guest.os.spawn("app");
+        let r = guest.os.add_region(pid, 16, MemTag::JavaHeap);
+        for i in 0..16 {
+            let fp = if i < 10 {
+                Fingerprint::ZERO
+            } else {
+                Fingerprint::of(&[i])
+            };
+            guest.os.write_page(mm, pid, r.offset(i), fp, Tick(1));
+        }
+        let frames_before = mm.phys().allocated_frames();
+        // Budget of 4 pages.
+        let reclaimed = BalloonDriver::new(4.0 * 4096.0 / (1024.0 * 1024.0)).inflate(mm, &mut guest.os);
+        assert_eq!(reclaimed, 4);
+        assert_eq!(mm.phys().allocated_frames(), frames_before - 4);
+        // Unlimited budget reclaims the remaining six zeros only.
+        let reclaimed = BalloonDriver::new(1024.0).inflate(mm, &mut guest.os);
+        assert_eq!(reclaimed, 6);
+        mm.assert_consistent();
+    }
+
+    #[test]
+    fn refault_after_ballooning_works() {
+        let mut host = KvmHost::new(HostConfig::paper_intel().scaled(16.0));
+        let g = host.create_guest("vm1", 64.0, &OsImage::tiny_test(), 1, Tick(0));
+        let (mm, guest) = host.mm_and_guest_mut(g);
+        let pid = guest.os.spawn("app");
+        let r = guest.os.add_region(pid, 2, MemTag::JavaHeap);
+        guest.os.write_page(mm, pid, r, Fingerprint::ZERO, Tick(1));
+        assert_eq!(BalloonDriver::new(1.0).inflate(mm, &mut guest.os), 1);
+        assert_eq!(guest.os.fingerprint_at(mm, pid, r), None);
+        guest
+            .os
+            .write_page(mm, pid, r, Fingerprint::of(&[5]), Tick(2));
+        assert_eq!(
+            guest.os.fingerprint_at(mm, pid, r),
+            Some(Fingerprint::of(&[5]))
+        );
+    }
+}

@@ -1,0 +1,57 @@
+//! Hypervisor hosts: KVM (process-VM) and PowerVM (system-VM).
+//!
+//! The paper's methodology section (Fig. 1) distinguishes hypervisors
+//! built as *process VMs* — KVM, where each guest is a host process whose
+//! guest-physical memory is a memslot region in its host address space —
+//! from *system VMs* like PowerVM, where the hypervisor owns the extra
+//! translation layer directly. Both are provided here on top of the same
+//! [`HostMm`](paging::HostMm):
+//!
+//! * [`KvmHost`] — creates guests as VM processes (memslot + QEMU-style
+//!   overhead region), boots a [`GuestOs`](oskernel::GuestOs) in each,
+//!   spawns the guest's background daemons, and exposes the split borrows
+//!   the per-tick simulation needs.
+//! * [`PowerVmHost`] — creates LPARs without a VM-process layer and
+//!   deduplicates with the run-to-convergence
+//!   [`PowerVmScanner`](ksm::PowerVmScanner) (§V.B / Fig. 6).
+//! * [`PagingModel`] — the memory-over-commit throughput model behind
+//!   Figs. 7–8: when resident memory exceeds usable host RAM the host
+//!   pages out; while the victims are cold pages the penalty is mild, but
+//!   once the working set itself is swapped, service times inflate and
+//!   throughput collapses.
+//! * [`BalloonDriver`] — the related-work baseline (§VI): reclaim
+//!   guest-free (zeroed) pages by unmapping them, instead of sharing.
+//!
+//! # Example
+//!
+//! ```
+//! use hypervisor::{HostConfig, KvmHost};
+//! use mem::Tick;
+//! use oskernel::OsImage;
+//!
+//! let mut host = KvmHost::new(HostConfig::paper_intel());
+//! let g = host.create_guest("vm1", 64.0, &OsImage::tiny_test(), 1, Tick(0));
+//! assert!(host.resident_mib() > 0.0);
+//! let (mm, guest) = host.mm_and_guest_mut(g);
+//! assert!(guest.os.guest_pages() > 0);
+//! assert!(mm.phys().allocated_frames() > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod balloon;
+mod diffengine;
+mod kvm;
+mod pagingmodel;
+mod placement;
+mod powervm;
+mod satori;
+
+pub use balloon::BalloonDriver;
+pub use diffengine::{DiffEngine, DiffEngineReport};
+pub use kvm::{HostConfig, KvmGuest, KvmHost};
+pub use pagingmodel::PagingModel;
+pub use placement::{PageSummary, Placement, SharingPlanner};
+pub use powervm::{PowerVmHost, PowerVmLpar};
+pub use satori::share_page_caches;

@@ -1,0 +1,310 @@
+//! Sharing-aware VM placement — the Memory Buddies baseline (§VI).
+//!
+//! Wood et al. (VEE '09) increase page sharing by *collocating* guest VMs
+//! with similar memory contents, estimated from compact per-VM memory
+//! fingerprints (Bloom filters over page hashes) so candidate pairings
+//! can be scored without shipping page lists around the datacenter. The
+//! paper under reproduction notes that this helped native workloads but
+//! found little to share for Java (SPECjbb) — because, as §III shows,
+//! Java page *contents* differ even between identical workloads. With
+//! class preloading, placement becomes useful again: VMs with the same
+//! cache file are excellent buddies.
+//!
+//! [`PageSummary`] is the Bloom-filter fingerprint; [`SharingPlanner`]
+//! greedily packs VMs onto hosts to maximise estimated intra-host
+//! sharing.
+
+use mem::FrameId;
+use paging::{AsId, HostMm};
+use std::collections::HashSet;
+
+/// A compact summary of one VM's page contents: a Bloom filter over the
+/// content fingerprints of its mapped pages.
+///
+/// # Example
+///
+/// ```
+/// use hypervisor::PageSummary;
+///
+/// let mut a = PageSummary::new(4096);
+/// let mut b = PageSummary::new(4096);
+/// for i in 0..500u64 {
+///     a.insert_raw(i);
+///     b.insert_raw(i + 250); // half overlap
+/// }
+/// let est = a.estimated_common_pages(&b);
+/// assert!((150.0..350.0).contains(&est), "estimate {est}");
+/// ```
+#[derive(Debug, Clone)]
+pub struct PageSummary {
+    bits: Vec<u64>,
+    m: usize,
+    inserted: u64,
+}
+
+const HASHES: u32 = 4;
+
+impl PageSummary {
+    /// Creates a summary with `m` filter bits (rounded up to a multiple
+    /// of 64). Size the filter at ~8–16 bits per expected page.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is zero.
+    #[must_use]
+    pub fn new(m: usize) -> PageSummary {
+        assert!(m > 0, "filter needs at least one bit");
+        let words = m.div_ceil(64);
+        PageSummary {
+            bits: vec![0; words],
+            m: words * 64,
+            inserted: 0,
+        }
+    }
+
+    /// Summarises every mapped page of one VM's host address space.
+    #[must_use]
+    pub fn of_space(mm: &HostMm, space: AsId, m: usize) -> PageSummary {
+        let mut summary = PageSummary::new(m);
+        let mut seen: HashSet<FrameId> = HashSet::new();
+        for region in mm.space(space).regions() {
+            for (_, frame) in region.iter_mapped() {
+                if seen.insert(frame) {
+                    summary.insert_raw(mm.phys().fingerprint(frame).as_u128() as u64);
+                }
+            }
+        }
+        summary
+    }
+
+    /// Inserts one page-content hash.
+    pub fn insert_raw(&mut self, content_hash: u64) {
+        self.inserted += 1;
+        for k in 0..HASHES {
+            let bit = self.index(content_hash, k);
+            self.bits[bit / 64] |= 1 << (bit % 64);
+        }
+    }
+
+    fn index(&self, hash: u64, k: u32) -> usize {
+        let mixed = hash
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .rotate_left(11 + 13 * k)
+            ^ u64::from(k).wrapping_mul(0xc2b2_ae3d_27d4_eb4f);
+        (mixed % self.m as u64) as usize
+    }
+
+    fn popcount(&self) -> u64 {
+        self.bits.iter().map(|w| u64::from(w.count_ones())).sum()
+    }
+
+    /// Estimated distinct pages behind a filter with `x` set bits
+    /// (the standard Bloom cardinality estimator).
+    fn cardinality_of_bits(&self, x: u64) -> f64 {
+        let m = self.m as f64;
+        let x = (x as f64).min(m - 1.0);
+        -(m / f64::from(HASHES)) * (1.0 - x / m).ln()
+    }
+
+    /// Estimates how many distinct page contents `self` and `other` have
+    /// in common — the expected sharing if the two VMs were collocated
+    /// (inclusion–exclusion over Bloom cardinalities).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two summaries have different filter sizes.
+    #[must_use]
+    pub fn estimated_common_pages(&self, other: &PageSummary) -> f64 {
+        assert_eq!(self.m, other.m, "summaries must use equal filter sizes");
+        let union_bits: u64 = self
+            .bits
+            .iter()
+            .zip(&other.bits)
+            .map(|(a, b)| u64::from((a | b).count_ones()))
+            .sum();
+        let a = self.cardinality_of_bits(self.popcount());
+        let b = self.cardinality_of_bits(other.popcount());
+        let union = self.cardinality_of_bits(union_bits);
+        (a + b - union).max(0.0)
+    }
+
+    /// Number of pages inserted.
+    #[must_use]
+    pub fn inserted(&self) -> u64 {
+        self.inserted
+    }
+}
+
+/// A placement decision: which VM goes on which host.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Placement {
+    /// `assignment[vm] = host index`.
+    pub assignment: Vec<usize>,
+    /// Estimated pages saved by intra-host sharing under this placement.
+    pub estimated_saving_pages: f64,
+}
+
+/// Greedy sharing-aware placement of VMs onto hosts of fixed slot
+/// capacity, in the spirit of Memory Buddies' "smart colocation".
+///
+/// # Example
+///
+/// ```
+/// use hypervisor::{PageSummary, SharingPlanner};
+///
+/// // Two pairs of look-alike VMs.
+/// let mut summaries = Vec::new();
+/// for vm in 0..4u64 {
+///     let mut s = PageSummary::new(2048);
+///     for p in 0..200u64 {
+///         s.insert_raw(p + 10_000 * (vm % 2)); // vms 0,2 alike; 1,3 alike
+///     }
+///     summaries.push(s);
+/// }
+/// let placement = SharingPlanner::new(2).place(&summaries);
+/// // Look-alikes end up together.
+/// assert_eq!(placement.assignment[0], placement.assignment[2]);
+/// assert_eq!(placement.assignment[1], placement.assignment[3]);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct SharingPlanner {
+    slots_per_host: usize,
+}
+
+impl SharingPlanner {
+    /// Creates a planner for hosts holding `slots_per_host` VMs each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slots_per_host` is zero.
+    #[must_use]
+    pub fn new(slots_per_host: usize) -> SharingPlanner {
+        assert!(slots_per_host > 0, "hosts need at least one slot");
+        SharingPlanner { slots_per_host }
+    }
+
+    /// Assigns every VM to a host, greedily seating each VM (in order of
+    /// decreasing total affinity) where its estimated sharing with the
+    /// already-seated VMs is highest.
+    #[must_use]
+    pub fn place(&self, summaries: &[PageSummary]) -> Placement {
+        let n = summaries.len();
+        let hosts = n.div_ceil(self.slots_per_host).max(1);
+        // Pairwise affinity matrix.
+        let mut affinity = vec![vec![0.0f64; n]; n];
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let est = summaries[i].estimated_common_pages(&summaries[j]);
+                affinity[i][j] = est;
+                affinity[j][i] = est;
+            }
+        }
+        // Seat VMs in order of total affinity (most shareable first).
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&a, &b| {
+            let sa: f64 = affinity[a].iter().sum();
+            let sb: f64 = affinity[b].iter().sum();
+            sb.partial_cmp(&sa).expect("affinities are finite")
+        });
+        let mut assignment = vec![usize::MAX; n];
+        let mut load = vec![0usize; hosts];
+        let mut saving = 0.0;
+        for &vm in &order {
+            let mut best_host = usize::MAX;
+            let mut best_gain = -1.0;
+            for (host, &seated) in load.iter().enumerate() {
+                if seated >= self.slots_per_host {
+                    continue;
+                }
+                let gain: f64 = (0..n)
+                    .filter(|&other| assignment[other] == host)
+                    .map(|other| affinity[vm][other])
+                    .sum();
+                if gain > best_gain {
+                    best_gain = gain;
+                    best_host = host;
+                }
+            }
+            assignment[vm] = best_host;
+            load[best_host] += 1;
+            saving += best_gain.max(0.0);
+        }
+        Placement {
+            assignment,
+            estimated_saving_pages: saving,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{HostConfig, KvmHost};
+    use mem::Tick;
+    use oskernel::OsImage;
+
+    fn host_config() -> HostConfig {
+        HostConfig::paper_intel().scaled(16.0)
+    }
+
+    #[test]
+    fn same_image_guests_have_high_estimated_sharing() {
+        let mut host = KvmHost::new(host_config());
+        let g1 = host.create_guest("a", 64.0, &OsImage::tiny_test(), 1, Tick::ZERO);
+        let g2 = host.create_guest("b", 64.0, &OsImage::tiny_test(), 2, Tick::ZERO);
+        let s1 = PageSummary::of_space(host.mm(), host.guest(g1).os.vm_space(), 1 << 14);
+        let s2 = PageSummary::of_space(host.mm(), host.guest(g2).os.vm_space(), 1 << 14);
+        let est = s1.estimated_common_pages(&s2);
+        // The shareable part of the tiny image is kernel code + clean
+        // page cache.
+        let expected = mem::mib_to_pages(OsImage::tiny_test().shareable_mib()) as f64;
+        assert!(
+            (est - expected).abs() < 0.35 * expected + 8.0,
+            "estimate {est} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn estimate_is_roughly_symmetric() {
+        let mut a = PageSummary::new(8192);
+        let mut b = PageSummary::new(8192);
+        for i in 0..300u64 {
+            a.insert_raw(i);
+            b.insert_raw(i * 3);
+        }
+        let ab = a.estimated_common_pages(&b);
+        let ba = b.estimated_common_pages(&a);
+        assert!((ab - ba).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disjoint_contents_estimate_near_zero() {
+        let mut a = PageSummary::new(1 << 14);
+        let mut b = PageSummary::new(1 << 14);
+        for i in 0..400u64 {
+            a.insert_raw(i);
+            b.insert_raw(1_000_000 + i);
+        }
+        assert!(a.estimated_common_pages(&b) < 40.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal filter sizes")]
+    fn mismatched_filters_rejected() {
+        let a = PageSummary::new(64);
+        let b = PageSummary::new(128);
+        let _ = a.estimated_common_pages(&b);
+    }
+
+    #[test]
+    fn planner_fills_all_slots() {
+        let summaries: Vec<PageSummary> = (0..5).map(|_| PageSummary::new(64)).collect();
+        let placement = SharingPlanner::new(2).place(&summaries);
+        assert_eq!(placement.assignment.len(), 5);
+        for host in 0..3 {
+            let count = placement.assignment.iter().filter(|&&h| h == host).count();
+            assert!(count <= 2);
+        }
+        assert!(placement.assignment.iter().all(|&h| h != usize::MAX));
+    }
+}

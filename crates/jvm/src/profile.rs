@@ -1,0 +1,251 @@
+//! Workload profiles: the knobs that differ between DayTrader,
+//! SPECjEnterprise 2010, TPC-W and Tuscany.
+
+/// Garbage collection policy (§V.C uses both).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum GcPolicy {
+    /// One flat space with stop-the-world collection and compaction.
+    Flat,
+    /// Generational: a cycling nursery plus a tenured space
+    /// (the SPECjEnterprise configuration: 530 MB nursery + 200 MB
+    /// tenured).
+    Generational {
+        /// Nursery (allocation) space, MiB.
+        nursery_mib: f64,
+        /// Tenured space, MiB.
+        tenured_mib: f64,
+    },
+}
+
+/// Java heap configuration and mutator behaviour.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HeapProfile {
+    /// Committed heap size, MiB (-Xms = -Xmx in all the paper's runs).
+    pub heap_mib: f64,
+    /// Collection policy.
+    pub policy: GcPolicy,
+    /// Long-lived fraction of the heap (survives collections).
+    pub live_fraction: f64,
+    /// Steady-state allocation rate, MiB per simulated second.
+    pub alloc_mib_per_sec: f64,
+    /// Fraction of the committed heap above the allocation high-water
+    /// mark: zero-filled once and never touched again. These are the
+    /// durable all-zero pages behind the paper's "0.7 % of the Java heap
+    /// was shared, mostly pages filled with zeros".
+    pub untouched_fraction: f64,
+}
+
+/// Everything the JVM model needs to know about one Java application.
+///
+/// Presets for the paper's four benchmarks live in the `workloads` crate;
+/// [`AppProfile::tiny_test`] is a miniature profile for unit tests.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AppProfile {
+    /// Display name.
+    pub name: String,
+    /// Seed for workload-determined content (application class bytes,
+    /// NIO wire data). Two VMs running the same benchmark share this id —
+    /// that is what makes their NIO buffers and class-byte *contents*
+    /// identical even when layouts differ.
+    pub workload_id: u64,
+    /// Identity of the hosting middleware (WAS, Tuscany). Benchmarks with
+    /// equal `middleware_id` load byte-identical middleware classes —
+    /// which is why the paper's Fig. 5(b) shows class sharing across VMs
+    /// running *different* applications in the same WAS.
+    pub middleware_id: u64,
+    /// Number of classes loaded (middleware + application).
+    pub class_count: usize,
+    /// Mean size of a class's read-only half (bytecode, constant pool).
+    pub avg_class_ro_bytes: usize,
+    /// Mean size of a class's writable half (method tables, statics).
+    pub avg_class_rw_bytes: usize,
+    /// Fraction of the class population that is middleware/system classes
+    /// (cache-eligible); the rest are application classes, which the
+    /// paper's EJB class loaders cannot preload (§V.A).
+    pub cacheable_fraction: f64,
+    /// Wall-clock seconds over which class loading is spread.
+    pub class_load_seconds: f64,
+    /// Mapped JVM/library text, MiB — identical across processes.
+    pub code_text_mib: f64,
+    /// Library data areas, MiB — private per process.
+    pub code_data_mib: f64,
+    /// JIT code cache, MiB (profile-salted, never shareable).
+    pub jit_code_mib: f64,
+    /// JIT scratch, MiB (volatile while compiling).
+    pub jit_work_mib: f64,
+    /// Bulk-reserved, still-zero part of the JIT work area, MiB.
+    pub jit_work_zero_mib: f64,
+    /// Seconds of JIT warm-up activity.
+    pub jit_warmup_seconds: f64,
+    /// JIT scratch rewrite rate during warm-up, MiB/s.
+    pub jit_churn_mib_per_sec: f64,
+    /// JVM work area structures, MiB (private).
+    pub work_data_mib: f64,
+    /// Bulk-zeroed malloc-arena tails, MiB.
+    pub work_zero_mib: f64,
+    /// NIO socket buffers, MiB (workload-content: identical across VMs
+    /// running the same benchmark against the same driver).
+    pub nio_mib: f64,
+    /// Steady rewrite rate inside the work area, MiB/s.
+    pub work_churn_mib_per_sec: f64,
+    /// Thread stacks, MiB.
+    pub stack_mib: f64,
+    /// Fraction of stack pages rewritten per second.
+    pub stack_churn_per_sec: f64,
+    /// Heap configuration.
+    pub heap: HeapProfile,
+}
+
+impl AppProfile {
+    /// A miniature profile (a few MiB) for fast unit tests.
+    #[must_use]
+    pub fn tiny_test() -> AppProfile {
+        AppProfile {
+            name: "tiny".into(),
+            workload_id: 0x7e57_0001,
+            middleware_id: 0x7e57_31dd,
+            class_count: 40,
+            avg_class_ro_bytes: 6_000,
+            avg_class_rw_bytes: 800,
+            cacheable_fraction: 0.9,
+            class_load_seconds: 5.0,
+            code_text_mib: 1.0,
+            code_data_mib: 0.5,
+            jit_code_mib: 0.5,
+            jit_work_mib: 0.25,
+            jit_work_zero_mib: 0.125,
+            jit_warmup_seconds: 8.0,
+            jit_churn_mib_per_sec: 0.1,
+            work_data_mib: 0.5,
+            work_zero_mib: 0.125,
+            nio_mib: 0.25,
+            work_churn_mib_per_sec: 0.05,
+            stack_mib: 0.25,
+            stack_churn_per_sec: 0.5,
+            heap: HeapProfile {
+                heap_mib: 4.0,
+                policy: GcPolicy::Flat,
+                live_fraction: 0.6,
+                alloc_mib_per_sec: 1.0,
+                untouched_fraction: 0.05,
+            },
+        }
+    }
+
+    /// Returns a copy with all sizes divided by `divisor` (the experiment
+    /// scale knob — proportions, and therefore sharing percentages, are
+    /// preserved).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `divisor < 1`.
+    #[must_use]
+    pub fn scaled(&self, divisor: f64) -> AppProfile {
+        assert!(divisor >= 1.0, "scale divisor must be >= 1");
+        let d = divisor;
+        AppProfile {
+            name: self.name.clone(),
+            workload_id: self.workload_id,
+            middleware_id: self.middleware_id,
+            class_count: ((self.class_count as f64 / d).ceil() as usize).max(1),
+            avg_class_ro_bytes: self.avg_class_ro_bytes,
+            avg_class_rw_bytes: self.avg_class_rw_bytes,
+            cacheable_fraction: self.cacheable_fraction,
+            class_load_seconds: self.class_load_seconds,
+            code_text_mib: self.code_text_mib / d,
+            code_data_mib: self.code_data_mib / d,
+            jit_code_mib: self.jit_code_mib / d,
+            jit_work_mib: self.jit_work_mib / d,
+            jit_work_zero_mib: self.jit_work_zero_mib / d,
+            jit_warmup_seconds: self.jit_warmup_seconds,
+            jit_churn_mib_per_sec: self.jit_churn_mib_per_sec / d,
+            work_data_mib: self.work_data_mib / d,
+            work_zero_mib: self.work_zero_mib / d,
+            nio_mib: self.nio_mib / d,
+            work_churn_mib_per_sec: self.work_churn_mib_per_sec / d,
+            stack_mib: self.stack_mib / d,
+            stack_churn_per_sec: self.stack_churn_per_sec,
+            heap: HeapProfile {
+                heap_mib: self.heap.heap_mib / d,
+                policy: match self.heap.policy {
+                    GcPolicy::Flat => GcPolicy::Flat,
+                    GcPolicy::Generational {
+                        nursery_mib,
+                        tenured_mib,
+                    } => GcPolicy::Generational {
+                        nursery_mib: nursery_mib / d,
+                        tenured_mib: tenured_mib / d,
+                    },
+                },
+                live_fraction: self.heap.live_fraction,
+                alloc_mib_per_sec: self.heap.alloc_mib_per_sec / d,
+                untouched_fraction: self.heap.untouched_fraction,
+            },
+        }
+    }
+
+    /// Total modelled footprint, MiB (sum of all areas at full residency).
+    #[must_use]
+    pub fn footprint_mib(&self) -> f64 {
+        let class_mib = self.class_count as f64
+            * (self.avg_class_ro_bytes + self.avg_class_rw_bytes) as f64
+            / (1024.0 * 1024.0);
+        self.code_text_mib
+            + self.code_data_mib
+            + class_mib
+            + self.jit_code_mib
+            + self.jit_work_mib
+            + self.jit_work_zero_mib
+            + self.work_data_mib
+            + self.work_zero_mib
+            + self.nio_mib
+            + self.stack_mib
+            + self.heap.heap_mib
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaling_divides_sizes_not_fractions() {
+        let p = AppProfile::tiny_test();
+        let s = p.scaled(2.0);
+        assert!((s.heap.heap_mib - p.heap.heap_mib / 2.0).abs() < 1e-9);
+        assert_eq!(s.cacheable_fraction, p.cacheable_fraction);
+        assert_eq!(s.workload_id, p.workload_id);
+        assert!(s.footprint_mib() < p.footprint_mib());
+    }
+
+    #[test]
+    #[should_panic(expected = "scale divisor")]
+    fn upscaling_rejected() {
+        let _ = AppProfile::tiny_test().scaled(0.9);
+    }
+
+    #[test]
+    fn footprint_is_positive_and_dominated_by_heap() {
+        let p = AppProfile::tiny_test();
+        assert!(p.footprint_mib() > p.heap.heap_mib);
+    }
+
+    #[test]
+    fn generational_scaling() {
+        let mut p = AppProfile::tiny_test();
+        p.heap.policy = GcPolicy::Generational {
+            nursery_mib: 2.0,
+            tenured_mib: 1.0,
+        };
+        match p.scaled(2.0).heap.policy {
+            GcPolicy::Generational {
+                nursery_mib,
+                tenured_mib,
+            } => {
+                assert!((nursery_mib - 1.0).abs() < 1e-9);
+                assert!((tenured_mib - 0.5).abs() < 1e-9);
+            }
+            GcPolicy::Flat => panic!("policy changed by scaling"),
+        }
+    }
+}

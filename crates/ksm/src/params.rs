@@ -1,0 +1,151 @@
+//! Scanner tuning parameters.
+
+/// KSM tuning knobs, mirroring `/sys/kernel/mm/ksm/{pages_to_scan,sleep_millisecs}`.
+///
+/// The paper's measurement setting (§II.C): `pages_to_scan = 10_000` during
+/// application start-up and warm-up, then `1_000` during the measured
+/// steady state, with `sleep_millis = 100` throughout. At those settings
+/// the scanning cost was ≈25 % of a CPU (at 10 000) and ≈2 % (at 1 000) —
+/// the linear model in [`cpu_percent`](Self::cpu_percent) is calibrated to
+/// those two points.
+///
+/// # Example
+///
+/// ```
+/// use ksm::KsmParams;
+///
+/// let warmup = KsmParams::paper_warmup();
+/// let steady = KsmParams::paper_steady();
+/// assert_eq!(warmup.pages_to_scan(), 10_000);
+/// assert_eq!(steady.pages_to_scan(), 1_000);
+/// assert!(warmup.cpu_percent() > 20.0 && warmup.cpu_percent() < 30.0);
+/// assert!(steady.cpu_percent() < 3.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KsmParams {
+    pages_to_scan: usize,
+    sleep_millis: u64,
+    max_page_sharing: u32,
+}
+
+impl KsmParams {
+    /// Creates a parameter set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sleep_millis` is zero or not a multiple of the 100 ms
+    /// simulation tick.
+    #[must_use]
+    pub fn new(pages_to_scan: usize, sleep_millis: u64) -> KsmParams {
+        assert!(sleep_millis > 0, "sleep interval must be positive");
+        assert_eq!(
+            sleep_millis % 100,
+            0,
+            "sleep interval must be a multiple of the 100 ms tick"
+        );
+        KsmParams {
+            pages_to_scan,
+            sleep_millis,
+            max_page_sharing: 256,
+        }
+    }
+
+    /// Sets the per-stable-node sharing cap (Linux KSM's
+    /// `max_page_sharing`, default 256): once a canonical frame has this
+    /// many sharers, further duplicates start a *new* stable node — a
+    /// rmap-walk latency bound that costs a little memory. Mostly
+    /// relevant for the all-zeroes page, which everything merges into.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap < 2` (a node must admit at least one duplicate).
+    #[must_use]
+    pub fn with_max_page_sharing(mut self, cap: u32) -> KsmParams {
+        assert!(cap >= 2, "max_page_sharing must be at least 2");
+        self.max_page_sharing = cap;
+        self
+    }
+
+    /// The per-stable-node sharing cap.
+    #[must_use]
+    pub fn max_page_sharing(&self) -> u32 {
+        self.max_page_sharing
+    }
+
+    /// The paper's warm-up setting: 10 000 pages per wake, 100 ms sleep.
+    #[must_use]
+    pub fn paper_warmup() -> KsmParams {
+        KsmParams::new(10_000, 100)
+    }
+
+    /// The paper's steady-state setting: 1 000 pages per wake, 100 ms sleep.
+    #[must_use]
+    pub fn paper_steady() -> KsmParams {
+        KsmParams::new(1_000, 100)
+    }
+
+    /// Pages scanned per wake-up.
+    #[must_use]
+    pub fn pages_to_scan(&self) -> usize {
+        self.pages_to_scan
+    }
+
+    /// Sleep between wake-ups, in milliseconds.
+    #[must_use]
+    pub fn sleep_millis(&self) -> u64 {
+        self.sleep_millis
+    }
+
+    /// Number of 100 ms simulation ticks between wake-ups.
+    #[must_use]
+    pub fn ticks_per_wake(&self) -> u64 {
+        self.sleep_millis / 100
+    }
+
+    /// Estimated scanning cost as a percentage of one CPU, linear in the
+    /// scan rate and calibrated to the paper's two observations
+    /// (10 000 pages/100 ms ≈ 25 %, 1 000 pages/100 ms ≈ 2 %).
+    #[must_use]
+    pub fn cpu_percent(&self) -> f64 {
+        let pages_per_second = self.pages_to_scan as f64 * (1000.0 / self.sleep_millis as f64);
+        pages_per_second * 0.00025
+    }
+}
+
+impl Default for KsmParams {
+    fn default() -> Self {
+        KsmParams::paper_steady()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cpu_model_matches_paper_observations() {
+        // "about 25%" at 10,000 and "about 2%" at 1,000 (§II.C).
+        assert!((KsmParams::paper_warmup().cpu_percent() - 25.0).abs() < 1.0);
+        assert!((KsmParams::paper_steady().cpu_percent() - 2.5).abs() < 1.0);
+    }
+
+    #[test]
+    fn slower_wakeups_reduce_cpu() {
+        let fast = KsmParams::new(1000, 100);
+        let slow = KsmParams::new(1000, 200);
+        assert!(slow.cpu_percent() < fast.cpu_percent());
+        assert_eq!(slow.ticks_per_wake(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of the 100 ms tick")]
+    fn rejects_non_tick_sleep() {
+        let _ = KsmParams::new(1000, 150);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_zero_sleep() {
+        let _ = KsmParams::new(1000, 0);
+    }
+}

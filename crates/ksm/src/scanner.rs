@@ -1,0 +1,464 @@
+//! The KSM scanning loop.
+
+use crate::{KsmParams, KsmStats};
+use mem::{Fingerprint, FrameId, Tick};
+use paging::{AsId, HostMm, Mapping, Vpn};
+use std::collections::{BTreeMap, HashMap};
+
+/// A model of the Linux Kernel Samepage Merging daemon (`ksmd`).
+///
+/// Call [`run`](Self::run) once per simulation tick; the scanner honours
+/// its own sleep cadence. Each wake-up it examines up to
+/// `pages_to_scan` mapped pages from the mergeable regions, in address
+/// order, wrapping around in **full passes**:
+///
+/// 1. Pages already merged (stable-tree frames) are skipped.
+/// 2. A page whose content matches a stable-tree node is merged
+///    immediately — no volatility check, exactly like real KSM. This is
+///    why freshly zero-filled GC pages get merged and then promptly
+///    CoW-broken again ("these shared areas are soon modified and
+///    divided", §III.A).
+/// 3. Otherwise the page is admitted to the unstable tree only if its
+///    content has not changed since the previous full pass (the checksum
+///    test). Two unstable candidates with equal content become a new
+///    stable node.
+///
+/// The unstable tree is discarded at the end of every full pass.
+///
+/// See the [crate docs](crate) for a usage example.
+#[derive(Debug)]
+pub struct KsmScanner {
+    params: KsmParams,
+    stable: BTreeMap<Fingerprint, FrameId>,
+    unstable: HashMap<Fingerprint, Mapping>,
+    scan_list: Vec<(AsId, Vpn, usize)>,
+    cursor_region: usize,
+    cursor_page: u64,
+    pass_start: Tick,
+    prev_pass_start: Tick,
+    first_pass_done: bool,
+    stats: KsmStats,
+}
+
+impl KsmScanner {
+    /// Creates a scanner with the given tuning parameters.
+    #[must_use]
+    pub fn new(params: KsmParams) -> KsmScanner {
+        KsmScanner {
+            params,
+            stable: BTreeMap::new(),
+            unstable: HashMap::new(),
+            scan_list: Vec::new(),
+            cursor_region: 0,
+            cursor_page: 0,
+            pass_start: Tick::ZERO,
+            prev_pass_start: Tick::ZERO,
+            first_pass_done: false,
+            stats: KsmStats::default(),
+        }
+    }
+
+    /// Current tuning parameters.
+    #[must_use]
+    pub fn params(&self) -> KsmParams {
+        self.params
+    }
+
+    /// Retunes the scanner, e.g. the paper's switch from the 10 000-page
+    /// warm-up rate to the 1 000-page steady rate after initialization.
+    pub fn set_params(&mut self, params: KsmParams) {
+        self.params = params;
+    }
+
+    /// Scanner counters. `pages_shared`/`pages_sharing` are refreshed at
+    /// every full-pass boundary and by [`recount`](Self::recount).
+    #[must_use]
+    pub fn stats(&self) -> KsmStats {
+        self.stats
+    }
+
+    /// Number of stable-tree nodes currently tracked.
+    #[must_use]
+    pub fn stable_nodes(&self) -> usize {
+        self.stable.len()
+    }
+
+    /// Advances the scanner by one simulation tick.
+    ///
+    /// Does nothing unless `now` falls on the scanner's wake cadence.
+    pub fn run(&mut self, mm: &mut HostMm, now: Tick) {
+        if !now.0.is_multiple_of(self.params.ticks_per_wake()) {
+            return;
+        }
+        if self.scan_list.is_empty() {
+            self.begin_pass(mm, now);
+            if self.scan_list.is_empty() {
+                return;
+            }
+        }
+        let budget = self.params.pages_to_scan();
+        let mut scanned = 0;
+        while scanned < budget {
+            match self.step(mm, now) {
+                StepOutcome::Scanned => scanned += 1,
+                StepOutcome::Hole => {}
+                StepOutcome::PassComplete => {
+                    self.finish_pass(mm, now);
+                    // At most one pass boundary per wake: real ksmd would
+                    // just keep going, but bounding it keeps a wake's work
+                    // proportional to memory size and avoids re-scanning
+                    // the same pages with a stale volatility horizon.
+                    break;
+                }
+            }
+        }
+        self.stats.pages_scanned += scanned as u64;
+    }
+
+    /// Recomputes `pages_shared` / `pages_sharing` from the ground truth,
+    /// dropping stale stable-tree nodes.
+    pub fn recount(&mut self, mm: &HostMm) {
+        let phys = mm.phys();
+        let mut shared = 0u64;
+        let mut sharing = 0u64;
+        self.stable.retain(|&fp, &mut frame| {
+            let valid =
+                phys.is_live(frame) && phys.is_ksm_shared(frame) && phys.fingerprint(frame) == fp;
+            if valid {
+                shared += 1;
+                sharing += u64::from(phys.refcount(frame).saturating_sub(1));
+            }
+            valid
+        });
+        self.stats.pages_shared = shared;
+        self.stats.pages_sharing = sharing;
+    }
+
+    fn begin_pass(&mut self, mm: &HostMm, now: Tick) {
+        self.scan_list.clear();
+        for space in mm.spaces() {
+            for region in space.regions() {
+                if region.mergeable() && region.len_pages() > 0 {
+                    self.scan_list
+                        .push((space.id(), region.base(), region.len_pages()));
+                }
+            }
+        }
+        self.cursor_region = 0;
+        self.cursor_page = 0;
+        self.prev_pass_start = self.pass_start;
+        self.pass_start = now;
+    }
+
+    fn finish_pass(&mut self, mm: &HostMm, now: Tick) {
+        self.unstable.clear();
+        self.stats.full_scans += 1;
+        self.first_pass_done = true;
+        self.recount(mm);
+        // Snapshot the region list afresh for the next pass.
+        self.begin_pass(mm, now);
+    }
+
+    fn step(&mut self, mm: &mut HostMm, _now: Tick) -> StepOutcome {
+        let Some(&(space, base, len)) = self.scan_list.get(self.cursor_region) else {
+            return StepOutcome::PassComplete;
+        };
+        if self.cursor_page >= len as u64 {
+            self.cursor_region += 1;
+            self.cursor_page = 0;
+            if self.cursor_region >= self.scan_list.len() {
+                return StepOutcome::PassComplete;
+            }
+            return StepOutcome::Hole;
+        }
+        let vpn = base.offset(self.cursor_page);
+        self.cursor_page += 1;
+
+        let Some(frame) = mm.frame_at(space, vpn) else {
+            return StepOutcome::Hole;
+        };
+        if mm.phys().is_ksm_shared(frame) {
+            // Already a stable node (or a sharer of one).
+            return StepOutcome::Scanned;
+        }
+        let fp = mm.phys().fingerprint(frame);
+
+        // 1. Stable-tree lookup (with stale-node validation). Nodes
+        // respect the max_page_sharing cap: a saturated chain head stops
+        // accepting duplicates and the page is left for a new node.
+        if let Some(canonical) = self.stable_lookup(mm, fp) {
+            if canonical != frame {
+                if mm.phys().refcount(canonical) < self.params.max_page_sharing() {
+                    mm.merge_frames(frame, canonical);
+                    self.stats.merges += 1;
+                } else {
+                    // Chain full: promote this page to a fresh stable
+                    // node so later duplicates have somewhere to go.
+                    mm.mark_ksm_stable(frame);
+                    self.stable.insert(fp, frame);
+                    self.stats.chain_splits += 1;
+                }
+            }
+            return StepOutcome::Scanned;
+        }
+
+        // 2. Volatility filter: content must be stable across a full pass.
+        let horizon = if self.first_pass_done {
+            self.prev_pass_start
+        } else {
+            self.pass_start
+        };
+        if mm.phys().last_write(frame) >= horizon && horizon > Tick::ZERO {
+            self.stats.volatile_skips += 1;
+            return StepOutcome::Scanned;
+        }
+
+        // 3. Unstable-tree lookup.
+        match self.unstable.get(&fp) {
+            Some(&candidate) => {
+                let Some(other) = mm.frame_at(candidate.space, candidate.vpn) else {
+                    self.unstable.insert(fp, Mapping { space, vpn });
+                    return StepOutcome::Scanned;
+                };
+                // Re-verify: the unstable tree holds no write protection,
+                // so the candidate may have changed since insertion.
+                if other != frame && mm.phys().fingerprint(other) == fp {
+                    mm.merge_frames(frame, other);
+                    self.stable.insert(fp, other);
+                    self.unstable.remove(&fp);
+                    self.stats.merges += 1;
+                } else if other == frame {
+                    // Same page re-encountered; leave the entry in place.
+                } else {
+                    self.unstable.insert(fp, Mapping { space, vpn });
+                }
+            }
+            None => {
+                self.unstable.insert(fp, Mapping { space, vpn });
+            }
+        }
+        StepOutcome::Scanned
+    }
+
+    fn stable_lookup(&mut self, mm: &HostMm, fp: Fingerprint) -> Option<FrameId> {
+        let &frame = self.stable.get(&fp)?;
+        let phys = mm.phys();
+        if phys.is_live(frame) && phys.is_ksm_shared(frame) && phys.fingerprint(frame) == fp {
+            Some(frame)
+        } else {
+            self.stable.remove(&fp);
+            self.stats.stale_stable_nodes += 1;
+            None
+        }
+    }
+}
+
+enum StepOutcome {
+    Scanned,
+    Hole,
+    PassComplete,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paging::MemTag;
+
+    fn fp(n: u64) -> Fingerprint {
+        Fingerprint::of(&[n])
+    }
+
+    /// Two spaces with `pages` identical pages each, written at tick 0.
+    fn two_vm_setup(pages: u64) -> (HostMm, AsId, Vpn, AsId, Vpn) {
+        let mut mm = HostMm::new();
+        let a = mm.create_space("vm1");
+        let b = mm.create_space("vm2");
+        let ra = mm.map_region(a, pages as usize, MemTag::VmGuestMemory, true);
+        let rb = mm.map_region(b, pages as usize, MemTag::VmGuestMemory, true);
+        for i in 0..pages {
+            mm.write_page(a, ra.offset(i), fp(i), Tick(0));
+            mm.write_page(b, rb.offset(i), fp(i), Tick(0));
+        }
+        (mm, a, ra, b, rb)
+    }
+
+    fn converge(scanner: &mut KsmScanner, mm: &mut HostMm, from: Tick, wakes: u64) -> Tick {
+        let mut t = from;
+        for _ in 0..wakes {
+            t = t.next();
+            scanner.run(mm, t);
+        }
+        scanner.recount(mm);
+        t
+    }
+
+    #[test]
+    fn identical_pages_across_vms_merge() {
+        let (mut mm, ..) = two_vm_setup(16);
+        let mut scanner = KsmScanner::new(KsmParams::new(1000, 100));
+        converge(&mut scanner, &mut mm, Tick(0), 8);
+        assert_eq!(scanner.stats().pages_shared, 16);
+        assert_eq!(scanner.stats().pages_sharing, 16);
+        assert_eq!(mm.phys().allocated_frames(), 16);
+        mm.assert_consistent();
+    }
+
+    #[test]
+    fn volatile_pages_are_not_merged() {
+        let (mut mm, a, ra, b, rb) = two_vm_setup(4);
+        let mut scanner = KsmScanner::new(KsmParams::new(1000, 100));
+        // Rewrite page 0 in both VMs every tick with identical content:
+        // identical but volatile, so the checksum filter rejects it.
+        let mut merged_while_hot = 0;
+        for t in 1..20u64 {
+            mm.write_page(a, ra, fp(1000 + t), Tick(t));
+            mm.write_page(b, rb, fp(1000 + t), Tick(t));
+            scanner.run(&mut mm, Tick(t));
+            let frame = mm.frame_at(a, ra).unwrap();
+            if mm.phys().refcount(frame) > 1 {
+                merged_while_hot += 1;
+            }
+        }
+        assert_eq!(merged_while_hot, 0);
+        assert!(scanner.stats().volatile_skips > 0);
+        // The three quiet pages did merge.
+        scanner.recount(&mm);
+        assert_eq!(scanner.stats().pages_sharing, 3);
+        mm.assert_consistent();
+    }
+
+    #[test]
+    fn write_breaks_sharing_and_scanner_recovers_counts() {
+        let (mut mm, _a, _ra, b, rb) = two_vm_setup(8);
+        let mut scanner = KsmScanner::new(KsmParams::new(1000, 100));
+        let t = converge(&mut scanner, &mut mm, Tick(0), 8);
+        assert_eq!(scanner.stats().pages_sharing, 8);
+
+        // VM 2 writes half its pages: CoW breaks, savings halve.
+        for i in 0..4 {
+            mm.write_page(b, rb.offset(i), fp(9000 + i), Tick(t.0 + 1));
+        }
+        scanner.recount(&mm);
+        assert_eq!(scanner.stats().pages_sharing, 4);
+        mm.assert_consistent();
+    }
+
+    #[test]
+    fn zero_pages_merge_into_one_frame() {
+        let mut mm = HostMm::new();
+        let mut scanner = KsmScanner::new(KsmParams::new(1000, 100));
+        for name in ["vm1", "vm2", "vm3"] {
+            let s = mm.create_space(name);
+            let r = mm.map_region(s, 10, MemTag::VmGuestMemory, true);
+            for i in 0..10 {
+                mm.write_page(s, r.offset(i), Fingerprint::ZERO, Tick(0));
+            }
+        }
+        converge(&mut scanner, &mut mm, Tick(0), 8);
+        assert_eq!(scanner.stats().pages_shared, 1);
+        assert_eq!(scanner.stats().pages_sharing, 29);
+        assert_eq!(mm.phys().allocated_frames(), 1);
+    }
+
+    #[test]
+    fn scan_budget_limits_progress_per_wake() {
+        let (mut mm, ..) = two_vm_setup(100);
+        // 50 pages per wake over 200 mapped pages: a pass needs 4 wakes.
+        let mut scanner = KsmScanner::new(KsmParams::new(50, 100));
+        scanner.run(&mut mm, Tick(1));
+        assert_eq!(scanner.stats().pages_scanned, 50);
+        assert_eq!(scanner.stats().full_scans, 0);
+        for t in 2..=12 {
+            scanner.run(&mut mm, Tick(t));
+        }
+        assert!(scanner.stats().full_scans >= 2);
+        scanner.recount(&mm);
+        assert_eq!(scanner.stats().pages_sharing, 100);
+    }
+
+    #[test]
+    fn sleep_cadence_is_respected() {
+        let (mut mm, ..) = two_vm_setup(4);
+        let mut scanner = KsmScanner::new(KsmParams::new(10, 300));
+        scanner.run(&mut mm, Tick(1)); // not on cadence
+        assert_eq!(scanner.stats().pages_scanned, 0);
+        scanner.run(&mut mm, Tick(3)); // 300 ms boundary
+        assert!(scanner.stats().pages_scanned > 0);
+    }
+
+    #[test]
+    fn stale_stable_nodes_are_discarded() {
+        let (mut mm, a, ra, b, rb) = two_vm_setup(1);
+        let mut scanner = KsmScanner::new(KsmParams::new(1000, 100));
+        let t = converge(&mut scanner, &mut mm, Tick(0), 6);
+        assert_eq!(scanner.stats().pages_shared, 1);
+        // Both sharers rewrite: the stable frame dies entirely.
+        mm.write_page(a, ra, fp(777), Tick(t.0 + 1));
+        mm.write_page(b, rb, fp(778), Tick(t.0 + 1));
+        scanner.recount(&mm);
+        assert_eq!(scanner.stats().pages_shared, 0);
+        assert_eq!(scanner.stable_nodes(), 0);
+        mm.assert_consistent();
+    }
+
+    #[test]
+    fn retune_mid_run() {
+        let (mut mm, ..) = two_vm_setup(64);
+        let mut scanner = KsmScanner::new(KsmParams::paper_warmup());
+        scanner.run(&mut mm, Tick(1));
+        scanner.set_params(KsmParams::paper_steady());
+        assert_eq!(scanner.params().pages_to_scan(), 1_000);
+        converge(&mut scanner, &mut mm, Tick(1), 8);
+        assert_eq!(scanner.stats().pages_sharing, 64);
+    }
+}
+
+#[cfg(test)]
+mod cap_tests {
+    use super::*;
+    use mem::Fingerprint;
+    use paging::MemTag;
+
+    /// With a sharing cap of 4, sixteen identical pages need at least
+    /// four stable nodes (frames), not one.
+    #[test]
+    fn max_page_sharing_splits_chains() {
+        let mut mm = HostMm::new();
+        let s = mm.create_space("vm");
+        let r = mm.map_region(s, 16, MemTag::VmGuestMemory, true);
+        for i in 0..16 {
+            mm.write_page(s, r.offset(i), Fingerprint::of(&[1]), Tick(0));
+        }
+        let mut scanner =
+            KsmScanner::new(KsmParams::new(1000, 100).with_max_page_sharing(4));
+        for t in 1..10 {
+            scanner.run(&mut mm, Tick(t));
+        }
+        scanner.recount(&mm);
+        // 16 identical pages at cap 4 → at least 4 frames survive.
+        assert!(mm.phys().allocated_frames() >= 4);
+        assert!(mm.phys().allocated_frames() <= 6, "cap should still dedupe most");
+        assert!(scanner.stats().chain_splits > 0);
+        for (_, frame) in mm.phys().iter() {
+            assert!(frame.refcount() <= 4, "cap exceeded: {}", frame.refcount());
+        }
+        mm.assert_consistent();
+    }
+
+    /// The default cap (256) is effectively invisible in small systems.
+    #[test]
+    fn default_cap_does_not_interfere() {
+        let mut mm = HostMm::new();
+        let s = mm.create_space("vm");
+        let r = mm.map_region(s, 32, MemTag::VmGuestMemory, true);
+        for i in 0..32 {
+            mm.write_page(s, r.offset(i), Fingerprint::ZERO, Tick(0));
+        }
+        let mut scanner = KsmScanner::new(KsmParams::new(1000, 100));
+        for t in 1..10 {
+            scanner.run(&mut mm, Tick(t));
+        }
+        assert_eq!(mm.phys().allocated_frames(), 1);
+        assert_eq!(scanner.stats().chain_splits, 0);
+    }
+}

@@ -1,0 +1,60 @@
+//! Scanner statistics.
+
+/// Counters exposed by the KSM scanner, mirroring the sysfs counters of
+/// real KSM (`pages_shared`, `pages_sharing`, `full_scans`, …).
+///
+/// # Example
+///
+/// ```
+/// use ksm::KsmStats;
+///
+/// let stats = KsmStats::default();
+/// assert_eq!(stats.saved_pages(), 0);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KsmStats {
+    /// Stable-tree frames: distinct shared pages kept in memory.
+    pub pages_shared: u64,
+    /// PTEs that point at stable-tree frames beyond the first — i.e. the
+    /// number of page copies elided. `pages_sharing / pages_shared` is the
+    /// sharing ratio.
+    pub pages_sharing: u64,
+    /// Completed full passes over all mergeable memory.
+    pub full_scans: u64,
+    /// Cumulative pages examined.
+    pub pages_scanned: u64,
+    /// Cumulative merges performed (stable-tree and unstable-tree hits).
+    pub merges: u64,
+    /// Cumulative candidates rejected by the volatility filter.
+    pub volatile_skips: u64,
+    /// Cumulative stale stable-tree nodes discarded during lookups.
+    pub stale_stable_nodes: u64,
+    /// Stable nodes re-seeded because a chain hit `max_page_sharing`.
+    pub chain_splits: u64,
+}
+
+impl KsmStats {
+    /// Pages of host physical memory currently saved by sharing.
+    ///
+    /// Equal to [`pages_sharing`](Self::pages_sharing): each sharer beyond
+    /// the canonical copy would otherwise need its own frame.
+    #[must_use]
+    pub fn saved_pages(&self) -> u64 {
+        self.pages_sharing
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn saved_pages_equals_sharing() {
+        let stats = KsmStats {
+            pages_shared: 3,
+            pages_sharing: 17,
+            ..KsmStats::default()
+        };
+        assert_eq!(stats.saved_pages(), 17);
+    }
+}

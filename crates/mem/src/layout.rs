@@ -1,0 +1,252 @@
+//! Byte-layout modelling: from an ordered sequence of items to per-page
+//! content fingerprints.
+//!
+//! The paper's core observation is that page sharing is a *layout*
+//! property: two processes share a page only if the same bytes sit at the
+//! same page offsets. [`LayoutWriter`] captures exactly that — it lays
+//! items (class fragments, file chunks, malloc'd blocks) into a
+//! byte-addressed segment and derives one [`Fingerprint`] per page from
+//! the identities and in-page offsets of the items covering it. Two
+//! writers fed the same items in the same order at the same alignment
+//! produce identical page images; permute the order, shift an offset, or
+//! insert padding and the affected pages diverge — which is precisely why
+//! the baseline JVM's execution-order class loading defeats TPS and the
+//! shared class cache's canonical order restores it.
+
+use crate::{pages_for_bytes, Fingerprint, FingerprintBuilder, PAGE_SIZE};
+
+/// Accumulates items into a byte layout and produces per-page
+/// fingerprints.
+///
+/// # Example
+///
+/// ```
+/// use mem::LayoutWriter;
+///
+/// let mut a = LayoutWriter::new();
+/// a.append(1, 6000);
+/// a.append(2, 3000);
+/// let mut b = LayoutWriter::new();
+/// b.append(1, 6000);
+/// b.append(2, 3000);
+/// // Identical order → identical pages.
+/// assert_eq!(a.clone().finish().pages, b.finish().pages);
+///
+/// // Reordering changes every affected page.
+/// let mut c = LayoutWriter::new();
+/// c.append(2, 3000);
+/// c.append(1, 6000);
+/// assert_ne!(a.finish().pages, c.finish().pages);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LayoutWriter {
+    cursor: usize,
+    pages: Vec<Option<FingerprintBuilder>>,
+}
+
+/// The finished image: per-page content fingerprints plus the item
+/// directory produced by a [`LayoutWriter`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayoutImage {
+    /// One fingerprint per page; pages no item touched are
+    /// [`Fingerprint::ZERO`].
+    pub pages: Vec<Fingerprint>,
+    /// Total bytes written (the layout's logical length).
+    pub len_bytes: usize,
+}
+
+impl LayoutImage {
+    /// Number of pages in the image.
+    #[must_use]
+    pub fn len_pages(&self) -> usize {
+        self.pages.len()
+    }
+}
+
+impl LayoutWriter {
+    /// Creates an empty layout.
+    #[must_use]
+    pub fn new() -> LayoutWriter {
+        LayoutWriter {
+            cursor: 0,
+            pages: Vec::new(),
+        }
+    }
+
+    /// Current write position in bytes.
+    #[must_use]
+    pub fn position(&self) -> usize {
+        self.cursor
+    }
+
+    /// Appends an item identified by `token` occupying `len` bytes.
+    ///
+    /// Every page the item overlaps absorbs `(token, offset-into-item,
+    /// offset-in-page)`, so byte-identical placements hash identically.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is zero.
+    pub fn append(&mut self, token: u64, len: usize) {
+        assert!(len > 0, "zero-length item");
+        let start = self.cursor;
+        let end = start + len;
+        let first_page = start / PAGE_SIZE;
+        let last_page = (end - 1) / PAGE_SIZE;
+        if self.pages.len() <= last_page {
+            self.pages.resize(last_page + 1, None);
+        }
+        for page in first_page..=last_page {
+            let page_start = page * PAGE_SIZE;
+            let in_page = start.saturating_sub(page_start);
+            let into_item = page_start.saturating_sub(start);
+            let builder = self.pages[page].get_or_insert_with(FingerprintBuilder::new);
+            builder.push(token);
+            builder.push(into_item as u64);
+            builder.push(in_page as u64);
+        }
+        self.cursor = end;
+    }
+
+    /// Skips `len` bytes, leaving them zero (an allocation hole).
+    pub fn pad(&mut self, len: usize) {
+        self.cursor += len;
+    }
+
+    /// Advances the cursor to the next multiple of `alignment` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alignment` is zero.
+    pub fn align_to(&mut self, alignment: usize) {
+        assert!(alignment > 0, "zero alignment");
+        let rem = self.cursor % alignment;
+        if rem != 0 {
+            self.cursor += alignment - rem;
+        }
+    }
+
+    /// Finalises the layout into per-page fingerprints. The page count
+    /// covers the full cursor extent, including trailing padding.
+    #[must_use]
+    pub fn finish(self) -> LayoutImage {
+        let len_pages = pages_for_bytes(self.cursor).max(self.pages.len());
+        let mut pages: Vec<Fingerprint> = self
+            .pages
+            .into_iter()
+            .map(|slot| slot.map_or(Fingerprint::ZERO, |b| b.finish()))
+            .collect();
+        pages.resize(len_pages, Fingerprint::ZERO);
+        LayoutImage {
+            pages,
+            len_bytes: self.cursor,
+        }
+    }
+}
+
+impl Default for LayoutWriter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_sequence() {
+        let build = || {
+            let mut w = LayoutWriter::new();
+            w.append(10, 100);
+            w.align_to(64);
+            w.append(11, 8000);
+            w.append(12, 3);
+            w.finish()
+        };
+        assert_eq!(build(), build());
+    }
+
+    #[test]
+    fn reorder_changes_pages() {
+        let mut a = LayoutWriter::new();
+        a.append(1, 2000);
+        a.append(2, 2000);
+        let mut b = LayoutWriter::new();
+        b.append(2, 2000);
+        b.append(1, 2000);
+        assert_ne!(a.finish().pages[0], b.finish().pages[0]);
+    }
+
+    #[test]
+    fn offset_shift_changes_pages() {
+        let mut a = LayoutWriter::new();
+        a.append(1, 4096);
+        let mut b = LayoutWriter::new();
+        b.pad(16);
+        b.append(1, 4096);
+        let (ia, ib) = (a.finish(), b.finish());
+        assert_ne!(ia.pages[0], ib.pages[0]);
+        assert_eq!(ib.len_pages(), 2);
+    }
+
+    #[test]
+    fn untouched_pages_are_zero() {
+        let mut w = LayoutWriter::new();
+        w.pad(3 * PAGE_SIZE);
+        w.append(1, 10);
+        let img = w.finish();
+        assert_eq!(img.len_pages(), 4);
+        assert_eq!(img.pages[0], Fingerprint::ZERO);
+        assert_eq!(img.pages[2], Fingerprint::ZERO);
+        assert_ne!(img.pages[3], Fingerprint::ZERO);
+    }
+
+    #[test]
+    fn item_spanning_pages_marks_all() {
+        let mut w = LayoutWriter::new();
+        w.append(7, PAGE_SIZE * 2 + 1);
+        let img = w.finish();
+        assert_eq!(img.len_pages(), 3);
+        assert!(img.pages.iter().all(|p| !p.is_zero()));
+        // Interior pages of the same item differ (different into-item
+        // offsets — shifted data is different bytes).
+        assert_ne!(img.pages[0], img.pages[1]);
+    }
+
+    #[test]
+    fn page_aligned_suffix_identical_after_common_prefix_divergence() {
+        // Aligning to a page boundary resynchronises layouts: the classic
+        // reason mmap'd files share even when the heap does not.
+        let mut a = LayoutWriter::new();
+        a.append(99, 100);
+        a.align_to(PAGE_SIZE);
+        a.append(1, PAGE_SIZE);
+        let mut b = LayoutWriter::new();
+        b.append(98, 700); // different prefix
+        b.align_to(PAGE_SIZE);
+        b.append(1, PAGE_SIZE);
+        let (ia, ib) = (a.finish(), b.finish());
+        assert_ne!(ia.pages[0], ib.pages[0]);
+        assert_eq!(ia.pages[1], ib.pages[1]);
+    }
+
+    #[test]
+    fn align_and_pad_positions() {
+        let mut w = LayoutWriter::new();
+        w.append(1, 5);
+        w.align_to(8);
+        assert_eq!(w.position(), 8);
+        w.pad(8);
+        assert_eq!(w.position(), 16);
+        w.align_to(8);
+        assert_eq!(w.position(), 16);
+    }
+
+    #[test]
+    fn empty_layout() {
+        let img = LayoutWriter::new().finish();
+        assert_eq!(img.len_pages(), 0);
+        assert_eq!(img.len_bytes, 0);
+    }
+}

@@ -1,0 +1,398 @@
+//! The host physical frame pool.
+
+use crate::{Fingerprint, Tick};
+use std::fmt;
+
+/// Identifier of a host physical page frame.
+///
+/// `FrameId`s are dense indices into the frame pool; a freed frame's id may
+/// be reused by a later allocation, exactly like physical frame numbers on
+/// real hardware.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FrameId(u32);
+
+impl FrameId {
+    /// Returns the raw index of the frame.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Reconstructs a `FrameId` from [`index`](Self::index). Intended for
+    /// mapping layers that store frame numbers compactly (page tables,
+    /// serialized snapshots); the index must have come from a live frame of
+    /// the same [`PhysMemory`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` exceeds the frame-number range.
+    #[must_use]
+    pub fn from_index(index: usize) -> FrameId {
+        FrameId(u32::try_from(index).expect("frame index exceeds u32 range"))
+    }
+}
+
+impl fmt::Display for FrameId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pfn{}", self.0)
+    }
+}
+
+/// Metadata for one allocated host frame.
+#[derive(Debug, Clone)]
+pub struct Frame {
+    fingerprint: Fingerprint,
+    refcount: u32,
+    ksm_shared: bool,
+    last_write: Tick,
+}
+
+impl Frame {
+    /// The content fingerprint currently stored in the frame.
+    #[must_use]
+    pub fn fingerprint(&self) -> Fingerprint {
+        self.fingerprint
+    }
+
+    /// Number of mappings referencing the frame. Greater than one means the
+    /// frame is shared copy-on-write.
+    #[must_use]
+    pub fn refcount(&self) -> u32 {
+        self.refcount
+    }
+
+    /// `true` if the frame is a KSM stable-tree page (merged by the
+    /// scanner and write-protected).
+    #[must_use]
+    pub fn ksm_shared(&self) -> bool {
+        self.ksm_shared
+    }
+
+    /// The simulated time of the most recent write to the frame. The KSM
+    /// scanner uses this as its volatility check, the way real KSM uses a
+    /// content checksum across scan passes.
+    #[must_use]
+    pub fn last_write(&self) -> Tick {
+        self.last_write
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Slot {
+    Free { next: Option<u32> },
+    Used(Frame),
+}
+
+/// The pool of host physical page frames.
+///
+/// `PhysMemory` hands out frames on demand and tracks, per frame: the
+/// content fingerprint, a reference count (for copy-on-write sharing), the
+/// KSM stable-tree marker, and the last write time. It deliberately does
+/// *not* enforce a capacity: the hypervisor layer compares
+/// [`allocated_frames`](Self::allocated_frames) against the host's RAM size
+/// to model over-commit and host paging.
+///
+/// # Example
+///
+/// ```
+/// use mem::{Fingerprint, PhysMemory, Tick};
+///
+/// let mut pm = PhysMemory::new();
+/// let a = pm.alloc(Fingerprint::of(&[1]), Tick(0));
+/// let b = pm.alloc(Fingerprint::of(&[2]), Tick(0));
+/// assert_ne!(a, b);
+/// assert_eq!(pm.allocated_frames(), 2);
+///
+/// // CoW sharing: a second mapping of `a`.
+/// pm.inc_ref(a);
+/// assert_eq!(pm.refcount(a), 2);
+/// pm.dec_ref(a);
+/// pm.dec_ref(a);
+/// assert_eq!(pm.allocated_frames(), 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct PhysMemory {
+    slots: Vec<Slot>,
+    free_head: Option<u32>,
+    allocated: usize,
+    /// Cumulative counters for diagnostics and benches.
+    total_allocs: u64,
+    total_frees: u64,
+    total_writes: u64,
+}
+
+impl PhysMemory {
+    /// Creates an empty frame pool.
+    #[must_use]
+    pub fn new() -> PhysMemory {
+        PhysMemory::default()
+    }
+
+    /// Creates a frame pool with capacity pre-reserved for `frames` frames.
+    #[must_use]
+    pub fn with_capacity(frames: usize) -> PhysMemory {
+        PhysMemory {
+            slots: Vec::with_capacity(frames),
+            ..PhysMemory::default()
+        }
+    }
+
+    /// Allocates a fresh frame holding `fingerprint`, written at `now`.
+    ///
+    /// The returned frame has a reference count of one.
+    pub fn alloc(&mut self, fingerprint: Fingerprint, now: Tick) -> FrameId {
+        self.allocated += 1;
+        self.total_allocs += 1;
+        let frame = Frame {
+            fingerprint,
+            refcount: 1,
+            ksm_shared: false,
+            last_write: now,
+        };
+        match self.free_head {
+            Some(idx) => {
+                let next = match self.slots[idx as usize] {
+                    Slot::Free { next } => next,
+                    Slot::Used(_) => unreachable!("free list points at used slot"),
+                };
+                self.free_head = next;
+                self.slots[idx as usize] = Slot::Used(frame);
+                FrameId(idx)
+            }
+            None => {
+                let idx = u32::try_from(self.slots.len()).expect("frame pool exceeds u32 range");
+                self.slots.push(Slot::Used(frame));
+                FrameId(idx)
+            }
+        }
+    }
+
+    fn frame(&self, id: FrameId) -> &Frame {
+        match &self.slots[id.index()] {
+            Slot::Used(f) => f,
+            Slot::Free { .. } => panic!("access to freed frame {id}"),
+        }
+    }
+
+    fn frame_mut(&mut self, id: FrameId) -> &mut Frame {
+        match &mut self.slots[id.index()] {
+            Slot::Used(f) => f,
+            Slot::Free { .. } => panic!("access to freed frame {id}"),
+        }
+    }
+
+    /// Returns the content fingerprint of `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` has been freed.
+    #[must_use]
+    pub fn fingerprint(&self, id: FrameId) -> Fingerprint {
+        self.frame(id).fingerprint
+    }
+
+    /// Returns `true` if `id` refers to a currently allocated frame.
+    ///
+    /// Frame ids are reused after free, so this only tells you the slot is
+    /// live — holders of stale ids (e.g. KSM stable-tree nodes) must
+    /// additionally revalidate content before trusting it.
+    #[must_use]
+    pub fn is_live(&self, id: FrameId) -> bool {
+        matches!(
+            self.slots.get(id.index()),
+            Some(Slot::Used(_))
+        )
+    }
+
+    /// Returns the reference count of `id`.
+    #[must_use]
+    pub fn refcount(&self, id: FrameId) -> u32 {
+        self.frame(id).refcount
+    }
+
+    /// Returns the last-write tick of `id`.
+    #[must_use]
+    pub fn last_write(&self, id: FrameId) -> Tick {
+        self.frame(id).last_write
+    }
+
+    /// Returns `true` if `id` is marked as a KSM stable-tree frame.
+    #[must_use]
+    pub fn is_ksm_shared(&self, id: FrameId) -> bool {
+        self.frame(id).ksm_shared
+    }
+
+    /// Marks or unmarks `id` as a KSM stable-tree frame.
+    pub fn set_ksm_shared(&mut self, id: FrameId, shared: bool) {
+        self.frame_mut(id).ksm_shared = shared;
+    }
+
+    /// Adds a reference to `id` (a new mapping now points at the frame).
+    pub fn inc_ref(&mut self, id: FrameId) {
+        self.frame_mut(id).refcount += 1;
+    }
+
+    /// Drops a reference to `id`, freeing the frame when the count reaches
+    /// zero. Returns the refcount after the decrement.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` has already been freed.
+    pub fn dec_ref(&mut self, id: FrameId) -> u32 {
+        let frame = self.frame_mut(id);
+        assert!(frame.refcount > 0, "refcount underflow on {id}");
+        frame.refcount -= 1;
+        let remaining = frame.refcount;
+        if remaining == 0 {
+            self.slots[id.index()] = Slot::Free {
+                next: self.free_head,
+            };
+            self.free_head = Some(id.index() as u32);
+            self.allocated -= 1;
+            self.total_frees += 1;
+        }
+        remaining
+    }
+
+    /// Overwrites the content of an *exclusively owned* frame.
+    ///
+    /// Copy-on-write is the responsibility of the mapping layer: a write to
+    /// a frame with `refcount > 1` must first break the sharing by
+    /// allocating a private copy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frame is shared (`refcount > 1`), which would be a
+    /// missed CoW break, or if `id` has been freed.
+    pub fn write(&mut self, id: FrameId, fingerprint: Fingerprint, now: Tick) {
+        self.total_writes += 1;
+        let frame = self.frame_mut(id);
+        assert_eq!(
+            frame.refcount, 1,
+            "write to shared frame {id} without CoW break"
+        );
+        frame.fingerprint = fingerprint;
+        frame.last_write = now;
+        frame.ksm_shared = false;
+    }
+
+    /// Number of live (allocated) frames.
+    #[must_use]
+    pub fn allocated_frames(&self) -> usize {
+        self.allocated
+    }
+
+    /// Cumulative number of allocations performed.
+    #[must_use]
+    pub fn total_allocs(&self) -> u64 {
+        self.total_allocs
+    }
+
+    /// Cumulative number of frames freed.
+    #[must_use]
+    pub fn total_frees(&self) -> u64 {
+        self.total_frees
+    }
+
+    /// Cumulative number of frame writes.
+    #[must_use]
+    pub fn total_writes(&self) -> u64 {
+        self.total_writes
+    }
+
+    /// Iterates over all live frames as `(id, &frame)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (FrameId, &Frame)> {
+        self.slots.iter().enumerate().filter_map(|(i, s)| match s {
+            Slot::Used(f) => Some((FrameId(i as u32), f)),
+            Slot::Free { .. } => None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fp(n: u64) -> Fingerprint {
+        Fingerprint::of(&[n])
+    }
+
+    #[test]
+    fn alloc_free_reuses_slots() {
+        let mut pm = PhysMemory::new();
+        let a = pm.alloc(fp(1), Tick(0));
+        let b = pm.alloc(fp(2), Tick(0));
+        pm.dec_ref(a);
+        let c = pm.alloc(fp(3), Tick(1));
+        // Slot of `a` is reused.
+        assert_eq!(c.index(), a.index());
+        assert_eq!(pm.allocated_frames(), 2);
+        assert_eq!(pm.fingerprint(b), fp(2));
+        assert_eq!(pm.fingerprint(c), fp(3));
+    }
+
+    #[test]
+    fn refcounting() {
+        let mut pm = PhysMemory::new();
+        let a = pm.alloc(fp(1), Tick(0));
+        pm.inc_ref(a);
+        pm.inc_ref(a);
+        assert_eq!(pm.refcount(a), 3);
+        assert_eq!(pm.dec_ref(a), 2);
+        assert_eq!(pm.dec_ref(a), 1);
+        assert_eq!(pm.allocated_frames(), 1);
+        assert_eq!(pm.dec_ref(a), 0);
+        assert_eq!(pm.allocated_frames(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "freed frame")]
+    fn use_after_free_panics() {
+        let mut pm = PhysMemory::new();
+        let a = pm.alloc(fp(1), Tick(0));
+        pm.dec_ref(a);
+        let _ = pm.fingerprint(a);
+    }
+
+    #[test]
+    fn write_updates_content_and_time() {
+        let mut pm = PhysMemory::new();
+        let a = pm.alloc(fp(1), Tick(0));
+        pm.set_ksm_shared(a, true);
+        pm.write(a, fp(2), Tick(5));
+        assert_eq!(pm.fingerprint(a), fp(2));
+        assert_eq!(pm.last_write(a), Tick(5));
+        // A write clears the stable-tree marker.
+        assert!(!pm.is_ksm_shared(a));
+    }
+
+    #[test]
+    #[should_panic(expected = "without CoW break")]
+    fn write_to_shared_frame_panics() {
+        let mut pm = PhysMemory::new();
+        let a = pm.alloc(fp(1), Tick(0));
+        pm.inc_ref(a);
+        pm.write(a, fp(2), Tick(1));
+    }
+
+    #[test]
+    fn iter_visits_live_frames_only() {
+        let mut pm = PhysMemory::new();
+        let a = pm.alloc(fp(1), Tick(0));
+        let _b = pm.alloc(fp(2), Tick(0));
+        pm.dec_ref(a);
+        let live: Vec<_> = pm.iter().map(|(id, _)| id).collect();
+        assert_eq!(live.len(), 1);
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let mut pm = PhysMemory::new();
+        let a = pm.alloc(fp(1), Tick(0));
+        pm.write(a, fp(2), Tick(1));
+        pm.dec_ref(a);
+        assert_eq!(pm.total_allocs(), 1);
+        assert_eq!(pm.total_writes(), 1);
+        assert_eq!(pm.total_frees(), 1);
+    }
+}

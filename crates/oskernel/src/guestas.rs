@@ -1,0 +1,233 @@
+//! Guest-side address spaces: guest virtual pages → guest physical frames.
+
+use paging::{MemTag, Vpn};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A guest process id.
+///
+/// The paper's owner-oriented accounting picks "the process that happened
+/// to be assigned the smallest process ID" as the owner of a shared frame,
+/// while noting "there is no relationship between the process IDs in
+/// different VMs" — so guests assign pids from a per-boot starting offset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Pid(pub u32);
+
+impl fmt::Display for Pid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pid{}", self.0)
+    }
+}
+
+const UNMAPPED: u64 = u64::MAX;
+
+/// One mapping in a guest page table: a contiguous, tagged virtual range
+/// whose pages fault in guest physical frames on first write.
+#[derive(Debug, Clone)]
+pub struct GuestRegion {
+    base: Vpn,
+    tag: MemTag,
+    gpfns: Vec<u64>,
+    mapped: usize,
+}
+
+impl GuestRegion {
+    fn new(base: Vpn, pages: usize, tag: MemTag) -> GuestRegion {
+        GuestRegion {
+            base,
+            tag,
+            gpfns: vec![UNMAPPED; pages],
+            mapped: 0,
+        }
+    }
+
+    /// First page of the region.
+    #[must_use]
+    pub fn base(&self) -> Vpn {
+        self.base
+    }
+
+    /// One past the last page.
+    #[must_use]
+    pub fn end(&self) -> Vpn {
+        Vpn(self.base.0 + self.gpfns.len() as u64)
+    }
+
+    /// Region length in pages.
+    #[must_use]
+    pub fn len_pages(&self) -> usize {
+        self.gpfns.len()
+    }
+
+    /// Semantic tag carried into the breakdown analysis.
+    #[must_use]
+    pub fn tag(&self) -> MemTag {
+        self.tag
+    }
+
+    /// Number of pages with a guest frame assigned.
+    #[must_use]
+    pub fn mapped_pages(&self) -> usize {
+        self.mapped
+    }
+
+    fn slot(&self, vpn: Vpn) -> Option<usize> {
+        (vpn >= self.base && vpn < self.end()).then(|| (vpn.0 - self.base.0) as usize)
+    }
+
+    pub(crate) fn gpfn_at(&self, vpn: Vpn) -> Option<u64> {
+        let raw = self.gpfns[self.slot(vpn)?];
+        (raw != UNMAPPED).then_some(raw)
+    }
+
+    pub(crate) fn set_gpfn(&mut self, vpn: Vpn, gpfn: Option<u64>) {
+        let idx = self.slot(vpn).expect("vpn outside guest region");
+        let old = self.gpfns[idx];
+        let new = gpfn.unwrap_or(UNMAPPED);
+        if old == UNMAPPED && new != UNMAPPED {
+            self.mapped += 1;
+        } else if old != UNMAPPED && new == UNMAPPED {
+            self.mapped -= 1;
+        }
+        self.gpfns[idx] = new;
+    }
+
+    /// Iterates `(guest vpn, gpfn)` for populated pages.
+    pub fn iter_mapped(&self) -> impl Iterator<Item = (Vpn, u64)> + '_ {
+        self.gpfns.iter().enumerate().filter_map(move |(i, &g)| {
+            (g != UNMAPPED).then_some((self.base.offset(i as u64), g))
+        })
+    }
+}
+
+/// A guest process's page table: tagged regions mapping guest virtual
+/// pages to guest physical frame numbers.
+///
+/// # Example
+///
+/// ```
+/// use oskernel::GuestAddressSpace;
+/// use paging::MemTag;
+///
+/// let mut gas = GuestAddressSpace::new("java");
+/// let base = gas.add_region(8, MemTag::JavaHeap);
+/// assert_eq!(gas.region_containing(base).unwrap().len_pages(), 8);
+/// ```
+#[derive(Debug)]
+pub struct GuestAddressSpace {
+    name: String,
+    regions: BTreeMap<u64, GuestRegion>,
+    next_vpn: u64,
+}
+
+impl GuestAddressSpace {
+    /// Creates an empty guest address space.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> GuestAddressSpace {
+        GuestAddressSpace {
+            name: name.into(),
+            regions: BTreeMap::new(),
+            next_vpn: 1,
+        }
+    }
+
+    /// Process image name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Reserves a tagged region of `pages` pages; pages fault in lazily.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pages` is zero.
+    pub fn add_region(&mut self, pages: usize, tag: MemTag) -> Vpn {
+        assert!(pages > 0, "zero-length region");
+        let base = Vpn(self.next_vpn);
+        self.next_vpn += pages as u64 + 1;
+        self.regions
+            .insert(base.0, GuestRegion::new(base, pages, tag));
+        base
+    }
+
+    /// Removes the region based at `base`, returning it so the caller can
+    /// release its guest frames.
+    pub fn remove_region(&mut self, base: Vpn) -> Option<GuestRegion> {
+        self.regions.remove(&base.0)
+    }
+
+    /// The region containing `vpn`, if any.
+    #[must_use]
+    pub fn region_containing(&self, vpn: Vpn) -> Option<&GuestRegion> {
+        let (_, r) = self.regions.range(..=vpn.0).next_back()?;
+        (vpn < r.end()).then_some(r)
+    }
+
+    pub(crate) fn region_containing_mut(&mut self, vpn: Vpn) -> Option<&mut GuestRegion> {
+        let (_, r) = self.regions.range_mut(..=vpn.0).next_back()?;
+        (vpn < r.end()).then_some(r)
+    }
+
+    /// Iterates regions in address order.
+    pub fn regions(&self) -> impl Iterator<Item = &GuestRegion> {
+        self.regions.values()
+    }
+
+    /// Total populated pages.
+    #[must_use]
+    pub fn mapped_pages(&self) -> usize {
+        self.regions.values().map(GuestRegion::mapped_pages).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regions_allocate_disjoint_ranges() {
+        let mut gas = GuestAddressSpace::new("p");
+        let a = gas.add_region(4, MemTag::JavaHeap);
+        let b = gas.add_region(4, MemTag::JavaStack);
+        assert!(b.0 > a.0 + 3);
+        assert_eq!(gas.regions().count(), 2);
+    }
+
+    #[test]
+    fn gpfn_assignment_tracks_mapped_count() {
+        let mut gas = GuestAddressSpace::new("p");
+        let base = gas.add_region(4, MemTag::JavaHeap);
+        let region = gas.region_containing_mut(base).unwrap();
+        region.set_gpfn(base, Some(7));
+        region.set_gpfn(base.offset(1), Some(8));
+        assert_eq!(region.mapped_pages(), 2);
+        region.set_gpfn(base, None);
+        assert_eq!(region.mapped_pages(), 1);
+        assert_eq!(region.gpfn_at(base), None);
+        assert_eq!(region.gpfn_at(base.offset(1)), Some(8));
+    }
+
+    #[test]
+    fn iter_mapped_reports_pairs() {
+        let mut gas = GuestAddressSpace::new("p");
+        let base = gas.add_region(3, MemTag::JavaHeap);
+        gas.region_containing_mut(base)
+            .unwrap()
+            .set_gpfn(base.offset(2), Some(42));
+        let pairs: Vec<_> = gas
+            .region_containing(base)
+            .unwrap()
+            .iter_mapped()
+            .collect();
+        assert_eq!(pairs, vec![(base.offset(2), 42)]);
+    }
+
+    #[test]
+    fn lookup_outside_regions_is_none() {
+        let mut gas = GuestAddressSpace::new("p");
+        let base = gas.add_region(2, MemTag::JavaHeap);
+        assert!(gas.region_containing(Vpn(0)).is_none());
+        assert!(gas.region_containing(base.offset(2)).is_none());
+    }
+}

@@ -1,0 +1,171 @@
+//! `/proc/<pid>/smaps`-style per-process reporting.
+//!
+//! §II.A of the paper contrasts its owner-oriented accounting with "the
+//! values of PSS in the `/proc/<pid>/smaps` files", which use the
+//! distribution-oriented rule (a page shared by *n* mappings charges each
+//! of them 1/*n*). This module produces the same view for a guest
+//! process, straight from the guest page tables and the host frame pool.
+
+use crate::{GuestOs, Pid};
+use paging::{HostMm, MemTag};
+
+/// One region row of a process's smaps report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SmapsEntry {
+    /// Region tag (smaps would show a pathname or `[heap]`).
+    pub tag: MemTag,
+    /// Region size in KiB (`Size:`).
+    pub size_kib: u64,
+    /// Resident pages in KiB (`Rss:`).
+    pub rss_kib: u64,
+    /// Proportional set size in KiB (`Pss:`).
+    pub pss_kib: f64,
+    /// KiB of resident pages whose frame is shared (`Shared_Clean +
+    /// Shared_Dirty`).
+    pub shared_kib: u64,
+}
+
+/// The full smaps report of one process.
+///
+/// # Example
+///
+/// ```
+/// use mem::{Fingerprint, Tick};
+/// use oskernel::{smaps_of, GuestOs, OsImage};
+/// use paging::{HostMm, MemTag};
+///
+/// let mut mm = HostMm::new();
+/// let space = mm.create_space("vm");
+/// let mut guest = GuestOs::boot(
+///     &mut mm, space, mem::mib_to_pages(16.0), &OsImage::tiny_test(), 1, Tick(0),
+/// );
+/// let pid = guest.spawn("java");
+/// let heap = guest.add_region(pid, 8, MemTag::JavaHeap);
+/// guest.write_page(&mut mm, pid, heap, Fingerprint::of(&[1]), Tick(1));
+/// let report = smaps_of(&mm, &guest, pid).unwrap();
+/// assert_eq!(report.len(), 1);
+/// assert_eq!(report[0].size_kib, 32);
+/// assert_eq!(report[0].rss_kib, 4);
+/// ```
+#[must_use]
+pub fn smaps_of(mm: &HostMm, guest: &GuestOs, pid: Pid) -> Option<Vec<SmapsEntry>> {
+    let gas = guest.context(pid)?;
+    let page_kib = (mem::PAGE_SIZE / 1024) as u64;
+    let mut entries = Vec::new();
+    for region in gas.regions() {
+        let mut rss = 0u64;
+        let mut pss = 0.0f64;
+        let mut shared = 0u64;
+        for (_, gpfn) in region.iter_mapped() {
+            let Some(frame) = mm.frame_at(guest.vm_space(), guest.host_vpn(gpfn)) else {
+                continue;
+            };
+            rss += 1;
+            let refs = mm.phys().refcount(frame).max(1);
+            pss += 1.0 / f64::from(refs);
+            if refs > 1 {
+                shared += 1;
+            }
+        }
+        entries.push(SmapsEntry {
+            tag: region.tag(),
+            size_kib: region.len_pages() as u64 * page_kib,
+            rss_kib: rss * page_kib,
+            pss_kib: pss * page_kib as f64,
+            shared_kib: shared * page_kib,
+        });
+    }
+    Some(entries)
+}
+
+/// Totals a smaps report the way `procps`' `pmap -X` does.
+#[must_use]
+pub fn smaps_totals(entries: &[SmapsEntry]) -> SmapsEntry {
+    SmapsEntry {
+        tag: MemTag::Other,
+        size_kib: entries.iter().map(|e| e.size_kib).sum(),
+        rss_kib: entries.iter().map(|e| e.rss_kib).sum(),
+        pss_kib: entries.iter().map(|e| e.pss_kib).sum(),
+        shared_kib: entries.iter().map(|e| e.shared_kib).sum(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::OsImage;
+    use mem::{Fingerprint, Tick};
+
+    fn setup() -> (HostMm, GuestOs) {
+        let mut mm = HostMm::new();
+        let space = mm.create_space("vm");
+        let guest = GuestOs::boot(
+            &mut mm,
+            space,
+            mem::mib_to_pages(16.0),
+            &OsImage::tiny_test(),
+            1,
+            Tick(0),
+        );
+        (mm, guest)
+    }
+
+    #[test]
+    fn rss_counts_only_touched_pages() {
+        let (mut mm, mut guest) = setup();
+        let pid = guest.spawn("p");
+        let r = guest.add_region(pid, 10, MemTag::JavaHeap);
+        for i in 0..3 {
+            guest.write_page(&mut mm, pid, r.offset(i), Fingerprint::of(&[i]), Tick(1));
+        }
+        let report = smaps_of(&mm, &guest, pid).unwrap();
+        assert_eq!(report[0].size_kib, 40);
+        assert_eq!(report[0].rss_kib, 12);
+        assert_eq!(report[0].shared_kib, 0);
+        assert!((report[0].pss_kib - 12.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pss_halves_for_two_way_shared_pages() {
+        let (mut mm, mut guest) = setup();
+        let p1 = guest.spawn("a");
+        let p2 = guest.spawn("b");
+        let r1 = guest.add_region(p1, 1, MemTag::JavaClassMetadata);
+        let r2 = guest.add_region(p2, 1, MemTag::JavaClassMetadata);
+        guest.write_page(&mut mm, p1, r1, Fingerprint::of(&[7]), Tick(1));
+        guest.write_page(&mut mm, p2, r2, Fingerprint::of(&[7]), Tick(1));
+        let f1 = mm
+            .frame_at(guest.vm_space(), guest.host_vpn(guest.translate(p1, r1).unwrap()))
+            .unwrap();
+        let f2 = mm
+            .frame_at(guest.vm_space(), guest.host_vpn(guest.translate(p2, r2).unwrap()))
+            .unwrap();
+        mm.merge_frames(f2, f1);
+        for pid in [p1, p2] {
+            let report = smaps_of(&mm, &guest, pid).unwrap();
+            assert_eq!(report[0].rss_kib, 4);
+            assert_eq!(report[0].shared_kib, 4);
+            assert!((report[0].pss_kib - 2.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn totals_sum_rows() {
+        let (mut mm, mut guest) = setup();
+        let pid = guest.spawn("p");
+        let r1 = guest.add_region(pid, 2, MemTag::JavaHeap);
+        let r2 = guest.add_region(pid, 3, MemTag::JavaStack);
+        guest.write_page(&mut mm, pid, r1, Fingerprint::of(&[1]), Tick(1));
+        guest.write_page(&mut mm, pid, r2, Fingerprint::of(&[2]), Tick(1));
+        let report = smaps_of(&mm, &guest, pid).unwrap();
+        let totals = smaps_totals(&report);
+        assert_eq!(totals.size_kib, 20);
+        assert_eq!(totals.rss_kib, 8);
+    }
+
+    #[test]
+    fn unknown_pid_is_none() {
+        let (mm, guest) = setup();
+        assert!(smaps_of(&mm, &guest, Pid(9999)).is_none());
+    }
+}

@@ -1,0 +1,119 @@
+//! Property tests: random guest-process lifecycles keep the guest frame
+//! allocator and the host frame pool consistent.
+
+use mem::{Fingerprint, Tick};
+use oskernel::{GuestOs, OsImage, Pid};
+use paging::{HostMm, MemTag, Vpn};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Spawn,
+    AddRegion { proc_idx: usize, pages: usize },
+    Write { proc_idx: usize, region_idx: usize, page: u64, content: u64 },
+    ReleasePage { proc_idx: usize, region_idx: usize, page: u64 },
+    FreeRegion { proc_idx: usize, region_idx: usize },
+    Kill { proc_idx: usize },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        2 => Just(Op::Spawn),
+        3 => (0..4usize, 1..16usize).prop_map(|(proc_idx, pages)| Op::AddRegion { proc_idx, pages }),
+        8 => (0..4usize, 0..4usize, 0..16u64, any::<u64>())
+            .prop_map(|(proc_idx, region_idx, page, content)| Op::Write { proc_idx, region_idx, page, content }),
+        2 => (0..4usize, 0..4usize, 0..16u64)
+            .prop_map(|(proc_idx, region_idx, page)| Op::ReleasePage { proc_idx, region_idx, page }),
+        1 => (0..4usize, 0..4usize).prop_map(|(proc_idx, region_idx)| Op::FreeRegion { proc_idx, region_idx }),
+        1 => (0..4usize,).prop_map(|(proc_idx,)| Op::Kill { proc_idx }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn random_lifecycles_stay_consistent(ops in prop::collection::vec(op_strategy(), 1..80)) {
+        let mut mm = HostMm::new();
+        let space = mm.create_space("vm");
+        let mut guest = GuestOs::boot(
+            &mut mm,
+            space,
+            mem::mib_to_pages(16.0),
+            &OsImage::tiny_test(),
+            1,
+            Tick(0),
+        );
+        let mut procs: Vec<(Pid, Vec<(Vpn, usize)>)> = Vec::new();
+        for (t, op) in ops.iter().enumerate() {
+            let now = Tick(t as u64 + 1);
+            match op.clone() {
+                Op::Spawn => {
+                    if procs.len() < 4 {
+                        let pid = guest.spawn(format!("p{}", procs.len()));
+                        procs.push((pid, Vec::new()));
+                    }
+                }
+                Op::AddRegion { proc_idx, pages } => {
+                    if let Some((pid, regions)) = procs.get_mut(proc_idx) {
+                        if regions.len() < 4 {
+                            let base = guest.add_region(*pid, pages, MemTag::JavaJvmWork);
+                            regions.push((base, pages));
+                        }
+                    }
+                }
+                Op::Write { proc_idx, region_idx, page, content } => {
+                    if let Some((pid, regions)) = procs.get(proc_idx) {
+                        if let Some(&(base, len)) = regions.get(region_idx) {
+                            let vpn = base.offset(page % len as u64);
+                            guest.write_page(&mut mm, *pid, vpn, Fingerprint::of(&[content]), now);
+                            prop_assert!(guest.translate(*pid, vpn).is_some());
+                        }
+                    }
+                }
+                Op::ReleasePage { proc_idx, region_idx, page } => {
+                    if let Some((pid, regions)) = procs.get(proc_idx) {
+                        if let Some(&(base, len)) = regions.get(region_idx) {
+                            let vpn = base.offset(page % len as u64);
+                            let was_mapped = guest.translate(*pid, vpn).is_some();
+                            let released = guest.release_page(&mut mm, *pid, vpn);
+                            prop_assert_eq!(released, was_mapped);
+                            prop_assert!(guest.translate(*pid, vpn).is_none());
+                        }
+                    }
+                }
+                Op::FreeRegion { proc_idx, region_idx } => {
+                    if let Some((pid, regions)) = procs.get_mut(proc_idx) {
+                        if region_idx < regions.len() {
+                            let (base, _) = regions.remove(region_idx);
+                            guest.free_region(&mut mm, *pid, base);
+                        }
+                    }
+                }
+                Op::Kill { proc_idx } => {
+                    if proc_idx < procs.len() {
+                        let (pid, _) = procs.remove(proc_idx);
+                        guest.kill(&mut mm, pid);
+                    }
+                }
+            }
+            // Guest frames handed out always match host-populated memslot
+            // pages plus nothing else.
+            prop_assert!(guest.gpfns_in_use() <= guest.guest_pages());
+        }
+        mm.assert_consistent();
+
+        // Final audit: every mapped guest page translates to a live host
+        // frame with matching bookkeeping.
+        let mut mapped = 0;
+        for (pid, gas) in guest.contexts() {
+            for region in gas.regions() {
+                for (vpn, _) in region.iter_mapped() {
+                    mapped += 1;
+                    prop_assert!(guest.fingerprint_at(&mm, pid, vpn).is_some());
+                }
+            }
+        }
+        prop_assert_eq!(mapped, guest.gpfns_in_use());
+    }
+}

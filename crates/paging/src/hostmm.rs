@@ -1,0 +1,403 @@
+//! The host kernel's memory manager.
+
+use crate::rmap::Rmap;
+use crate::{AddressSpace, AsId, Mapping, MemTag, Vpn};
+use mem::{Fingerprint, FrameId, PhysMemory, Tick};
+
+/// The host memory manager: frame pool + every address space + rmap.
+///
+/// All page-state transitions go through this type so the copy-on-write
+/// invariants hold globally:
+///
+/// * a frame's refcount equals the number of PTEs mapping it,
+/// * a write to a shared frame first breaks the sharing (allocates a
+///   private copy for the writer),
+/// * KSM merges repoint every PTE of a duplicate frame at the canonical
+///   frame and free the duplicate.
+///
+/// # Example
+///
+/// ```
+/// use mem::{Fingerprint, Tick};
+/// use paging::{HostMm, MemTag};
+///
+/// let mut mm = HostMm::new();
+/// let (a, b) = (mm.create_space("vm1"), mm.create_space("vm2"));
+/// let ra = mm.map_region(a, 1, MemTag::VmGuestMemory, true);
+/// let rb = mm.map_region(b, 1, MemTag::VmGuestMemory, true);
+/// let fp = Fingerprint::of(&[42]);
+/// mm.write_page(a, ra, fp, Tick(0));
+/// mm.write_page(b, rb, fp, Tick(0));
+///
+/// // Two identical pages in two VMs: KSM would merge them.
+/// let (fa, fb) = (mm.frame_at(a, ra).unwrap(), mm.frame_at(b, rb).unwrap());
+/// mm.merge_frames(fb, fa);
+/// assert_eq!(mm.frame_at(b, rb), Some(fa));
+/// assert_eq!(mm.phys().refcount(fa), 2);
+///
+/// // A write from vm2 breaks the sharing copy-on-write.
+/// mm.write_page(b, rb, Fingerprint::of(&[43]), Tick(1));
+/// assert_ne!(mm.frame_at(b, rb), Some(fa));
+/// assert_eq!(mm.phys().refcount(fa), 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct HostMm {
+    phys: PhysMemory,
+    spaces: Vec<AddressSpace>,
+    rmap: Rmap,
+    cow_breaks: u64,
+}
+
+impl HostMm {
+    /// Creates an empty memory manager.
+    #[must_use]
+    pub fn new() -> HostMm {
+        HostMm::default()
+    }
+
+    /// Registers a new (empty) address space.
+    pub fn create_space(&mut self, name: impl Into<String>) -> AsId {
+        let id = AsId(u32::try_from(self.spaces.len()).expect("too many address spaces"));
+        self.spaces.push(AddressSpace::new(id, name.into()));
+        id
+    }
+
+    /// Returns the address space registered as `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not returned by [`create_space`](Self::create_space).
+    #[must_use]
+    pub fn space(&self, id: AsId) -> &AddressSpace {
+        &self.spaces[id.index()]
+    }
+
+    /// All registered address spaces, in creation order.
+    #[must_use]
+    pub fn spaces(&self) -> &[AddressSpace] {
+        &self.spaces
+    }
+
+    /// The underlying frame pool.
+    #[must_use]
+    pub fn phys(&self) -> &PhysMemory {
+        &self.phys
+    }
+
+    /// Number of copy-on-write breaks performed so far.
+    #[must_use]
+    pub fn cow_breaks(&self) -> u64 {
+        self.cow_breaks
+    }
+
+    /// Reserves a region in `space` and returns its base page.
+    pub fn map_region(&mut self, space: AsId, pages: usize, tag: MemTag, mergeable: bool) -> Vpn {
+        self.spaces[space.index()].add_region(pages, tag, mergeable)
+    }
+
+    /// Reserves a region at a fixed base in `space`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range overlaps an existing region.
+    pub fn map_region_at(
+        &mut self,
+        space: AsId,
+        base: Vpn,
+        pages: usize,
+        tag: MemTag,
+        mergeable: bool,
+    ) {
+        self.spaces[space.index()].add_region_at(base, pages, tag, mergeable);
+    }
+
+    /// Writes `fingerprint` to the page at (`space`, `vpn`).
+    ///
+    /// Faults the page in if unpopulated, breaks copy-on-write sharing if
+    /// the backing frame is shared, otherwise overwrites in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vpn` lies outside every region of `space`.
+    pub fn write_page(&mut self, space: AsId, vpn: Vpn, fingerprint: Fingerprint, now: Tick) {
+        let mapping = Mapping { space, vpn };
+        let region = self.spaces[space.index()]
+            .region_containing_mut(vpn)
+            .unwrap_or_else(|| panic!("write to unmapped address {space}/{vpn}"));
+        match region.frame_at(vpn) {
+            None => {
+                let frame = self.phys.alloc(fingerprint, now);
+                region.set_frame(vpn, Some(frame));
+                self.rmap.add(frame, mapping);
+            }
+            Some(frame) => {
+                if self.phys.refcount(frame) > 1 {
+                    // CoW break: give the writer a private copy.
+                    self.cow_breaks += 1;
+                    let fresh = self.phys.alloc(fingerprint, now);
+                    region.set_frame(vpn, Some(fresh));
+                    self.rmap.remove(frame, mapping);
+                    self.rmap.add(fresh, mapping);
+                    self.phys.dec_ref(frame);
+                } else {
+                    self.phys.write(frame, fingerprint, now);
+                }
+            }
+        }
+    }
+
+    /// Returns the frame backing (`space`, `vpn`), or `None` if the page is
+    /// unpopulated or outside every region.
+    #[must_use]
+    pub fn frame_at(&self, space: AsId, vpn: Vpn) -> Option<FrameId> {
+        self.spaces[space.index()]
+            .region_containing(vpn)?
+            .frame_at(vpn)
+    }
+
+    /// Returns the content fingerprint at (`space`, `vpn`), or `None` if
+    /// unpopulated.
+    #[must_use]
+    pub fn fingerprint_at(&self, space: AsId, vpn: Vpn) -> Option<Fingerprint> {
+        self.frame_at(space, vpn).map(|f| self.phys.fingerprint(f))
+    }
+
+    /// Unpopulates one page, releasing its frame reference.
+    ///
+    /// Does nothing if the page was already unpopulated.
+    pub fn unmap_page(&mut self, space: AsId, vpn: Vpn) {
+        let region = match self.spaces[space.index()].region_containing_mut(vpn) {
+            Some(r) => r,
+            None => return,
+        };
+        if let Some(frame) = region.frame_at(vpn) {
+            region.set_frame(vpn, None);
+            self.rmap.remove(frame, Mapping { space, vpn });
+            self.phys.dec_ref(frame);
+        }
+    }
+
+    /// Removes an entire region, releasing all its frames.
+    pub fn unmap_region(&mut self, space: AsId, base: Vpn) {
+        let region = match self.spaces[space.index()].remove_region(base) {
+            Some(r) => r,
+            None => return,
+        };
+        for (vpn, frame) in region.iter_mapped() {
+            self.rmap.remove(frame, Mapping { space, vpn });
+            self.phys.dec_ref(frame);
+        }
+    }
+
+    /// Merges `dup` into `canonical`: every PTE pointing at `dup` is
+    /// repointed at `canonical`, `canonical` is marked KSM-shared, and
+    /// `dup` is freed. This is the page-table half of a KSM merge; the
+    /// scanner decides *which* frames to merge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two frames' fingerprints differ (KSM verifies with a
+    /// full memcmp before merging) or if `dup == canonical`.
+    pub fn merge_frames(&mut self, dup: FrameId, canonical: FrameId) {
+        assert_ne!(dup, canonical, "cannot merge a frame into itself");
+        assert_eq!(
+            self.phys.fingerprint(dup),
+            self.phys.fingerprint(canonical),
+            "KSM memcmp failed: contents differ"
+        );
+        let users = self.rmap.take_users(dup);
+        assert!(!users.is_empty(), "merging a frame with no users");
+        for mapping in users {
+            let region = self.spaces[mapping.space.index()]
+                .region_containing_mut(mapping.vpn)
+                .expect("rmap points outside regions");
+            debug_assert_eq!(region.frame_at(mapping.vpn), Some(dup));
+            region.set_frame(mapping.vpn, Some(canonical));
+            self.phys.inc_ref(canonical);
+            self.rmap.add(canonical, mapping);
+            self.phys.dec_ref(dup);
+        }
+        self.phys.set_ksm_shared(canonical, true);
+    }
+
+    /// Marks `frame` as a KSM stable-tree node without merging anything
+    /// into it yet (used when a saturated chain is split and a fresh
+    /// canonical page is promoted).
+    pub fn mark_ksm_stable(&mut self, frame: FrameId) {
+        self.phys.set_ksm_shared(frame, true);
+    }
+
+    /// The PTE locations currently mapping `frame`.
+    #[must_use]
+    pub fn mappers_of(&self, frame: FrameId) -> &[Mapping] {
+        self.rmap.users(frame)
+    }
+
+    /// Checks the global CoW invariant: every frame's refcount equals its
+    /// rmap entry count, and the total rmap size equals the total number of
+    /// populated PTEs. Intended for tests; O(total pages).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an invariant is violated.
+    pub fn assert_consistent(&self) {
+        let mut pte_count = 0usize;
+        for space in &self.spaces {
+            for region in space.regions() {
+                for (vpn, frame) in region.iter_mapped() {
+                    pte_count += 1;
+                    let users = self.rmap.users(frame);
+                    assert!(
+                        users.contains(&Mapping {
+                            space: space.id(),
+                            vpn
+                        }),
+                        "PTE {}/{vpn} missing from rmap of {frame}",
+                        space.id()
+                    );
+                }
+            }
+        }
+        assert_eq!(pte_count, self.rmap.total_entries(), "rmap size mismatch");
+        for (frame_id, frame) in self.phys.iter() {
+            assert_eq!(
+                frame.refcount() as usize,
+                self.rmap.users(frame_id).len(),
+                "refcount mismatch on {frame_id}"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fp(n: u64) -> Fingerprint {
+        Fingerprint::of(&[n])
+    }
+
+    fn setup_two_identical() -> (HostMm, AsId, Vpn, AsId, Vpn) {
+        let mut mm = HostMm::new();
+        let a = mm.create_space("a");
+        let b = mm.create_space("b");
+        let ra = mm.map_region(a, 4, MemTag::VmGuestMemory, true);
+        let rb = mm.map_region(b, 4, MemTag::VmGuestMemory, true);
+        mm.write_page(a, ra, fp(7), Tick(0));
+        mm.write_page(b, rb, fp(7), Tick(0));
+        (mm, a, ra, b, rb)
+    }
+
+    #[test]
+    fn fault_in_on_first_write() {
+        let mut mm = HostMm::new();
+        let s = mm.create_space("s");
+        let base = mm.map_region(s, 2, MemTag::JavaHeap, true);
+        assert_eq!(mm.frame_at(s, base), None);
+        mm.write_page(s, base, fp(1), Tick(0));
+        assert!(mm.frame_at(s, base).is_some());
+        assert_eq!(mm.phys().allocated_frames(), 1);
+        mm.assert_consistent();
+    }
+
+    #[test]
+    fn overwrite_in_place_when_exclusive() {
+        let mut mm = HostMm::new();
+        let s = mm.create_space("s");
+        let base = mm.map_region(s, 1, MemTag::JavaHeap, true);
+        mm.write_page(s, base, fp(1), Tick(0));
+        let frame = mm.frame_at(s, base).unwrap();
+        mm.write_page(s, base, fp(2), Tick(1));
+        assert_eq!(mm.frame_at(s, base), Some(frame));
+        assert_eq!(mm.fingerprint_at(s, base), Some(fp(2)));
+        assert_eq!(mm.cow_breaks(), 0);
+    }
+
+    #[test]
+    fn merge_then_cow_break() {
+        let (mut mm, a, ra, b, rb) = setup_two_identical();
+        let fa = mm.frame_at(a, ra).unwrap();
+        let fb = mm.frame_at(b, rb).unwrap();
+        mm.merge_frames(fb, fa);
+        assert_eq!(mm.phys().allocated_frames(), 1);
+        assert_eq!(mm.phys().refcount(fa), 2);
+        assert!(mm.phys().is_ksm_shared(fa));
+        mm.assert_consistent();
+
+        mm.write_page(b, rb, fp(8), Tick(2));
+        assert_eq!(mm.cow_breaks(), 1);
+        assert_eq!(mm.phys().refcount(fa), 1);
+        assert_eq!(mm.fingerprint_at(a, ra), Some(fp(7)));
+        assert_eq!(mm.fingerprint_at(b, rb), Some(fp(8)));
+        mm.assert_consistent();
+    }
+
+    #[test]
+    #[should_panic(expected = "memcmp failed")]
+    fn merge_rejects_different_content() {
+        let (mut mm, a, ra, b, rb) = setup_two_identical();
+        mm.write_page(b, rb, fp(9), Tick(1));
+        let fa = mm.frame_at(a, ra).unwrap();
+        let fb = mm.frame_at(b, rb).unwrap();
+        mm.merge_frames(fb, fa);
+    }
+
+    #[test]
+    fn merge_three_way() {
+        let mut mm = HostMm::new();
+        let mut pages = Vec::new();
+        for name in ["a", "b", "c"] {
+            let s = mm.create_space(name);
+            let r = mm.map_region(s, 1, MemTag::VmGuestMemory, true);
+            mm.write_page(s, r, fp(5), Tick(0));
+            pages.push((s, r));
+        }
+        let canonical = mm.frame_at(pages[0].0, pages[0].1).unwrap();
+        for &(s, r) in &pages[1..] {
+            let dup = mm.frame_at(s, r).unwrap();
+            mm.merge_frames(dup, canonical);
+        }
+        assert_eq!(mm.phys().refcount(canonical), 3);
+        assert_eq!(mm.phys().allocated_frames(), 1);
+        assert_eq!(mm.mappers_of(canonical).len(), 3);
+        mm.assert_consistent();
+    }
+
+    #[test]
+    fn unmap_page_releases_frame() {
+        let mut mm = HostMm::new();
+        let s = mm.create_space("s");
+        let base = mm.map_region(s, 2, MemTag::JavaHeap, true);
+        mm.write_page(s, base, fp(1), Tick(0));
+        mm.unmap_page(s, base);
+        assert_eq!(mm.phys().allocated_frames(), 0);
+        assert_eq!(mm.frame_at(s, base), None);
+        // Unmapping again is a no-op.
+        mm.unmap_page(s, base);
+        mm.assert_consistent();
+    }
+
+    #[test]
+    fn unmap_region_releases_shared_frames_correctly() {
+        let (mut mm, a, ra, b, rb) = setup_two_identical();
+        let fa = mm.frame_at(a, ra).unwrap();
+        let fb = mm.frame_at(b, rb).unwrap();
+        mm.merge_frames(fb, fa);
+        mm.unmap_region(b, rb);
+        assert_eq!(mm.phys().refcount(fa), 1);
+        assert_eq!(mm.fingerprint_at(a, ra), Some(fp(7)));
+        mm.assert_consistent();
+    }
+
+    #[test]
+    fn write_after_unmap_refaults() {
+        let mut mm = HostMm::new();
+        let s = mm.create_space("s");
+        let base = mm.map_region(s, 1, MemTag::JavaHeap, true);
+        mm.write_page(s, base, fp(1), Tick(0));
+        mm.unmap_page(s, base);
+        mm.write_page(s, base, fp(2), Tick(1));
+        assert_eq!(mm.fingerprint_at(s, base), Some(fp(2)));
+        mm.assert_consistent();
+    }
+}

@@ -1,0 +1,364 @@
+//! A glibc-style malloc arena model.
+//!
+//! §III.B of the paper explains why native programs share better than
+//! JVMs: "a memory area allocated by `mmap()` is always aligned at a page
+//! boundary. The address of a memory area larger than 128 Kbytes also
+//! starts at a fixed offset from a page boundary if it is allocated by
+//! `malloc()` in the GNU libc library" — while small allocations are
+//! carved from arena blocks at execution-dependent offsets.
+//!
+//! [`MallocArena`] reproduces both behaviours over the fingerprinted page
+//! model:
+//!
+//! * allocations of `mmap_threshold` bytes or more get their own
+//!   page-aligned region, so equal *contents* produce equal *pages*
+//!   across processes;
+//! * smaller allocations pack into arena blocks in call order, so page
+//!   contents depend on the allocation history (the paper's layout
+//!   problem), and the untouched block tail stays all-zero — one of the
+//!   three residual sharing sources of §III.A.
+//!
+//! The arena is decoupled from any particular mapping layer through the
+//! [`PageSink`] trait; the `jvm` crate sinks into a guest process, tests
+//! sink into a plain `HostMm` space.
+
+use crate::Vpn;
+use mem::{Fingerprint, FingerprintBuilder, Tick, PAGE_SIZE};
+
+/// Where the arena materialises its pages.
+pub trait PageSink {
+    /// Reserves a fresh region of `pages` pages and returns its base.
+    fn grow(&mut self, pages: usize) -> Vpn;
+    /// Writes one page.
+    fn write(&mut self, vpn: Vpn, fp: Fingerprint, now: Tick);
+}
+
+/// glibc's default `M_MMAP_THRESHOLD`.
+pub const MMAP_THRESHOLD: usize = 128 * 1024;
+
+#[derive(Debug)]
+struct ArenaBlock {
+    base: Vpn,
+    pages: usize,
+    /// Byte cursor within the block.
+    cursor: usize,
+    /// Per-page accumulating content (chunk headers + payloads).
+    builders: Vec<Option<FingerprintBuilder>>,
+}
+
+/// A chunked allocator over fingerprinted pages.
+///
+/// # Example
+///
+/// ```
+/// use mem::{Fingerprint, Tick};
+/// use paging::{HostMm, MallocArena, MemTag, PageSink, Vpn};
+///
+/// struct Sink<'a>(&'a mut HostMm, paging::AsId);
+/// impl PageSink for Sink<'_> {
+///     fn grow(&mut self, pages: usize) -> Vpn {
+///         self.0.map_region(self.1, pages, MemTag::JavaJvmWork, true)
+///     }
+///     fn write(&mut self, vpn: Vpn, fp: Fingerprint, now: Tick) {
+///         self.0.write_page(self.1, vpn, fp, now);
+///     }
+/// }
+///
+/// let mut mm = HostMm::new();
+/// let space = mm.create_space("p");
+/// let mut sink = Sink(&mut mm, space);
+/// let mut arena = MallocArena::new(64); // 64-page (256 KiB) blocks
+/// arena.malloc(&mut sink, 0xa110c, 3000, Tick(0));
+/// let big = arena.malloc(&mut sink, 0xb16, 200 * 1024, Tick(0)); // mmap'd
+/// assert_eq!(big.offset_in_page, 0, "large allocations are page-aligned");
+/// assert!(arena.zero_tail_pages() > 0);
+/// ```
+#[derive(Debug)]
+pub struct MallocArena {
+    block_pages: usize,
+    mmap_threshold: usize,
+    blocks: Vec<ArenaBlock>,
+    allocations: u64,
+    mmapped: u64,
+}
+
+/// Result of one allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Allocation {
+    /// First page of the allocation.
+    pub base: Vpn,
+    /// Byte offset of the allocation within its first page (always 0 for
+    /// mmap'd allocations — the §III.B alignment property).
+    pub offset_in_page: usize,
+    /// Length in bytes.
+    pub len: usize,
+}
+
+impl MallocArena {
+    /// Creates an arena growing in blocks of `block_pages` pages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_pages` is zero.
+    #[must_use]
+    pub fn new(block_pages: usize) -> MallocArena {
+        assert!(block_pages > 0, "arena blocks need at least one page");
+        MallocArena {
+            block_pages,
+            mmap_threshold: MMAP_THRESHOLD,
+            blocks: Vec::new(),
+            allocations: 0,
+            mmapped: 0,
+        }
+    }
+
+    /// Overrides the mmap threshold (`mallopt(M_MMAP_THRESHOLD)`).
+    #[must_use]
+    pub fn with_mmap_threshold(mut self, bytes: usize) -> MallocArena {
+        self.mmap_threshold = bytes;
+        self
+    }
+
+    /// Allocates `len` bytes of content identified by `token`, writing
+    /// the affected pages through `sink`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is zero or a small allocation exceeds the block
+    /// size.
+    pub fn malloc<S: PageSink>(
+        &mut self,
+        sink: &mut S,
+        token: u64,
+        len: usize,
+        now: Tick,
+    ) -> Allocation {
+        assert!(len > 0, "zero-length allocation");
+        self.allocations += 1;
+        if len >= self.mmap_threshold {
+            // Dedicated page-aligned mapping: content at offset zero, so
+            // identical tokens give identical pages in every process.
+            self.mmapped += 1;
+            let pages = len.div_ceil(PAGE_SIZE);
+            let base = sink.grow(pages);
+            for page in 0..pages {
+                let mut b = FingerprintBuilder::new();
+                b.push(token);
+                b.push((page * PAGE_SIZE) as u64); // offset into content
+                b.push(0); // in-page offset: always zero for mmap
+                sink.write(base.offset(page as u64), b.finish(), now);
+            }
+            return Allocation {
+                base,
+                offset_in_page: 0,
+                len,
+            };
+        }
+        // Chunk header (size/flags) precedes the payload, as in glibc.
+        let header = 16;
+        let need = len + header;
+        assert!(
+            need <= self.block_pages * PAGE_SIZE,
+            "small allocation exceeds the arena block size"
+        );
+        let fits = self
+            .blocks
+            .last()
+            .is_some_and(|b| b.cursor + need <= b.pages * PAGE_SIZE);
+        if !fits {
+            // Grow: a fresh zeroed block. The tail beyond use is the
+            // "unused part of the memory blocks for malloc arenas".
+            let base = sink.grow(self.block_pages);
+            for page in 0..self.block_pages {
+                sink.write(base.offset(page as u64), Fingerprint::ZERO, now);
+            }
+            self.blocks.push(ArenaBlock {
+                base,
+                pages: self.block_pages,
+                cursor: 0,
+                builders: vec![None; self.block_pages],
+            });
+        }
+        let block = self.blocks.last_mut().expect("block just ensured");
+        let start = block.cursor + header;
+        block.cursor += need;
+        let end = block.cursor;
+        let (first_page, last_page) = (start / PAGE_SIZE, (end - 1) / PAGE_SIZE);
+        for page in first_page..=last_page {
+            let builder = block.builders[page].get_or_insert_with(FingerprintBuilder::new);
+            builder.push(token);
+            builder.push(start.saturating_sub(page * PAGE_SIZE) as u64);
+            builder.push((page * PAGE_SIZE).saturating_sub(start) as u64);
+            let fp = builder.clone().finish();
+            sink.write(block.base.offset(page as u64), fp, now);
+        }
+        Allocation {
+            base: block.base.offset(first_page as u64),
+            offset_in_page: start % PAGE_SIZE,
+            len,
+        }
+    }
+
+    /// Pages currently still all-zero at the tails of arena blocks.
+    #[must_use]
+    pub fn zero_tail_pages(&self) -> usize {
+        self.blocks
+            .iter()
+            .map(|b| b.pages - b.cursor.div_ceil(PAGE_SIZE))
+            .sum()
+    }
+
+    /// Total allocations served.
+    #[must_use]
+    pub fn allocations(&self) -> u64 {
+        self.allocations
+    }
+
+    /// Allocations that went to dedicated mmap regions.
+    #[must_use]
+    pub fn mmapped(&self) -> u64 {
+        self.mmapped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AsId, HostMm, MemTag};
+
+    struct Sink<'a> {
+        mm: &'a mut HostMm,
+        space: AsId,
+    }
+
+    impl PageSink for Sink<'_> {
+        fn grow(&mut self, pages: usize) -> Vpn {
+            self.mm.map_region(self.space, pages, MemTag::JavaJvmWork, true)
+        }
+        fn write(&mut self, vpn: Vpn, fp: Fingerprint, now: Tick) {
+            self.mm.write_page(self.space, vpn, fp, now);
+        }
+    }
+
+    fn setup() -> (HostMm, AsId) {
+        let mut mm = HostMm::new();
+        let space = mm.create_space("p");
+        (mm, space)
+    }
+
+    #[test]
+    fn large_allocations_are_page_aligned_and_content_identical() {
+        let (mut mm, s1) = setup();
+        let s2 = mm.create_space("q");
+        let mut arena_a = MallocArena::new(32);
+        let mut arena_b = MallocArena::new(32);
+        // Different small-allocation histories first.
+        {
+            let mut sink = Sink { mm: &mut mm, space: s1 };
+            arena_a.malloc(&mut sink, 1, 5000, Tick(0));
+            arena_a.malloc(&mut sink, 2, 300, Tick(0));
+        }
+        {
+            let mut sink = Sink { mm: &mut mm, space: s2 };
+            arena_b.malloc(&mut sink, 3, 99, Tick(0));
+        }
+        // The same large allocation in both processes.
+        let a = {
+            let mut sink = Sink { mm: &mut mm, space: s1 };
+            arena_a.malloc(&mut sink, 77, 256 * 1024, Tick(0))
+        };
+        let b = {
+            let mut sink = Sink { mm: &mut mm, space: s2 };
+            arena_b.malloc(&mut sink, 77, 256 * 1024, Tick(0))
+        };
+        assert_eq!(a.offset_in_page, 0);
+        assert_eq!(b.offset_in_page, 0);
+        let pages = (256 * 1024) / PAGE_SIZE;
+        for p in 0..pages as u64 {
+            assert_eq!(
+                mm.fingerprint_at(s1, a.base.offset(p)),
+                mm.fingerprint_at(s2, b.base.offset(p)),
+                "page {p} of identical mmap'd content must match"
+            );
+        }
+    }
+
+    #[test]
+    fn small_allocations_depend_on_history() {
+        let (mut mm, s1) = setup();
+        let s2 = mm.create_space("q");
+        let mut arena_a = MallocArena::new(8);
+        let mut arena_b = MallocArena::new(8);
+        let a = {
+            let mut sink = Sink { mm: &mut mm, space: s1 };
+            arena_a.malloc(&mut sink, 10, 100, Tick(0));
+            arena_a.malloc(&mut sink, 77, 2000, Tick(0))
+        };
+        let b = {
+            // Same token, different predecessor → different offset.
+            let mut sink = Sink { mm: &mut mm, space: s2 };
+            arena_b.malloc(&mut sink, 11, 700, Tick(0));
+            arena_b.malloc(&mut sink, 77, 2000, Tick(0))
+        };
+        assert_ne!(a.offset_in_page, b.offset_in_page);
+        assert_ne!(
+            mm.fingerprint_at(s1, a.base),
+            mm.fingerprint_at(s2, b.base),
+            "shifted content must not be page-identical"
+        );
+    }
+
+    #[test]
+    fn block_tails_stay_zero() {
+        let (mut mm, s1) = setup();
+        let mut arena = MallocArena::new(16);
+        let alloc = {
+            let mut sink = Sink { mm: &mut mm, space: s1 };
+            arena.malloc(&mut sink, 1, 6000, Tick(0))
+        };
+        // 6000 + header spans 2 pages of a 16-page block: 14 zero pages.
+        assert_eq!(arena.zero_tail_pages(), 14);
+        let tail = alloc.base.offset(2);
+        assert_eq!(mm.fingerprint_at(s1, tail), Some(Fingerprint::ZERO));
+        mm.assert_consistent();
+    }
+
+    #[test]
+    fn arena_grows_new_blocks_when_full() {
+        let (mut mm, s1) = setup();
+        let mut arena = MallocArena::new(2);
+        let mut sink = Sink { mm: &mut mm, space: s1 };
+        let first = arena.malloc(&mut sink, 1, 6000, Tick(0));
+        let second = arena.malloc(&mut sink, 2, 6000, Tick(0));
+        assert_ne!(first.base, second.base);
+        assert_eq!(arena.allocations(), 2);
+        assert_eq!(arena.mmapped(), 0);
+    }
+
+    #[test]
+    fn threshold_is_configurable() {
+        let (mut mm, s1) = setup();
+        let mut arena = MallocArena::new(8).with_mmap_threshold(1024);
+        let mut sink = Sink { mm: &mut mm, space: s1 };
+        let a = arena.malloc(&mut sink, 1, 2048, Tick(0));
+        assert_eq!(a.offset_in_page, 0);
+        assert_eq!(arena.mmapped(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-length")]
+    fn zero_len_rejected() {
+        let (mut mm, s1) = setup();
+        let mut sink = Sink { mm: &mut mm, space: s1 };
+        MallocArena::new(4).malloc(&mut sink, 1, 0, Tick(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the arena block size")]
+    fn oversized_small_alloc_rejected() {
+        let (mut mm, s1) = setup();
+        let mut sink = Sink { mm: &mut mm, space: s1 };
+        // Below the mmap threshold but above the block capacity.
+        MallocArena::new(4).malloc(&mut sink, 1, 100 * 1024, Tick(0));
+    }
+}

@@ -1,0 +1,119 @@
+//! Reverse mappings from frames to the page-table entries using them.
+
+use crate::{AsId, Vpn};
+use mem::FrameId;
+use std::collections::HashMap;
+
+/// One page-table entry location: which address space maps the frame, at
+/// which virtual page.
+///
+/// # Example
+///
+/// ```
+/// // Mappings are produced by HostMm; they identify a PTE location.
+/// use paging::{HostMm, MemTag, Mapping};
+/// use mem::{Fingerprint, Tick};
+///
+/// let mut mm = HostMm::new();
+/// let space = mm.create_space("p");
+/// let base = mm.map_region(space, 1, MemTag::Other, true);
+/// mm.write_page(space, base, Fingerprint::of(&[1]), Tick(0));
+/// let frame = mm.frame_at(space, base).unwrap();
+/// let users: Vec<Mapping> = mm.mappers_of(frame).to_vec();
+/// assert_eq!(users, vec![Mapping { space, vpn: base }]);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Mapping {
+    /// The address space holding the PTE.
+    pub space: AsId,
+    /// The virtual page of the PTE.
+    pub vpn: Vpn,
+}
+
+/// Reverse map: frame → every PTE pointing at it.
+///
+/// Most frames have exactly one user; KSM stable-tree frames accumulate one
+/// entry per merged duplicate, potentially across many VM processes.
+#[derive(Debug, Default)]
+pub(crate) struct Rmap {
+    entries: HashMap<FrameId, Vec<Mapping>>,
+}
+
+impl Rmap {
+    pub(crate) fn add(&mut self, frame: FrameId, mapping: Mapping) {
+        self.entries.entry(frame).or_default().push(mapping);
+    }
+
+    pub(crate) fn remove(&mut self, frame: FrameId, mapping: Mapping) {
+        let users = self
+            .entries
+            .get_mut(&frame)
+            .unwrap_or_else(|| panic!("rmap remove: {frame} has no users"));
+        let idx = users
+            .iter()
+            .position(|m| *m == mapping)
+            .unwrap_or_else(|| panic!("rmap remove: mapping not found for {frame}"));
+        users.swap_remove(idx);
+        if users.is_empty() {
+            self.entries.remove(&frame);
+        }
+    }
+
+    pub(crate) fn users(&self, frame: FrameId) -> &[Mapping] {
+        self.entries.get(&frame).map_or(&[], Vec::as_slice)
+    }
+
+    /// Removes and returns all users of `frame` (used when merging the
+    /// frame away).
+    pub(crate) fn take_users(&mut self, frame: FrameId) -> Vec<Mapping> {
+        self.entries.remove(&frame).unwrap_or_default()
+    }
+
+    pub(crate) fn total_entries(&self) -> usize {
+        self.entries.values().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(space: u32, vpn: u64) -> Mapping {
+        Mapping {
+            space: AsId(space),
+            vpn: Vpn(vpn),
+        }
+    }
+
+    #[test]
+    fn add_remove_roundtrip() {
+        let mut rmap = Rmap::default();
+        let f = FrameId::from_index(3);
+        rmap.add(f, m(0, 1));
+        rmap.add(f, m(1, 9));
+        assert_eq!(rmap.users(f).len(), 2);
+        rmap.remove(f, m(0, 1));
+        assert_eq!(rmap.users(f), &[m(1, 9)]);
+        rmap.remove(f, m(1, 9));
+        assert!(rmap.users(f).is_empty());
+        assert_eq!(rmap.total_entries(), 0);
+    }
+
+    #[test]
+    fn take_users_drains() {
+        let mut rmap = Rmap::default();
+        let f = FrameId::from_index(0);
+        rmap.add(f, m(0, 1));
+        rmap.add(f, m(0, 2));
+        let users = rmap.take_users(f);
+        assert_eq!(users.len(), 2);
+        assert!(rmap.users(f).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "no users")]
+    fn remove_unknown_frame_panics() {
+        let mut rmap = Rmap::default();
+        rmap.remove(FrameId::from_index(9), m(0, 0));
+    }
+}

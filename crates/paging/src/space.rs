@@ -1,0 +1,340 @@
+//! Per-process virtual address spaces.
+
+use crate::MemTag;
+use mem::FrameId;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A virtual page number within one address space.
+///
+/// # Example
+///
+/// ```
+/// use paging::Vpn;
+///
+/// let v = Vpn(10).offset(5);
+/// assert_eq!(v, Vpn(15));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Vpn(pub u64);
+
+impl Vpn {
+    /// Returns the page `delta` pages above this one.
+    #[must_use]
+    pub fn offset(self, delta: u64) -> Vpn {
+        Vpn(self.0 + delta)
+    }
+}
+
+impl fmt::Display for Vpn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "vpn{:#x}", self.0)
+    }
+}
+
+/// Identifier of an address space registered with
+/// [`HostMm`](crate::HostMm).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct AsId(pub(crate) u32);
+
+impl AsId {
+    /// Returns the raw index of the address space.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for AsId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "as{}", self.0)
+    }
+}
+
+const UNMAPPED: u32 = u32::MAX;
+
+/// A contiguous page-aligned mapping within an address space.
+///
+/// Regions start fully unpopulated (demand paging): a page acquires a frame
+/// on its first write fault. This mirrors anonymous `mmap()` on Linux, which
+/// the paper notes always returns page-aligned memory — the property that
+/// makes cross-VM page identity possible at all.
+#[derive(Debug, Clone)]
+pub struct Region {
+    base: Vpn,
+    tag: MemTag,
+    mergeable: bool,
+    // Frame per page; u32::MAX is the unmapped sentinel (kept compact: at
+    // paper scale there are millions of page slots).
+    pages: Vec<u32>,
+    mapped: usize,
+}
+
+impl Region {
+    fn new(base: Vpn, pages: usize, tag: MemTag, mergeable: bool) -> Region {
+        Region {
+            base,
+            tag,
+            mergeable,
+            pages: vec![UNMAPPED; pages],
+            mapped: 0,
+        }
+    }
+
+    /// First page of the region.
+    #[must_use]
+    pub fn base(&self) -> Vpn {
+        self.base
+    }
+
+    /// Length of the region in pages.
+    #[must_use]
+    pub fn len_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Semantic tag of the region.
+    #[must_use]
+    pub fn tag(&self) -> MemTag {
+        self.tag
+    }
+
+    /// `true` if the region is advertised to the KSM scanner
+    /// (`madvise(MADV_MERGEABLE)` in real KVM).
+    #[must_use]
+    pub fn mergeable(&self) -> bool {
+        self.mergeable
+    }
+
+    /// Number of currently populated pages.
+    #[must_use]
+    pub fn mapped_pages(&self) -> usize {
+        self.mapped
+    }
+
+    /// One past the last page of the region.
+    #[must_use]
+    pub fn end(&self) -> Vpn {
+        Vpn(self.base.0 + self.pages.len() as u64)
+    }
+
+    fn slot_index(&self, vpn: Vpn) -> Option<usize> {
+        if vpn >= self.base && vpn < self.end() {
+            Some((vpn.0 - self.base.0) as usize)
+        } else {
+            None
+        }
+    }
+
+    pub(crate) fn frame_at(&self, vpn: Vpn) -> Option<FrameId> {
+        let idx = self.slot_index(vpn)?;
+        let raw = self.pages[idx];
+        (raw != UNMAPPED).then(|| FrameId::from_raw(raw))
+    }
+
+    pub(crate) fn set_frame(&mut self, vpn: Vpn, frame: Option<FrameId>) {
+        let idx = self.slot_index(vpn).expect("vpn outside region");
+        let old = self.pages[idx];
+        let new = frame.map_or(UNMAPPED, FrameId::into_raw);
+        if old == UNMAPPED && new != UNMAPPED {
+            self.mapped += 1;
+        } else if old != UNMAPPED && new == UNMAPPED {
+            self.mapped -= 1;
+        }
+        self.pages[idx] = new;
+    }
+
+    /// Iterates over populated pages as `(vpn, frame)` pairs.
+    pub fn iter_mapped(&self) -> impl Iterator<Item = (Vpn, FrameId)> + '_ {
+        self.pages.iter().enumerate().filter(|&(_i, &raw)| raw != UNMAPPED).map(|(i, &raw)| (self.base.offset(i as u64), FrameId::from_raw(raw)))
+    }
+}
+
+// Conversion helpers kept crate-internal so FrameId stays opaque outside the
+// mem crate's constructor discipline.
+trait FrameIdRaw {
+    fn from_raw(raw: u32) -> FrameId;
+    fn into_raw(self) -> u32;
+}
+
+impl FrameIdRaw for FrameId {
+    fn from_raw(raw: u32) -> FrameId {
+        FrameId::from_index(raw as usize)
+    }
+    fn into_raw(self) -> u32 {
+        self.index() as u32
+    }
+}
+
+/// A process's virtual address space: an ordered set of non-overlapping
+/// [`Region`]s plus a bump allocator for placing new ones.
+///
+/// # Example
+///
+/// ```
+/// use paging::{AddressSpace, MemTag};
+///
+/// let mut space = AddressSpace::new_standalone("demo");
+/// let base = space.add_region(4, MemTag::JavaHeap, true);
+/// let r = space.region_containing(base).unwrap();
+/// assert_eq!(r.len_pages(), 4);
+/// assert_eq!(r.mapped_pages(), 0);
+/// ```
+#[derive(Debug)]
+pub struct AddressSpace {
+    id: AsId,
+    name: String,
+    regions: BTreeMap<u64, Region>,
+    next_vpn: u64,
+}
+
+impl AddressSpace {
+    pub(crate) fn new(id: AsId, name: String) -> AddressSpace {
+        AddressSpace {
+            id,
+            name,
+            regions: BTreeMap::new(),
+            // Leave page zero unmapped, like every real process image.
+            next_vpn: 1,
+        }
+    }
+
+    /// Creates a free-standing address space not registered with a
+    /// [`HostMm`](crate::HostMm). Useful for guest-side page tables and for
+    /// tests; spaces participating in frame management must be created with
+    /// [`HostMm::create_space`](crate::HostMm::create_space).
+    #[must_use]
+    pub fn new_standalone(name: impl Into<String>) -> AddressSpace {
+        AddressSpace::new(AsId(u32::MAX), name.into())
+    }
+
+    /// The id this space is registered under.
+    #[must_use]
+    pub fn id(&self) -> AsId {
+        self.id
+    }
+
+    /// Human-readable name (e.g. `"qemu-vm2"`).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Reserves a region of `pages` pages at the next free address and
+    /// returns its base. The region starts unpopulated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pages` is zero.
+    pub fn add_region(&mut self, pages: usize, tag: MemTag, mergeable: bool) -> Vpn {
+        assert!(pages > 0, "zero-length region");
+        let base = Vpn(self.next_vpn);
+        // One guard page between regions, as mmap tends to leave holes.
+        self.next_vpn += pages as u64 + 1;
+        self.regions
+            .insert(base.0, Region::new(base, pages, tag, mergeable));
+        base
+    }
+
+    /// Reserves a region at a caller-chosen base (used for fixed memslot
+    /// layouts).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range overlaps an existing region.
+    pub fn add_region_at(&mut self, base: Vpn, pages: usize, tag: MemTag, mergeable: bool) {
+        assert!(pages > 0, "zero-length region");
+        let end = base.0 + pages as u64;
+        if let Some((_, prev)) = self.regions.range(..end).next_back() {
+            assert!(
+                prev.end().0 <= base.0,
+                "region at {base} overlaps existing region at {}",
+                prev.base()
+            );
+        }
+        self.next_vpn = self.next_vpn.max(end + 1);
+        self.regions
+            .insert(base.0, Region::new(base, pages, tag, mergeable));
+    }
+
+    /// Removes the region based at `base`, returning it.
+    pub fn remove_region(&mut self, base: Vpn) -> Option<Region> {
+        self.regions.remove(&base.0)
+    }
+
+    /// Returns the region containing `vpn`, if any.
+    #[must_use]
+    pub fn region_containing(&self, vpn: Vpn) -> Option<&Region> {
+        let (_, region) = self.regions.range(..=vpn.0).next_back()?;
+        (vpn < region.end()).then_some(region)
+    }
+
+    pub(crate) fn region_containing_mut(&mut self, vpn: Vpn) -> Option<&mut Region> {
+        let (_, region) = self.regions.range_mut(..=vpn.0).next_back()?;
+        (vpn < region.end()).then_some(region)
+    }
+
+    /// Iterates over the regions in address order.
+    pub fn regions(&self) -> impl Iterator<Item = &Region> {
+        self.regions.values()
+    }
+
+    /// Total populated pages across all regions.
+    #[must_use]
+    pub fn mapped_pages(&self) -> usize {
+        self.regions.values().map(Region::mapped_pages).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regions_do_not_overlap_with_bump_allocation() {
+        let mut space = AddressSpace::new_standalone("t");
+        let a = space.add_region(10, MemTag::Other, false);
+        let b = space.add_region(5, MemTag::Other, false);
+        assert!(b.0 >= a.0 + 10);
+        assert_eq!(space.regions().count(), 2);
+    }
+
+    #[test]
+    fn region_containing_finds_correct_region() {
+        let mut space = AddressSpace::new_standalone("t");
+        let a = space.add_region(10, MemTag::JavaHeap, true);
+        let b = space.add_region(5, MemTag::JavaStack, false);
+        assert_eq!(space.region_containing(a.offset(9)).unwrap().base(), a);
+        assert_eq!(space.region_containing(b).unwrap().tag(), MemTag::JavaStack);
+        // Guard page between regions is unmapped.
+        assert!(space.region_containing(a.offset(10)).is_none());
+        assert!(space.region_containing(Vpn(0)).is_none());
+    }
+
+    #[test]
+    fn add_region_at_rejects_overlap() {
+        let mut space = AddressSpace::new_standalone("t");
+        space.add_region_at(Vpn(100), 10, MemTag::Other, false);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            space.add_region_at(Vpn(105), 10, MemTag::Other, false);
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn add_region_at_allows_adjacent() {
+        let mut space = AddressSpace::new_standalone("t");
+        space.add_region_at(Vpn(100), 10, MemTag::Other, false);
+        space.add_region_at(Vpn(110), 10, MemTag::Other, false);
+        assert_eq!(space.regions().count(), 2);
+    }
+
+    #[test]
+    fn remove_region() {
+        let mut space = AddressSpace::new_standalone("t");
+        let a = space.add_region(3, MemTag::Other, false);
+        assert!(space.remove_region(a).is_some());
+        assert!(space.region_containing(a).is_none());
+        assert!(space.remove_region(a).is_none());
+    }
+}

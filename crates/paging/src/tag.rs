@@ -1,0 +1,164 @@
+//! Semantic labels for memory regions.
+
+use std::fmt;
+
+/// The semantic kind of a mapped region.
+///
+/// Tags are the vocabulary shared between the component that maps memory
+/// (guest kernel, JVM, hypervisor) and the analysis layer that attributes
+/// host frames to the paper's breakdown categories. The `Java*` variants
+/// correspond to Table IV of the paper.
+///
+/// # Example
+///
+/// ```
+/// use paging::MemTag;
+///
+/// assert!(MemTag::JavaHeap.is_java());
+/// assert!(!MemTag::GuestKernelData.is_java());
+/// assert_eq!(MemTag::JavaHeap.to_string(), "Java heap");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[non_exhaustive]
+pub enum MemTag {
+    /// Guest kernel text — identical across guests booted from one image.
+    GuestKernelCode,
+    /// Guest kernel dynamic data (slabs, page tables, per-boot state).
+    GuestKernelData,
+    /// Guest page cache of files from the (shared) disk image.
+    GuestPageCache,
+    /// Executable and shared libraries mapped by the Java process, plus
+    /// their data areas ("Code area" in Table IV).
+    JavaCode,
+    /// Java class metadata created by the class loader ("Class metadata").
+    JavaClassMetadata,
+    /// The shared class cache mapping (counted as class metadata in the
+    /// paper's figures, but tagged separately so experiments can report the
+    /// cache's own sharing rate).
+    JavaSharedClassCache,
+    /// Native code produced by the JIT and its runtime data
+    /// ("JIT-compiled code").
+    JavaJitCode,
+    /// Scratch memory of the JIT compiler ("JIT work area").
+    JavaJitWork,
+    /// The Java object heap ("Java heap").
+    JavaHeap,
+    /// JVM-internal work memory, class-library allocations, NIO buffers
+    /// ("JVM work area").
+    JavaJvmWork,
+    /// C and Java thread stacks ("Stack").
+    JavaStack,
+    /// Memory of non-Java guest user processes.
+    OtherProcess,
+    /// The guest-memory memslot of a VM process (guest physical memory as
+    /// seen by the host). Individual guest pages get finer tags through the
+    /// guest-side page tables; this tag appears where the host-side region
+    /// is created directly.
+    VmGuestMemory,
+    /// VM-process overhead outside guest memory (device emulation, VM
+    /// runtime heap) — "the pages used by the guest VM itself" (§II.A).
+    VmOverhead,
+    /// Anything else.
+    Other,
+}
+
+impl MemTag {
+    /// `true` for the tags that belong to a Java process (Table IV).
+    #[must_use]
+    pub fn is_java(self) -> bool {
+        matches!(
+            self,
+            MemTag::JavaCode
+                | MemTag::JavaClassMetadata
+                | MemTag::JavaSharedClassCache
+                | MemTag::JavaJitCode
+                | MemTag::JavaJitWork
+                | MemTag::JavaHeap
+                | MemTag::JavaJvmWork
+                | MemTag::JavaStack
+        )
+    }
+
+    /// `true` for guest-kernel tags (kernel text/data and page cache).
+    #[must_use]
+    pub fn is_guest_kernel(self) -> bool {
+        matches!(
+            self,
+            MemTag::GuestKernelCode | MemTag::GuestKernelData | MemTag::GuestPageCache
+        )
+    }
+
+    /// All tags, in display order.
+    #[must_use]
+    pub fn all() -> &'static [MemTag] {
+        &[
+            MemTag::GuestKernelCode,
+            MemTag::GuestKernelData,
+            MemTag::GuestPageCache,
+            MemTag::JavaCode,
+            MemTag::JavaClassMetadata,
+            MemTag::JavaSharedClassCache,
+            MemTag::JavaJitCode,
+            MemTag::JavaJitWork,
+            MemTag::JavaHeap,
+            MemTag::JavaJvmWork,
+            MemTag::JavaStack,
+            MemTag::OtherProcess,
+            MemTag::VmGuestMemory,
+            MemTag::VmOverhead,
+            MemTag::Other,
+        ]
+    }
+}
+
+impl fmt::Display for MemTag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            MemTag::GuestKernelCode => "Guest kernel code",
+            MemTag::GuestKernelData => "Guest kernel data",
+            MemTag::GuestPageCache => "Guest page cache",
+            MemTag::JavaCode => "Code area",
+            MemTag::JavaClassMetadata => "Class metadata",
+            MemTag::JavaSharedClassCache => "Shared class cache",
+            MemTag::JavaJitCode => "JIT-compiled code",
+            MemTag::JavaJitWork => "JIT work area",
+            MemTag::JavaHeap => "Java heap",
+            MemTag::JavaJvmWork => "JVM work area",
+            MemTag::JavaStack => "Stack",
+            MemTag::OtherProcess => "Other user process",
+            MemTag::VmGuestMemory => "Guest memory",
+            MemTag::VmOverhead => "Guest VM",
+            MemTag::Other => "Other",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn java_tag_classification() {
+        for tag in MemTag::all() {
+            let java = tag.is_java();
+            let kernel = tag.is_guest_kernel();
+            assert!(!(java && kernel), "{tag:?} cannot be both");
+        }
+        assert!(MemTag::JavaSharedClassCache.is_java());
+        assert!(MemTag::GuestPageCache.is_guest_kernel());
+        assert!(!MemTag::VmOverhead.is_java());
+    }
+
+    #[test]
+    fn display_is_nonempty_and_unique() {
+        let names: Vec<String> = MemTag::all().iter().map(|t| t.to_string()).collect();
+        for n in &names {
+            assert!(!n.is_empty());
+        }
+        let mut dedup = names.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len());
+    }
+}

@@ -1,0 +1,293 @@
+//! Experiment configuration.
+
+use hypervisor::HostConfig;
+use ksm::KsmParams;
+use oskernel::OsImage;
+use workloads::Benchmark;
+
+/// The KSM tuning schedule of §II.C: an aggressive rate while the
+/// application server starts up and the benchmark initialises, then a
+/// cheap steady rate for the measured interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KsmSchedule {
+    /// Parameters during warm-up.
+    pub warmup: KsmParams,
+    /// Parameters afterwards.
+    pub steady: KsmParams,
+    /// Length of the warm-up window, seconds.
+    pub warmup_seconds: u64,
+}
+
+impl KsmSchedule {
+    /// The paper's schedule: 10 000 pages/100 ms for the first three
+    /// minutes, 1 000 pages/100 ms afterwards.
+    #[must_use]
+    pub fn paper() -> KsmSchedule {
+        KsmSchedule {
+            warmup: KsmParams::paper_warmup(),
+            steady: KsmParams::paper_steady(),
+            warmup_seconds: 180,
+        }
+    }
+
+    /// Keeps the aggressive rate for the whole run.
+    #[must_use]
+    pub fn aggressive() -> KsmSchedule {
+        KsmSchedule {
+            warmup: KsmParams::paper_warmup(),
+            steady: KsmParams::paper_warmup(),
+            warmup_seconds: 0,
+        }
+    }
+
+    /// The schedule used by the figure binaries when regenerating at
+    /// compressed durations and reduced scale: an aggressive phase
+    /// converges the *stable* content (code, class cache) to the same
+    /// merged state the paper reached over 90 minutes, then the final
+    /// stretch runs at the paper's steady scan-to-memory ratio
+    /// (1 000 pages per 100 ms per 6 GiB, i.e. `1000 / scale`) so the
+    /// *volatile* equilibria — merged-then-divided GC zero pages — relax
+    /// to the rate the paper measured under.
+    #[must_use]
+    pub fn compressed(scale: f64, run_seconds: u64) -> KsmSchedule {
+        let steady_pages = ((1000.0 / scale).round() as usize).max(50);
+        let tail = 150.min(run_seconds / 3);
+        KsmSchedule {
+            warmup: KsmParams::paper_warmup(),
+            steady: KsmParams::new(steady_pages, 100),
+            warmup_seconds: run_seconds.saturating_sub(tail),
+        }
+    }
+}
+
+/// One guest VM in an experiment.
+#[derive(Debug, Clone)]
+pub struct GuestSpec {
+    /// The benchmark this guest's JVM runs.
+    pub benchmark: Benchmark,
+    /// Guest memory, MiB (1 024 for the paper's Intel guests).
+    pub mem_mib: f64,
+}
+
+/// A complete experiment description.
+#[derive(Debug, Clone)]
+pub struct ExperimentConfig {
+    /// Physical host (Table I).
+    pub host: HostConfig,
+    /// Guest base image (Table II).
+    pub image: OsImage,
+    /// The guests (Table II/III).
+    pub guests: Vec<GuestSpec>,
+    /// KSM schedule (§II.C).
+    pub ksm: KsmSchedule,
+    /// Simulated run length, seconds (the paper measures after 90
+    /// minutes; compressed runs with [`KsmSchedule::aggressive`] converge
+    /// to the same state much sooner).
+    pub duration_seconds: u64,
+    /// Whether the paper's technique — a pre-populated shared class
+    /// cache file copied to every guest — is enabled.
+    pub class_sharing: bool,
+    /// Master seed; every run with the same config and seed is
+    /// bit-identical.
+    pub seed: u64,
+    /// If set, sample the sharing timeline every N seconds (KSM
+    /// convergence curves; costs one stable-tree recount per sample).
+    pub timeline_seconds: Option<u64>,
+}
+
+impl ExperimentConfig {
+    /// The Fig. 2/3(a) setup: four 1 GB KVM guests on the 6 GB Intel
+    /// host, each running WAS + DayTrader, measured for 90 minutes.
+    ///
+    /// `scale` divides all sizes (1 = paper scale); see DESIGN.md §5.
+    #[must_use]
+    pub fn paper_daytrader_4vm(scale: f64) -> ExperimentConfig {
+        let bench = workloads::daytrader().scaled(scale);
+        ExperimentConfig {
+            host: HostConfig::paper_intel().scaled(scale),
+            image: OsImage::rhel55().scaled(scale),
+            guests: (0..4)
+                .map(|_| GuestSpec {
+                    benchmark: bench.clone(),
+                    mem_mib: 1024.0 / scale,
+                })
+                .collect(),
+            ksm: KsmSchedule::paper(),
+            duration_seconds: 90 * 60,
+            class_sharing: false,
+            seed: 0x0015_9a55,
+            timeline_seconds: None,
+        }
+    }
+
+    /// The Fig. 3(b)/5(b) setup: three guests running DayTrader,
+    /// SPECjEnterprise 2010 and TPC-W in the same WAS version.
+    #[must_use]
+    pub fn paper_mixed_was(scale: f64) -> ExperimentConfig {
+        let mut cfg = ExperimentConfig::paper_daytrader_4vm(scale);
+        cfg.guests = [
+            workloads::daytrader(),
+            workloads::specjenterprise(),
+            workloads::tpcw(),
+        ]
+        .into_iter()
+        .map(|b| GuestSpec {
+            benchmark: b.scaled(scale),
+            mem_mib: 1280.0 / scale,
+        })
+        .collect();
+        cfg
+    }
+
+    /// The Fig. 3(c)/5(c) setup: three guests each running a Tuscany
+    /// bigbank server (no WAS).
+    #[must_use]
+    pub fn paper_tuscany_3vm(scale: f64) -> ExperimentConfig {
+        let mut cfg = ExperimentConfig::paper_daytrader_4vm(scale);
+        let bench = workloads::tuscany().scaled(scale);
+        cfg.guests = (0..3)
+            .map(|_| GuestSpec {
+                benchmark: bench.clone(),
+                mem_mib: 1024.0 / scale,
+            })
+            .collect();
+        cfg
+    }
+
+    /// The Fig. 7 setup: `n` DayTrader guests on the 6 GB host.
+    #[must_use]
+    pub fn paper_overcommit_daytrader(n: usize, scale: f64) -> ExperimentConfig {
+        let mut cfg = ExperimentConfig::paper_daytrader_4vm(scale);
+        let spec = cfg.guests[0].clone();
+        cfg.guests = (0..n).map(|_| spec.clone()).collect();
+        cfg
+    }
+
+    /// The Fig. 8 setup: `n` SPECjEnterprise guests with the generational
+    /// GC policy (530 MB nursery + 200 MB tenured), 1.25 GB guests.
+    #[must_use]
+    pub fn paper_overcommit_specj(n: usize, scale: f64) -> ExperimentConfig {
+        let mut cfg = ExperimentConfig::paper_daytrader_4vm(scale);
+        let bench = workloads::specjenterprise_generational().scaled(scale);
+        cfg.guests = (0..n)
+            .map(|_| GuestSpec {
+                benchmark: bench.clone(),
+                mem_mib: 1280.0 / scale,
+            })
+            .collect();
+        cfg
+    }
+
+    /// A miniature configuration for unit tests: `n` guests with the tiny
+    /// profile, seconds of simulated time.
+    #[must_use]
+    pub fn tiny_test(n: usize, class_sharing: bool) -> ExperimentConfig {
+        let bench = Benchmark {
+            profile: jvm::AppProfile::tiny_test(),
+            driver: workloads::ClientDriver::threads(4, 1.0),
+            cache_mib: 4.0,
+        };
+        ExperimentConfig {
+            host: HostConfig {
+                ram_mib: 512.0,
+                reserve_mib: 32.0,
+            },
+            image: OsImage::tiny_test(),
+            guests: (0..n)
+                .map(|_| GuestSpec {
+                    benchmark: bench.clone(),
+                    mem_mib: 64.0,
+                })
+                .collect(),
+            ksm: KsmSchedule {
+                warmup: KsmParams::new(2_000, 100),
+                steady: KsmParams::new(2_000, 100),
+                warmup_seconds: 0,
+            },
+            duration_seconds: 90,
+            class_sharing,
+            seed: 7,
+            timeline_seconds: None,
+        }
+    }
+
+    /// Enables the class-sharing technique.
+    #[must_use]
+    pub fn with_class_sharing(mut self) -> ExperimentConfig {
+        self.class_sharing = true;
+        self
+    }
+
+    /// Sets the run duration.
+    #[must_use]
+    pub fn with_duration_seconds(mut self, seconds: u64) -> ExperimentConfig {
+        self.duration_seconds = seconds;
+        self
+    }
+
+    /// Sets the KSM schedule.
+    #[must_use]
+    pub fn with_ksm(mut self, ksm: KsmSchedule) -> ExperimentConfig {
+        self.ksm = ksm;
+        self
+    }
+
+    /// Sets the master seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> ExperimentConfig {
+        self.seed = seed;
+        self
+    }
+
+    /// Samples the sharing timeline every `seconds`.
+    #[must_use]
+    pub fn with_timeline(mut self, seconds: u64) -> ExperimentConfig {
+        assert!(seconds > 0, "sampling interval must be positive");
+        self.timeline_seconds = Some(seconds);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_configs_have_expected_shapes() {
+        let fig2 = ExperimentConfig::paper_daytrader_4vm(1.0);
+        assert_eq!(fig2.guests.len(), 4);
+        assert!(!fig2.class_sharing);
+        assert_eq!(fig2.duration_seconds, 5400);
+
+        let fig3b = ExperimentConfig::paper_mixed_was(1.0);
+        assert_eq!(fig3b.guests.len(), 3);
+        let names: Vec<_> = fig3b
+            .guests
+            .iter()
+            .map(|g| g.benchmark.profile.name.clone())
+            .collect();
+        assert!(names.iter().any(|n| n.contains("SPECj")));
+
+        let fig7 = ExperimentConfig::paper_overcommit_daytrader(8, 1.0);
+        assert_eq!(fig7.guests.len(), 8);
+    }
+
+    #[test]
+    fn scaling_shrinks_guests_and_host_together() {
+        let full = ExperimentConfig::paper_daytrader_4vm(1.0);
+        let quarter = ExperimentConfig::paper_daytrader_4vm(4.0);
+        assert!((quarter.host.ram_mib - full.host.ram_mib / 4.0).abs() < 1e-9);
+        assert!((quarter.guests[0].mem_mib - 256.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn builder_helpers() {
+        let cfg = ExperimentConfig::tiny_test(1, false)
+            .with_class_sharing()
+            .with_duration_seconds(10)
+            .with_seed(99);
+        assert!(cfg.class_sharing);
+        assert_eq!(cfg.duration_seconds, 10);
+        assert_eq!(cfg.seed, 99);
+    }
+}

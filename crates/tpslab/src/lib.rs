@@ -1,0 +1,60 @@
+//! TPS-Lab: the experiment orchestrator for the ISPASS 2013 paper
+//! *"Increasing the Transparent Page Sharing in Java"*.
+//!
+//! This is the crate downstream users interact with. It composes the
+//! substrate crates — host memory ([`paging`]), the KSM and PowerVM
+//! scanners ([`ksm`]), guest OSes ([`oskernel`]), the component-level JVM
+//! model ([`jvm`]), the shared class cache ([`cds`]), the hypervisor
+//! hosts ([`hypervisor`]), the benchmark presets ([`workloads`]) and the
+//! frame-attribution methodology ([`analysis`]) — into reproducible
+//! experiments:
+//!
+//! * [`ExperimentConfig`] describes a host, its guests (each running a
+//!   benchmark in a JVM), the KSM schedule, and whether the paper's
+//!   class-preloading technique is enabled.
+//! * [`Experiment::run`] simulates the whole thing tick by tick and
+//!   returns an [`ExperimentReport`] with the per-guest and
+//!   per-Java-process breakdowns of Figs. 2–5, KSM statistics, and the
+//!   over-commit throughput estimates of Figs. 7–8.
+//! * [`PowerVmExperiment`] reproduces the Fig. 6 PowerVM/AIX comparison.
+//!
+//! # Quick start
+//!
+//! ```
+//! use tpslab::{Experiment, ExperimentConfig};
+//!
+//! // A miniature two-guest experiment (unit-test sized).
+//! let baseline = ExperimentConfig::tiny_test(2, false);
+//! let report = Experiment::run(&baseline);
+//! let shared = ExperimentConfig::tiny_test(2, true);
+//! let report_cds = Experiment::run(&shared);
+//!
+//! // Class sharing raises cross-VM page sharing.
+//! let saving = |r: &tpslab::ExperimentReport| {
+//!     r.breakdown.guests.iter().map(|g| g.tps_saving_mib()).sum::<f64>()
+//! };
+//! assert!(saving(&report_cds) > saving(&report));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod powervm;
+mod report;
+mod run;
+
+pub use config::{ExperimentConfig, GuestSpec, KsmSchedule};
+pub use powervm::{PowerVmExperiment, PowerVmFigure};
+pub use report::{ExperimentReport, TimelinePoint, VmThroughput};
+pub use run::Experiment;
+
+// Re-export the component crates for downstream users.
+pub use analysis;
+pub use cds;
+pub use hypervisor;
+pub use jvm;
+pub use ksm;
+pub use oskernel;
+pub use paging;
+pub use workloads;

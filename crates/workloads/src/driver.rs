@@ -1,0 +1,151 @@
+//! Client drivers and the SLA model for the over-commit experiments.
+
+/// How a benchmark is driven: either a closed loop of client threads
+/// (DayTrader, TPC-W, Tuscany) or a fixed injection rate
+/// (SPECjEnterprise 2010).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ClientDriver {
+    /// Closed-loop: `threads` clients, each issuing a request every
+    /// `cycle_seconds` (service + think time) when the server is healthy.
+    Threads {
+        /// Concurrent client threads per guest VM.
+        threads: u32,
+        /// Seconds per request cycle per thread at zero memory pressure.
+        cycle_seconds: f64,
+    },
+    /// Open-loop at a fixed injection rate (transactions are injected
+    /// regardless of completion — the SPECjEnterprise driver).
+    InjectionRate {
+        /// The benchmark's injection-rate parameter.
+        rate: u32,
+        /// EjOPS produced per unit of injection rate on healthy hardware
+        /// (the paper observes "around 24 \[EjOPS\], which is the
+        /// appropriate score for an injection rate of 15" ⇒ 1.6).
+        ops_per_rate: f64,
+    },
+}
+
+impl ClientDriver {
+    /// Closed-loop driver.
+    #[must_use]
+    pub fn threads(threads: u32, cycle_seconds: f64) -> ClientDriver {
+        ClientDriver::Threads {
+            threads,
+            cycle_seconds,
+        }
+    }
+
+    /// Open-loop driver.
+    #[must_use]
+    pub fn injection_rate(rate: u32, ops_per_rate: f64) -> ClientDriver {
+        ClientDriver::InjectionRate { rate, ops_per_rate }
+    }
+
+    /// Healthy per-VM throughput (requests/s or EjOPS).
+    #[must_use]
+    pub fn healthy_throughput(&self) -> f64 {
+        match *self {
+            ClientDriver::Threads {
+                threads,
+                cycle_seconds,
+            } => f64::from(threads) / cycle_seconds,
+            ClientDriver::InjectionRate { rate, ops_per_rate } => f64::from(rate) * ops_per_rate,
+        }
+    }
+
+    /// Per-VM throughput under a memory-pressure `slowdown` factor in
+    /// `(0, 1]` (1 = no pressure). In a closed loop, service-time
+    /// inflation divides throughput directly; in an open loop the score
+    /// saturates at the injected work.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slowdown` is not in `(0, 1]`.
+    #[must_use]
+    pub fn throughput(&self, slowdown: f64) -> f64 {
+        assert!(
+            slowdown > 0.0 && slowdown <= 1.0,
+            "slowdown must be in (0, 1]"
+        );
+        self.healthy_throughput() * slowdown
+    }
+}
+
+/// Outcome of an SLA check (Fig. 8 annotates the 7-VM default bar
+/// "Response time did not meet SLA").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SlaOutcome {
+    /// Response times within the benchmark's limits.
+    Met,
+    /// Degraded: the run's score does not count.
+    Violated,
+}
+
+/// SPECjEnterprise-style response-time SLA: the benchmark requires 90 %
+/// of transactions under a fixed limit; once memory pressure inflates
+/// service times past `max_slowdown`, the run fails the SLA.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SlaModel {
+    /// Smallest slowdown factor that still meets response-time limits.
+    pub max_slowdown: f64,
+}
+
+impl SlaModel {
+    /// The paper's SPECjEnterprise setting: scores "around 24" pass;
+    /// the degraded score of 15 (≈0.63 of healthy) fails.
+    #[must_use]
+    pub fn specj() -> SlaModel {
+        SlaModel { max_slowdown: 0.9 }
+    }
+
+    /// Checks a slowdown factor against the SLA.
+    #[must_use]
+    pub fn check(&self, slowdown: f64) -> SlaOutcome {
+        if slowdown >= self.max_slowdown {
+            SlaOutcome::Met
+        } else {
+            SlaOutcome::Violated
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn daytrader_driver_yields_the_papers_8vm_plateau() {
+        // The paper's DayTrader plateau of ≈148 r/s at 8 healthy VMs
+        // implies ≈18.5 r/s per VM: 12 threads at a 0.65 s cycle.
+        let d = ClientDriver::threads(12, 0.65);
+        let eight_vms = 8.0 * d.healthy_throughput();
+        assert!((eight_vms - 148.1).abs() < 2.0, "8-VM total {eight_vms}");
+    }
+
+    #[test]
+    fn closed_loop_scales_with_slowdown() {
+        let d = ClientDriver::threads(10, 1.0);
+        assert_eq!(d.throughput(1.0), 10.0);
+        assert_eq!(d.throughput(0.5), 5.0);
+    }
+
+    #[test]
+    fn injection_rate_score() {
+        let d = ClientDriver::injection_rate(15, 1.6);
+        assert!((d.healthy_throughput() - 24.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "slowdown")]
+    fn invalid_slowdown_rejected() {
+        let _ = ClientDriver::threads(1, 1.0).throughput(0.0);
+    }
+
+    #[test]
+    fn sla_boundary() {
+        let sla = SlaModel::specj();
+        assert_eq!(sla.check(1.0), SlaOutcome::Met);
+        assert_eq!(sla.check(0.95), SlaOutcome::Met);
+        assert_eq!(sla.check(0.63), SlaOutcome::Violated);
+    }
+}

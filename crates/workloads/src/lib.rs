@@ -1,0 +1,42 @@
+//! The paper's benchmark workloads and their client drivers.
+//!
+//! Presets reproduce Table III of the paper:
+//!
+//! | Benchmark | Heap | Shared class cache | Driver |
+//! |---|---|---|---|
+//! | DayTrader 2.0 (WAS, Intel) | 530 MB | 120 MB | 12 client threads |
+//! | SPECjEnterprise 2010 | 730 MB (or 530 MB nursery + 200 MB tenured generational, §V.C) | 120 MB | injection rate 15 |
+//! | TPC-W (Java impl.) | 512 MB | 120 MB | 10 client threads |
+//! | Tuscany bigbank demo | 32 MB | 25 MB | 7 client threads |
+//! | DayTrader 2.0 (WAS, POWER) | 1.0 GB | 120 MB | 25 client threads |
+//!
+//! Every preset is an [`AppProfile`](jvm::AppProfile) whose area sizes are
+//! calibrated so the per-process breakdown matches the paper's Fig. 3
+//! (≈750 MB resident for a DayTrader WAS process, dominated by the heap,
+//! with ≈110 MB of class metadata of which ≈100 MB is read-only and
+//! cache-eligible).
+//!
+//! [`ClientDriver`] and [`SlaModel`] turn the hypervisor's memory-pressure
+//! slowdown factor into the throughput numbers of Figs. 7–8.
+//!
+//! # Example
+//!
+//! ```
+//! use workloads::{daytrader, Benchmark};
+//!
+//! let profile = daytrader().profile;
+//! assert!((profile.heap.heap_mib - 530.0).abs() < 1.0);
+//! assert!(profile.footprint_mib() > 700.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod driver;
+mod presets;
+
+pub use driver::{ClientDriver, SlaModel, SlaOutcome};
+pub use presets::{
+    daytrader, daytrader_power, specjenterprise, specjenterprise_generational, tpcw, tuscany,
+    Benchmark,
+};

@@ -1,0 +1,50 @@
+//! The paper's motivating scenario: how many DayTrader guests fit on one
+//! 6 GB host before throughput collapses — and how class preloading buys
+//! one more VM (§V.C, Fig. 7).
+//!
+//! ```text
+//! cargo run --release --example daytrader_consolidation [--scale N]
+//! ```
+//!
+//! Runs at 1/16 scale by default so it finishes in seconds; pass
+//! `--scale 1` for the paper-scale sweep.
+
+use tpslab::{Experiment, ExperimentConfig, KsmSchedule};
+
+fn main() {
+    let scale = parse_scale().unwrap_or(16.0);
+    let minutes = 5.0;
+    println!("consolidation sweep at scale 1/{scale} ({minutes} simulated minutes per point)\n");
+    println!(
+        "{:>4} {:>22} {:>22}",
+        "VMs", "default (req/s)", "preloaded (req/s)"
+    );
+    let seconds = (minutes * 60.0) as u64;
+    for n in 4..=9 {
+        let cfg = ExperimentConfig::paper_overcommit_daytrader(n, scale)
+            .with_duration_seconds(seconds)
+            .with_ksm(KsmSchedule::compressed(scale, seconds));
+        let default = Experiment::run(&cfg);
+        let preload = Experiment::run(&cfg.clone().with_class_sharing());
+        let marker = |slowdown: f64| if slowdown < 0.5 { " <- collapsed" } else { "" };
+        println!(
+            "{:>4} {:>18.1}{:<4} {:>18.1}{:<4}",
+            n,
+            default.total_throughput(),
+            marker(default.slowdown),
+            preload.total_throughput(),
+            marker(preload.slowdown),
+        );
+    }
+    println!("\nthe default configuration hits the memory wall one VM earlier than preloading.");
+}
+
+fn parse_scale() -> Option<f64> {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--scale" {
+            return args.next()?.parse().ok();
+        }
+    }
+    None
+}

@@ -1,0 +1,289 @@
+//! The command-line interface: argument parsing and subcommand
+//! execution, testable without spawning a process.
+
+use std::fmt::Write as _;
+use tpslab::{Experiment, ExperimentConfig, GuestSpec, KsmSchedule, PowerVmExperiment};
+use workloads::Benchmark;
+
+/// Usage text shown on bad input.
+pub const USAGE: &str = "\
+usage:
+  tps-java run     [--guests N] [--benchmark NAME] [--scale S] [--minutes M] [--preload] [--csv]
+  tps-java sweep   [--from N] [--to N] [--benchmark NAME] [--scale S] [--minutes M]
+  tps-java powervm [--scale S] [--minutes M]
+  tps-java smaps   [--preload]
+benchmarks: daytrader | specjenterprise | tpcw | tuscany";
+
+/// A parse or execution error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliError(String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+fn err(msg: impl Into<String>) -> CliError {
+    CliError(msg.into())
+}
+
+/// Parsed common options.
+#[derive(Debug, Clone, PartialEq)]
+struct Opts {
+    guests: usize,
+    from: usize,
+    to: usize,
+    benchmark: String,
+    scale: f64,
+    minutes: f64,
+    preload: bool,
+    csv: bool,
+}
+
+impl Default for Opts {
+    fn default() -> Opts {
+        Opts {
+            guests: 4,
+            from: 4,
+            to: 9,
+            benchmark: "daytrader".into(),
+            scale: 8.0,
+            minutes: 6.0,
+            preload: false,
+            csv: false,
+        }
+    }
+}
+
+fn parse_opts(args: &[String]) -> Result<Opts, CliError> {
+    let mut opts = Opts::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .ok_or_else(|| err(format!("{name} needs a value")))
+        };
+        match arg.as_str() {
+            "--guests" => opts.guests = value("--guests")?.parse().map_err(|_| err("--guests: not a number"))?,
+            "--from" => opts.from = value("--from")?.parse().map_err(|_| err("--from: not a number"))?,
+            "--to" => opts.to = value("--to")?.parse().map_err(|_| err("--to: not a number"))?,
+            "--benchmark" => opts.benchmark = value("--benchmark")?.clone(),
+            "--scale" => opts.scale = value("--scale")?.parse().map_err(|_| err("--scale: not a number"))?,
+            "--minutes" => opts.minutes = value("--minutes")?.parse().map_err(|_| err("--minutes: not a number"))?,
+            "--preload" => opts.preload = true,
+            "--csv" => opts.csv = true,
+            other => return Err(err(format!("unknown option {other}"))),
+        }
+    }
+    if opts.guests == 0 || opts.from == 0 || opts.to < opts.from {
+        return Err(err("guest counts must be positive and --to >= --from"));
+    }
+    if opts.scale < 1.0 {
+        return Err(err("--scale must be >= 1"));
+    }
+    Ok(opts)
+}
+
+fn benchmark_by_name(name: &str, scale: f64) -> Result<Benchmark, CliError> {
+    let bench = match name {
+        "daytrader" => workloads::daytrader(),
+        "specjenterprise" => workloads::specjenterprise_generational(),
+        "tpcw" => workloads::tpcw(),
+        "tuscany" => workloads::tuscany(),
+        other => return Err(err(format!("unknown benchmark {other} (see usage)"))),
+    };
+    Ok(bench.scaled(scale))
+}
+
+fn config_for(opts: &Opts, guests: usize) -> Result<ExperimentConfig, CliError> {
+    let bench = benchmark_by_name(&opts.benchmark, opts.scale)?;
+    let mut cfg = ExperimentConfig::paper_daytrader_4vm(opts.scale);
+    let mem_mib = if opts.benchmark == "specjenterprise" {
+        1280.0 / opts.scale
+    } else {
+        1024.0 / opts.scale
+    };
+    cfg.guests = (0..guests)
+        .map(|_| GuestSpec {
+            benchmark: bench.clone(),
+            mem_mib,
+        })
+        .collect();
+    let seconds = (opts.minutes * 60.0) as u64;
+    cfg = cfg
+        .with_duration_seconds(seconds)
+        .with_ksm(KsmSchedule::compressed(opts.scale, seconds));
+    if opts.preload {
+        cfg = cfg.with_class_sharing();
+    }
+    Ok(cfg)
+}
+
+/// Parses and runs one invocation, returning its stdout text.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] on unknown subcommands, options, or values.
+pub fn dispatch(args: &[String]) -> Result<String, CliError> {
+    let (cmd, rest) = args.split_first().ok_or_else(|| err("missing subcommand"))?;
+    match cmd.as_str() {
+        "run" => cmd_run(&parse_opts(rest)?),
+        "sweep" => cmd_sweep(&parse_opts(rest)?),
+        "powervm" => cmd_powervm(&parse_opts(rest)?),
+        "smaps" => cmd_smaps(&parse_opts(rest)?),
+        other => Err(err(format!("unknown subcommand {other}"))),
+    }
+}
+
+fn cmd_run(opts: &Opts) -> Result<String, CliError> {
+    let cfg = config_for(opts, opts.guests)?;
+    let report = Experiment::run(&cfg);
+    let mut out = String::new();
+    if opts.csv {
+        out.push_str(&analysis::guest_csv(&report.breakdown));
+        out.push('\n');
+        out.push_str(&analysis::java_csv(&report.breakdown));
+        return Ok(out);
+    }
+    let _ = writeln!(
+        out,
+        "{} x {} | scale 1/{} | preload: {}",
+        opts.guests, opts.benchmark, opts.scale, opts.preload
+    );
+    out.push_str(&analysis::render_guest_table(&report.breakdown));
+    let _ = writeln!(
+        out,
+        "\nnon-primary Java saving: {:.1} MiB | class metadata eliminated: {:.1} % | slowdown {:.3}",
+        report.mean_nonprimary_java_saving_mib() * opts.scale,
+        100.0 * report.mean_nonprimary_class_saving_fraction(),
+        report.slowdown,
+    );
+    Ok(out)
+}
+
+fn cmd_sweep(opts: &Opts) -> Result<String, CliError> {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:>4} {:>18} {:>18}",
+        "VMs", "default (thr)", "preloaded (thr)"
+    );
+    for n in opts.from..=opts.to {
+        let cfg = config_for(opts, n)?;
+        let default = Experiment::run(&cfg);
+        let preload = Experiment::run(&cfg.clone().with_class_sharing());
+        let _ = writeln!(
+            out,
+            "{:>4} {:>18.1} {:>18.1}",
+            n,
+            default.total_throughput(),
+            preload.total_throughput()
+        );
+    }
+    Ok(out)
+}
+
+fn cmd_powervm(opts: &Opts) -> Result<String, CliError> {
+    let mut exp = PowerVmExperiment::paper(opts.scale);
+    exp.startup_seconds = (opts.minutes * 60.0) as u64;
+    let without = exp.run(false);
+    let with = exp.run(true);
+    let mut out = String::new();
+    for (name, fig) in [("not preloaded", without), ("preloaded", with)] {
+        let _ = writeln!(
+            out,
+            "{name:<16} before {:>10.1} MiB | after {:>10.1} MiB | saved {:>8.1} MiB",
+            fig.before_mib * opts.scale,
+            fig.after_mib * opts.scale,
+            fig.saving_mib() * opts.scale,
+        );
+    }
+    let _ = writeln!(
+        out,
+        "preloading delta: {:.1} MiB",
+        (with.saving_mib() - without.saving_mib()) * opts.scale
+    );
+    Ok(out)
+}
+
+fn cmd_smaps(opts: &Opts) -> Result<String, CliError> {
+    // A one-guest demo of the §II.A smaps/PSS view.
+    let mut cfg = ExperimentConfig::tiny_test(2, opts.preload).with_duration_seconds(90);
+    cfg.timeline_seconds = None;
+    let report = Experiment::run(&cfg);
+    let mut out = String::from("per-JVM PSS view (distribution-oriented accounting):\n");
+    for java in &report.breakdown.javas {
+        let _ = writeln!(out, "  {}", analysis::summarize_java(java));
+        for (cat, usage) in &java.categories {
+            let _ = writeln!(
+                out,
+                "    {cat:<18} rss {:>8.2} MiB  pss {:>8.2} MiB",
+                usage.resident_mib, usage.pss_mib
+            );
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parse_defaults_and_flags() {
+        let opts = parse_opts(&argv("--guests 3 --preload --csv --scale 16 --minutes 2")).unwrap();
+        assert_eq!(opts.guests, 3);
+        assert!(opts.preload);
+        assert!(opts.csv);
+        assert_eq!(opts.scale, 16.0);
+    }
+
+    #[test]
+    fn parse_rejects_bad_input() {
+        assert!(parse_opts(&argv("--guests")).is_err());
+        assert!(parse_opts(&argv("--guests zero")).is_err());
+        assert!(parse_opts(&argv("--wat 1")).is_err());
+        assert!(parse_opts(&argv("--scale 0.5")).is_err());
+        assert!(parse_opts(&argv("--from 5 --to 3")).is_err());
+    }
+
+    #[test]
+    fn unknown_subcommand_and_benchmark_fail() {
+        assert!(dispatch(&argv("frobnicate")).is_err());
+        assert!(dispatch(&argv("run --benchmark nope --scale 16 --minutes 1")).is_err());
+        assert!(dispatch(&[]).is_err());
+    }
+
+    #[test]
+    fn run_subcommand_produces_table_and_csv() {
+        let text = dispatch(&argv(
+            "run --guests 2 --scale 32 --minutes 1 --preload",
+        ))
+        .unwrap();
+        assert!(text.contains("Guest"));
+        assert!(text.contains("class metadata eliminated"));
+        let csv = dispatch(&argv("run --guests 2 --scale 32 --minutes 1 --csv")).unwrap();
+        assert!(csv.starts_with("guest,"));
+        assert!(csv.contains("Java heap"));
+    }
+
+    #[test]
+    fn smaps_subcommand_lists_categories() {
+        let text = dispatch(&argv("smaps --preload")).unwrap();
+        assert!(text.contains("pss"));
+        assert!(text.contains("Class metadata"));
+    }
+
+    #[test]
+    fn sweep_emits_one_row_per_point() {
+        let text = dispatch(&argv("sweep --from 1 --to 2 --scale 32 --minutes 1")).unwrap();
+        assert_eq!(text.lines().count(), 3);
+    }
+}

@@ -1,0 +1,14 @@
+//! Umbrella crate for the TPS-Java reproduction workspace.
+//!
+//! This root package exists to host the repository-level `examples/` and
+//! `tests/` directories; the implementation lives in the workspace crates.
+//! Downstream users should depend on [`tpslab`] (the orchestration API) —
+//! re-exported here for convenience.
+
+#![forbid(unsafe_code)]
+
+pub mod cli;
+
+pub use analysis;
+pub use tpslab;
+pub use workloads;

@@ -1,0 +1,22 @@
+//! `tps-java` — command-line front end for the reproduction.
+//!
+//! ```text
+//! tps-java run   [--guests N] [--benchmark NAME] [--scale S] [--minutes M] [--preload] [--csv]
+//! tps-java sweep [--from N] [--to N] [--benchmark NAME] [--scale S] [--minutes M]
+//! tps-java powervm [--scale S] [--minutes M]
+//! tps-java smaps [--preload]
+//! ```
+
+use tps_java_repro::cli;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match cli::dispatch(&args) {
+        Ok(output) => print!("{output}"),
+        Err(err) => {
+            eprintln!("error: {err}");
+            eprintln!("{}", cli::USAGE);
+            std::process::exit(2);
+        }
+    }
+}

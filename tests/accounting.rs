@@ -1,0 +1,117 @@
+//! Integration tests of the measurement methodology (§II.A): the
+//! owner-oriented and distribution-oriented accountings must agree on
+//! totals, and owner selection must follow the paper's rules.
+
+use mem::{Fingerprint, Tick};
+use tpslab::analysis::{GuestView, MemorySnapshot};
+use tpslab::hypervisor::{HostConfig, KvmHost};
+use tpslab::oskernel::OsImage;
+use tpslab::paging::MemTag;
+
+/// Builds a host with two guests, one "java" process each, whose class
+/// pages are identical and merged.
+fn merged_setup() -> (KvmHost, Vec<tpslab::oskernel::Pid>) {
+    let mut host = KvmHost::new(HostConfig::paper_intel().scaled(16.0));
+    let mut pids = Vec::new();
+    for i in 0..2u64 {
+        let g = host.create_guest(
+            format!("vm{}", i + 1),
+            64.0,
+            &OsImage::tiny_test(),
+            i + 1,
+            Tick::ZERO,
+        );
+        let (mm, guest) = host.mm_and_guest_mut(g);
+        let pid = guest.os.spawn("java");
+        let region = guest.os.add_region(pid, 16, MemTag::JavaClassMetadata);
+        for p in 0..16 {
+            guest
+                .os
+                .write_page(mm, pid, region.offset(p), Fingerprint::of(&[p]), Tick(1));
+        }
+        pids.push(pid);
+    }
+    // Merge every identical pair, as KSM would.
+    let scanner_params = tpslab::ksm::KsmParams::new(100_000, 100);
+    let mut scanner = tpslab::ksm::KsmScanner::new(scanner_params);
+    for t in 2..8 {
+        scanner.run(host.mm_mut(), Tick(t));
+    }
+    (host, pids)
+}
+
+fn views<'a>(
+    host: &'a KvmHost,
+    pids: &'a [tpslab::oskernel::Pid],
+) -> Vec<GuestView<'a>> {
+    host.guests()
+        .iter()
+        .zip(pids)
+        .map(|(g, &pid)| GuestView::new(&g.name, &g.os, vec![pid]))
+        .collect()
+}
+
+#[test]
+fn pss_and_owner_totals_agree() {
+    let (host, pids) = merged_setup();
+    let views = views(&host, &pids);
+    let snapshot = MemorySnapshot::collect(host.mm(), &views);
+    let report = snapshot.breakdown();
+
+    // Owner-oriented: usage partitions the unique frames.
+    let owned: f64 = report.guests.iter().map(|g| g.owned_total_mib()).sum();
+    assert!((owned - report.total_owned_mib).abs() < 1e-9);
+
+    // PSS also sums to the unique frames for the Java regions it covers:
+    // each shared class page is split between exactly two sharers.
+    let pss: f64 = report
+        .javas
+        .iter()
+        .flat_map(|j| j.categories.values())
+        .map(|c| c.pss_mib)
+        .sum();
+    let java_owned: f64 = report.javas.iter().map(|j| j.owned_total_mib()).sum();
+    assert!(
+        (pss - java_owned).abs() < 1e-9,
+        "PSS ({pss}) and owner-oriented ({java_owned}) must agree on the Java total"
+    );
+}
+
+#[test]
+fn owner_is_the_java_process_with_the_smallest_pid() {
+    let (host, pids) = merged_setup();
+    let views = views(&host, &pids);
+    let snapshot = MemorySnapshot::collect(host.mm(), &views);
+    let report = snapshot.breakdown();
+
+    let smallest = report
+        .javas
+        .iter()
+        .min_by_key(|j| j.pid)
+        .expect("two javas")
+        .pid;
+    for java in &report.javas {
+        let class = java.category(tpslab::jvm::MemoryCategory::ClassMetadata);
+        if java.pid == smallest {
+            assert!(class.owned_mib > 0.0, "smallest pid owns the shared pages");
+        } else {
+            assert_eq!(
+                class.owned_mib, 0.0,
+                "non-primary java pays nothing for shared pages"
+            );
+            assert!(class.saved_mib() > 0.0);
+        }
+    }
+}
+
+#[test]
+fn snapshot_covers_every_allocated_frame() {
+    let (host, pids) = merged_setup();
+    let views = views(&host, &pids);
+    let snapshot = MemorySnapshot::collect(host.mm(), &views);
+    assert_eq!(
+        snapshot.frame_count(),
+        host.mm().phys().allocated_frames(),
+        "attribution must be exhaustive"
+    );
+}

@@ -1,0 +1,127 @@
+//! Cross-crate integration tests: miniature versions of the paper's
+//! experiments, asserting the qualitative results that define the
+//! reproduction.
+
+use tpslab::jvm::MemoryCategory;
+use tpslab::{Experiment, ExperimentConfig, PowerVmExperiment};
+
+fn baseline() -> ExperimentConfig {
+    ExperimentConfig::tiny_test(3, false).with_duration_seconds(120)
+}
+
+#[test]
+fn tps_is_ineffective_for_java_without_preloading() {
+    let report = Experiment::run(&baseline());
+    // §III: class metadata, JIT code and stacks essentially unshared.
+    for java in &report.breakdown.javas {
+        let class = java.category(MemoryCategory::ClassMetadata);
+        assert!(
+            class.tps_shared_mib < 0.05 * class.resident_mib.max(0.01),
+            "baseline class metadata should not share ({:.3} of {:.3} MiB)",
+            class.tps_shared_mib,
+            class.resident_mib
+        );
+        assert_eq!(java.category(MemoryCategory::JitCompiledCode).tps_shared_mib, 0.0);
+        assert_eq!(java.category(MemoryCategory::Stack).tps_shared_mib, 0.0);
+        // The code area, in contrast, shares (same JVM binary everywhere).
+        assert!(java.category(MemoryCategory::Code).tps_shared_mib > 0.0);
+    }
+}
+
+#[test]
+fn preloading_makes_class_metadata_shareable() {
+    let report = Experiment::run(&baseline().with_class_sharing());
+    // §V.A: most of the class metadata of non-primary JVMs is eliminated.
+    let fraction = report.mean_nonprimary_class_saving_fraction();
+    assert!(
+        fraction > 0.6,
+        "expected most class metadata eliminated, got {:.1} %",
+        100.0 * fraction
+    );
+    // And the cache pages are TPS-shared in *every* JVM including the owner.
+    for java in &report.breakdown.javas {
+        let class = java.category(MemoryCategory::ClassMetadata);
+        assert!(class.tps_shared_mib > 0.4 * class.resident_mib);
+    }
+}
+
+#[test]
+fn preloading_reduces_total_memory_usage() {
+    let base = Experiment::run(&baseline());
+    let cds = Experiment::run(&baseline().with_class_sharing());
+    assert!(cds.breakdown.total_owned_mib < base.breakdown.total_owned_mib);
+    assert!(cds.total_tps_saving_mib() > base.total_tps_saving_mib());
+}
+
+#[test]
+fn guest_kernels_share_about_half_their_area() {
+    // §II.D: ~50 % of the kernel area is image-derived and shared with
+    // the owning guest.
+    let report = Experiment::run(&baseline());
+    let kernels: Vec<f64> = report
+        .breakdown
+        .guests
+        .iter()
+        .map(|g| g.kernel_owned_mib)
+        .collect();
+    let owner = kernels.iter().cloned().fold(f64::MIN, f64::max);
+    let others: Vec<&f64> = kernels.iter().filter(|&&k| k < owner).collect();
+    assert!(!others.is_empty());
+    for &&k in &others {
+        let ratio = k / owner;
+        assert!(
+            (0.3..0.8).contains(&ratio),
+            "non-owner kernel should be roughly half the owner's ({ratio:.2})"
+        );
+    }
+}
+
+#[test]
+fn owner_oriented_usage_sums_to_unique_frames() {
+    let report = Experiment::run(&baseline().with_class_sharing());
+    let guest_sum: f64 = report
+        .breakdown
+        .guests
+        .iter()
+        .map(|g| g.owned_total_mib())
+        .sum();
+    assert!(
+        (guest_sum - report.breakdown.total_owned_mib).abs() < 1e-6,
+        "owner-oriented accounting must partition physical memory"
+    );
+    assert!((report.resident_mib - report.breakdown.total_owned_mib).abs() < 1e-6);
+}
+
+#[test]
+fn experiments_are_deterministic() {
+    let cfg = baseline().with_class_sharing();
+    let a = Experiment::run(&cfg);
+    let b = Experiment::run(&cfg);
+    assert_eq!(a.breakdown, b.breakdown);
+    assert_eq!(a.ksm, b.ksm);
+}
+
+#[test]
+fn powervm_preloading_increases_saving() {
+    let exp = PowerVmExperiment::tiny_test();
+    let without = exp.run(false);
+    let with = exp.run(true);
+    assert!(with.saving_mib() > without.saving_mib());
+}
+
+#[test]
+fn overcommit_collapses_throughput_and_preloading_delays_it() {
+    // Shrink the host until the guests no longer fit.
+    let mut cfg = ExperimentConfig::tiny_test(4, false).with_duration_seconds(120);
+    cfg.host.ram_mib = 300.0;
+    cfg.host.reserve_mib = 20.0;
+    let base = Experiment::run(&cfg);
+    let cds = Experiment::run(&cfg.clone().with_class_sharing());
+    assert!(
+        base.slowdown <= cds.slowdown,
+        "preloading should never make memory pressure worse ({} vs {})",
+        base.slowdown,
+        cds.slowdown
+    );
+    assert!(base.total_throughput() <= cds.total_throughput());
+}
