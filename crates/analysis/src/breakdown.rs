@@ -50,7 +50,10 @@ impl GuestBreakdown {
     /// Total owner-oriented usage of the guest.
     #[must_use]
     pub fn owned_total_mib(&self) -> f64 {
-        self.java_owned_mib + self.other_owned_mib + self.kernel_owned_mib + self.vm_overhead_owned_mib
+        self.java_owned_mib
+            + self.other_owned_mib
+            + self.kernel_owned_mib
+            + self.vm_overhead_owned_mib
     }
 
     /// The guest's TPS saving: memory it uses but does not own.
@@ -265,10 +268,16 @@ mod tests {
         // Merge all eight pairs (what KSM would do).
         for i in 0..8 {
             let f1 = mm
-                .frame_at(g1.vm_space(), g1.host_vpn(g1.translate(p1, r1.offset(i)).unwrap()))
+                .frame_at(
+                    g1.vm_space(),
+                    g1.host_vpn(g1.translate(p1, r1.offset(i)).unwrap()),
+                )
                 .unwrap();
             let f2 = mm
-                .frame_at(g2.vm_space(), g2.host_vpn(g2.translate(p2, r2.offset(i)).unwrap()))
+                .frame_at(
+                    g2.vm_space(),
+                    g2.host_vpn(g2.translate(p2, r2.offset(i)).unwrap()),
+                )
                 .unwrap();
             mm.merge_frames(f2, f1);
         }
@@ -346,7 +355,11 @@ mod tests {
         ];
         let report = MemorySnapshot::collect(&mm, &views).breakdown();
         for g in &report.guests {
-            assert!(g.kernel_owned_mib > 0.0, "kernel usage missing in {}", g.name);
+            assert!(
+                g.kernel_owned_mib > 0.0,
+                "kernel usage missing in {}",
+                g.name
+            );
         }
     }
 }

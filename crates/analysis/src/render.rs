@@ -47,7 +47,11 @@ pub fn render_guest_table(report: &BreakdownReport) -> String {
         "",
         "",
         report.total_owned_mib,
-        report.guests.iter().map(|g| g.tps_saving_mib()).sum::<f64>(),
+        report
+            .guests
+            .iter()
+            .map(|g| g.tps_saving_mib())
+            .sum::<f64>(),
     );
     out
 }
@@ -79,11 +83,7 @@ pub fn render_java_table(report: &BreakdownReport) -> String {
             let u = j.category(cat);
             res_total += u.resident_mib;
             shared_total += u.tps_shared_mib;
-            let _ = write!(
-                out,
-                " {:>13.1}/{:>8.1}",
-                u.resident_mib, u.tps_shared_mib
-            );
+            let _ = write!(out, " {:>13.1}/{:>8.1}", u.resident_mib, u.tps_shared_mib);
         }
         let _ = writeln!(out, " {:>13.1}/{:>8.1}", res_total, shared_total);
     }
@@ -208,16 +208,21 @@ pub fn guest_csv(report: &BreakdownReport) -> String {
 /// ```
 #[must_use]
 pub fn java_csv(report: &BreakdownReport) -> String {
-    let mut out = String::from(
-        "guest,pid,category,resident_mib,owned_mib,tps_shared_mib,pss_mib\n",
-    );
+    let mut out =
+        String::from("guest,pid,category,resident_mib,owned_mib,tps_shared_mib,pss_mib\n");
     for j in &report.javas {
         for cat in MemoryCategory::all() {
             let u = j.category(*cat);
             let _ = writeln!(
                 out,
                 "{},{},{},{:.3},{:.3},{:.3},{:.3}",
-                j.guest_name, j.pid.0, cat, u.resident_mib, u.owned_mib, u.tps_shared_mib, u.pss_mib,
+                j.guest_name,
+                j.pid.0,
+                cat,
+                u.resident_mib,
+                u.owned_mib,
+                u.tps_shared_mib,
+                u.pss_mib,
             );
         }
     }

@@ -125,10 +125,7 @@ impl MemorySnapshot {
             for (pid, gas) in view.os.contexts() {
                 for region in gas.regions() {
                     for (_, gpfn) in region.iter_mapped() {
-                        claimed.insert(
-                            (g as u32, view.os.host_vpn(gpfn)),
-                            (pid, region.tag()),
-                        );
+                        claimed.insert((g as u32, view.os.host_vpn(gpfn)), (pid, region.tag()));
                     }
                 }
             }
@@ -235,8 +232,12 @@ mod tests {
         let r2 = g2.add_region(p2, 1, MemTag::JavaHeap);
         g1.write_page(&mut mm, p1, r1, Fingerprint::of(&[9]), Tick(1));
         g2.write_page(&mut mm, p2, r2, Fingerprint::of(&[9]), Tick(1));
-        let f1 = mm.frame_at(g1.vm_space(), g1.host_vpn(g1.translate(p1, r1).unwrap())).unwrap();
-        let f2 = mm.frame_at(g2.vm_space(), g2.host_vpn(g2.translate(p2, r2).unwrap())).unwrap();
+        let f1 = mm
+            .frame_at(g1.vm_space(), g1.host_vpn(g1.translate(p1, r1).unwrap()))
+            .unwrap();
+        let f2 = mm
+            .frame_at(g2.vm_space(), g2.host_vpn(g2.translate(p2, r2).unwrap()))
+            .unwrap();
         mm.merge_frames(f2, f1);
         let views = vec![
             GuestView::new("vm1", &g1, vec![p1]),

@@ -11,6 +11,55 @@ use tpslab::hypervisor::{HostConfig, KvmHost};
 use tpslab::jvm::{JavaVm, JvmConfig};
 use tpslab::oskernel::OsImage;
 
+/// One guest's contribution: resident before ballooning, pages
+/// reclaimed, resident after.
+struct GuestOutcome {
+    resident_before: f64,
+    reclaimed_pages: usize,
+    resident_after: f64,
+}
+
+/// Builds one DayTrader guest in its own host, warms it up, and
+/// balloons it. With no KSM scanner running the guests never interact,
+/// so per-guest hosts sum to exactly the single shared host's numbers —
+/// which is what lets the sweep pool run them concurrently.
+fn run_guest(opts: &RunOpts, i: u64) -> GuestOutcome {
+    let bench = workloads::daytrader().scaled(opts.scale);
+    let mut host = KvmHost::new(HostConfig::paper_intel().scaled(opts.scale));
+    let image = OsImage::rhel55().scaled(opts.scale);
+    let g = host.create_guest(
+        format!("vm{}", i + 1),
+        1024.0 / opts.scale,
+        &image,
+        i + 1,
+        Tick::ZERO,
+    );
+    let (mm, guest) = host.mm_and_guest_mut(g);
+    let mut java = JavaVm::launch(
+        mm,
+        &mut guest.os,
+        JvmConfig::new(6, 100 + i),
+        bench.profile.clone(),
+        Tick::ZERO,
+    );
+    let end = Tick::from_seconds(opts.minutes * 60.0);
+    for t in 1..=end.0 {
+        let (mm, guest) = host.mm_and_guest_mut(g);
+        java.tick(mm, &mut guest.os, Tick(t));
+    }
+    let resident_before = host.resident_mib();
+
+    // Balloon the guest: reclaim every zero page.
+    let balloon = BalloonDriver::new(4096.0);
+    let (mm, guest) = host.mm_and_guest_mut(g);
+    let reclaimed_pages = balloon.inflate(mm, &mut guest.os);
+    GuestOutcome {
+        resident_before,
+        reclaimed_pages,
+        resident_after: host.resident_mib(),
+    }
+}
+
 fn main() {
     let opts = RunOpts::from_args();
     banner(
@@ -18,43 +67,11 @@ fn main() {
         "ballooning vs TPS: reclaimable memory in 2 DayTrader guests",
         &opts,
     );
-    let bench = workloads::daytrader().scaled(opts.scale);
-    let mut host = KvmHost::new(HostConfig::paper_intel().scaled(opts.scale));
-    let image = OsImage::rhel55().scaled(opts.scale);
-    let mut javas = Vec::new();
-    for i in 0..2u64 {
-        let g = host.create_guest(
-            format!("vm{}", i + 1),
-            1024.0 / opts.scale,
-            &image,
-            i + 1,
-            Tick::ZERO,
-        );
-        let (mm, guest) = host.mm_and_guest_mut(g);
-        javas.push(JavaVm::launch(
-            mm,
-            &mut guest.os,
-            JvmConfig::new(6, 100 + i),
-            bench.profile.clone(),
-            Tick::ZERO,
-        ));
-    }
-    let end = Tick::from_seconds(opts.minutes * 60.0);
-    for t in 1..=end.0 {
-        for (i, java) in javas.iter_mut().enumerate() {
-            let (mm, guest) = host.mm_and_guest_mut(i);
-            java.tick(mm, &mut guest.os, Tick(t));
-        }
-    }
-    let resident_before = host.resident_mib();
-
-    // Balloon both guests: reclaim every zero page.
-    let balloon = BalloonDriver::new(4096.0);
-    let mut reclaimed = 0;
-    for i in 0..2 {
-        let (mm, guest) = host.mm_and_guest_mut(i);
-        reclaimed += balloon.inflate(mm, &mut guest.os);
-    }
+    let guests: Vec<u64> = (0..2).collect();
+    let outcomes = tpslab::sweep::map_parallel(&guests, opts.threads, |&i| run_guest(&opts, i));
+    let resident_before: f64 = outcomes.iter().map(|o| o.resident_before).sum();
+    let reclaimed: usize = outcomes.iter().map(|o| o.reclaimed_pages).sum();
+    let resident_after: f64 = outcomes.iter().map(|o| o.resident_after).sum();
     println!(
         "resident before: {:.1} MiB",
         resident_before * opts.unscale()
@@ -62,7 +79,7 @@ fn main() {
     println!(
         "ballooning reclaimed {:.1} MiB of guest-free (zero) pages -> {:.1} MiB",
         mem::pages_to_mib(reclaimed) * opts.unscale(),
-        host.resident_mib() * opts.unscale()
+        resident_after * opts.unscale()
     );
     println!(
         "\nTPS with preloading additionally shares the *in-use* read-only class\n\

@@ -3,7 +3,9 @@
 //! 120 MB for WAS, 25 MB for Tuscany; ≈100 MB was populated).
 
 use bench::{banner, RunOpts};
-use tpslab::{Experiment, ExperimentConfig};
+use tpslab::ExperimentConfig;
+
+const CAPS: [f64; 6] = [15.0, 30.0, 60.0, 90.0, 120.0, 240.0];
 
 fn main() {
     let opts = RunOpts::from_args();
@@ -12,18 +14,23 @@ fn main() {
         "cache capacity sweep, 4 x DayTrader with preloading",
         &opts,
     );
+    let configs: Vec<ExperimentConfig> = CAPS
+        .iter()
+        .map(|&cap| {
+            let mut cfg =
+                opts.apply(ExperimentConfig::paper_daytrader_4vm(opts.scale).with_class_sharing());
+            for guest in &mut cfg.guests {
+                guest.benchmark.cache_mib = cap / opts.scale;
+            }
+            cfg
+        })
+        .collect();
+    let reports = opts.run_sweep(&configs);
     println!(
         "{:>18} {:>16} {:>18} {:>22}",
         "cache cap (MiB)", "populated (MiB)", "saving (MiB)", "class shared (%)"
     );
-    for cap in [15.0f64, 30.0, 60.0, 90.0, 120.0, 240.0] {
-        let mut cfg = opts.apply(
-            ExperimentConfig::paper_daytrader_4vm(opts.scale).with_class_sharing(),
-        );
-        for guest in &mut cfg.guests {
-            guest.benchmark.cache_mib = cap / opts.scale;
-        }
-        let report = Experiment::run(&cfg);
+    for (cap, report) in CAPS.iter().zip(&reports) {
         let populated: f64 = report.caches.iter().map(|(_, _, mib)| mib).sum();
         println!(
             "{:>18.0} {:>16.1} {:>18.1} {:>21.1}%",

@@ -8,7 +8,7 @@
 //! * Ballooning: reclaims guest-free pages only; needs a manager.
 
 use bench::{banner, RunOpts};
-use hypervisor::{share_page_caches, BalloonDriver, DiffEngine};
+use hypervisor::{share_page_caches, BalloonDriver, DiffEngine, DiffEngineReport};
 use mem::Tick;
 use tpslab::hypervisor::{HostConfig, KvmHost};
 use tpslab::jvm::{JavaVm, JvmConfig};
@@ -46,6 +46,43 @@ fn build_host(opts: &RunOpts) -> (KvmHost, Vec<JavaVm>, Tick) {
     (host, javas, end)
 }
 
+/// One technique's measurement, taken at its point in the cumulative
+/// Satori → Ballooning → Difference Engine order.
+enum Stage {
+    Resident(f64),
+    Satori(u64),
+    Balloon(usize),
+    Diff(DiffEngineReport),
+}
+
+/// Replays the deterministic host build plus the cumulative prefix of
+/// techniques up to `stage`. Each replica is independent, so the four
+/// stages run concurrently yet report exactly what a single host walked
+/// through the techniques in order would.
+fn run_stage(opts: &RunOpts, stage: usize) -> Stage {
+    let (mut host, _javas, end) = build_host(opts);
+    if stage == 0 {
+        return Stage::Resident(host.resident_mib());
+    }
+    // Satori: page cache only, instant.
+    let (mm, guests) = host.mm_and_all_guests();
+    let satori_pages = share_page_caches(mm, &guests);
+    if stage == 1 {
+        return Stage::Satori(satori_pages);
+    }
+    // Ballooning on top: zero pages.
+    let mut balloon_pages = 0;
+    for i in 0..2 {
+        let (mm, guest) = host.mm_and_guest_mut(i);
+        balloon_pages += BalloonDriver::new(1_000_000.0).inflate(mm, &mut guest.os);
+    }
+    if stage == 2 {
+        return Stage::Balloon(balloon_pages);
+    }
+    // Difference Engine estimate on what remains.
+    Stage::Diff(DiffEngine::default().estimate(host.mm(), end))
+}
+
 fn main() {
     let opts = RunOpts::from_args();
     banner(
@@ -54,36 +91,33 @@ fn main() {
         &opts,
     );
     let unscale = opts.unscale();
-    let (mut host, _javas, end) = build_host(&opts);
-    let resident = host.resident_mib();
-    println!("resident without any technique: {:.1} MiB\n", resident * unscale);
-    println!("{:<22} {:>16} {:>28}", "technique", "saving (MiB)", "caveat");
-
-    // Satori: page cache only, instant.
-    let (mm, guests) = host.mm_and_all_guests();
-    let satori_pages = share_page_caches(mm, &guests);
+    let stages: Vec<usize> = (0..4).collect();
+    let results = tpslab::sweep::map_parallel(&stages, opts.threads, |&s| run_stage(&opts, s));
+    let [Stage::Resident(resident), Stage::Satori(satori_pages), Stage::Balloon(balloon_pages), Stage::Diff(report)] =
+        &results[..]
+    else {
+        unreachable!("stages return in input order");
+    };
+    println!(
+        "resident without any technique: {:.1} MiB\n",
+        resident * unscale
+    );
+    println!(
+        "{:<22} {:>16} {:>28}",
+        "technique", "saving (MiB)", "caveat"
+    );
     println!(
         "{:<22} {:>16.1} {:>28}",
         "Satori (page cache)",
-        mem::pages_to_mib(satori_pages as usize) * unscale,
+        mem::pages_to_mib(*satori_pages as usize) * unscale,
         "kernel memory only"
     );
-
-    // Ballooning on top: zero pages.
-    let mut balloon_pages = 0;
-    for i in 0..2 {
-        let (mm, guest) = host.mm_and_guest_mut(i);
-        balloon_pages += BalloonDriver::new(1_000_000.0).inflate(mm, &mut guest.os);
-    }
     println!(
         "{:<22} {:>16.1} {:>28}",
         "Ballooning (free pages)",
-        mem::pages_to_mib(balloon_pages) * unscale,
+        mem::pages_to_mib(*balloon_pages) * unscale,
         "needs a manager; KVM has none"
     );
-
-    // Difference Engine estimate on what remains.
-    let report = DiffEngine::default().estimate(host.mm(), end);
     println!(
         "{:<22} {:>16.1} {:>28}",
         "Diff. Engine (extra)",

@@ -4,7 +4,9 @@
 //! schedule (§II.C).
 
 use bench::{banner, RunOpts};
-use tpslab::{Experiment, ExperimentConfig, KsmSchedule};
+use tpslab::{ExperimentConfig, KsmSchedule};
+
+const RATES: [usize; 5] = [100, 300, 1_000, 3_000, 10_000];
 
 fn main() {
     let opts = RunOpts::from_args();
@@ -13,22 +15,28 @@ fn main() {
         "KSM scan-rate sweep, 4 x DayTrader with preloading",
         &opts,
     );
+    let seconds = (opts.minutes * 60.0) as u64;
+    let configs: Vec<ExperimentConfig> = RATES
+        .iter()
+        .map(|&pages| {
+            let params = tpslab::ksm::KsmParams::new(pages, 100);
+            ExperimentConfig::paper_daytrader_4vm(opts.scale)
+                .with_class_sharing()
+                .with_duration_seconds(seconds)
+                .with_ksm(KsmSchedule {
+                    warmup: params,
+                    steady: params,
+                    warmup_seconds: 0,
+                })
+        })
+        .collect();
+    let reports = opts.run_sweep(&configs);
     println!(
         "{:>16} {:>12} {:>16} {:>14} {:>12}",
         "pages/100ms", "CPU (%)", "saving (MiB)", "full scans", "merges"
     );
-    let seconds = (opts.minutes * 60.0) as u64;
-    for pages in [100usize, 300, 1_000, 3_000, 10_000] {
-        let params = tpslab::ksm::KsmParams::new(pages, 100);
-        let cfg = ExperimentConfig::paper_daytrader_4vm(opts.scale)
-            .with_class_sharing()
-            .with_duration_seconds(seconds)
-            .with_ksm(KsmSchedule {
-                warmup: params,
-                steady: params,
-                warmup_seconds: 0,
-            });
-        let report = Experiment::run(&cfg);
+    for (pages, report) in RATES.iter().zip(&reports) {
+        let params = tpslab::ksm::KsmParams::new(*pages, 100);
         println!(
             "{:>16} {:>12.1} {:>16.1} {:>14} {:>12}",
             pages,

@@ -12,7 +12,11 @@ use tpslab::{Experiment, ExperimentConfig};
 
 fn main() {
     let opts = RunOpts::from_args();
-    banner("Fig. 2", "4 x DayTrader/WAS, baseline (no preloading)", &opts);
+    banner(
+        "Fig. 2",
+        "4 x DayTrader/WAS, baseline (no preloading)",
+        &opts,
+    );
     let cfg = opts.apply(ExperimentConfig::paper_daytrader_4vm(opts.scale));
     let report = Experiment::run(&cfg);
     print_guest_figure(&report, opts.unscale());

@@ -9,8 +9,14 @@ fn main() {
     println!("TABLE I — physical machines");
     let intel = HostConfig::paper_intel();
     let power = HostConfig::paper_power();
-    println!("  Intel: IBM BladeCenter LS21-like, {:.0} MiB RAM, KVM (host reserve {:.0} MiB)", intel.ram_mib, intel.reserve_mib);
-    println!("  POWER: IBM BladeCenter PS701-like, {:.0} MiB RAM, PowerVM 2.1 (reserve {:.0} MiB)", power.ram_mib, power.reserve_mib);
+    println!(
+        "  Intel: IBM BladeCenter LS21-like, {:.0} MiB RAM, KVM (host reserve {:.0} MiB)",
+        intel.ram_mib, intel.reserve_mib
+    );
+    println!(
+        "  POWER: IBM BladeCenter PS701-like, {:.0} MiB RAM, PowerVM 2.1 (reserve {:.0} MiB)",
+        power.ram_mib, power.reserve_mib
+    );
 
     println!("\nTABLE II — guest VM configuration");
     let rhel = OsImage::rhel55();
@@ -21,7 +27,8 @@ fn main() {
     );
     println!(
         "  POWER guest: AIX 6.1 image — kernel area {:.0} MiB ({:.0} MiB shareable), 3.5 GiB LPARs",
-        aix.total_mib(), aix.shareable_mib()
+        aix.total_mib(),
+        aix.shareable_mib()
     );
 
     println!("\nTABLE III — benchmark and JVM configuration");

@@ -33,6 +33,8 @@ pub struct RunOpts {
     pub scale: f64,
     /// Simulated duration in minutes.
     pub minutes: f64,
+    /// Sweep worker threads (default: the machine's parallelism).
+    pub threads: usize,
 }
 
 impl RunOpts {
@@ -41,6 +43,7 @@ impl RunOpts {
         RunOpts {
             scale: 8.0,
             minutes: 8.0,
+            threads: tpslab::sweep::default_threads(),
         }
     }
 
@@ -51,10 +54,12 @@ impl RunOpts {
         RunOpts {
             scale: 1.0,
             minutes: 20.0,
+            threads: tpslab::sweep::default_threads(),
         }
     }
 
-    /// Parses `--scale`, `--minutes`, `--paper` from the process args.
+    /// Parses `--scale`, `--minutes`, `--paper`, `--threads` from the
+    /// process args.
     ///
     /// # Panics
     ///
@@ -64,7 +69,11 @@ impl RunOpts {
         let mut args = std::env::args().skip(1);
         while let Some(arg) = args.next() {
             match arg.as_str() {
-                "--paper" => opts = RunOpts::paper(),
+                "--paper" => {
+                    let threads = opts.threads;
+                    opts = RunOpts::paper();
+                    opts.threads = threads;
+                }
                 "--scale" => {
                     opts.scale = args
                         .next()
@@ -77,7 +86,16 @@ impl RunOpts {
                         .and_then(|v| v.parse().ok())
                         .expect("--minutes needs a number");
                 }
-                other => panic!("unknown argument {other} (try --paper, --scale N, --minutes M)"),
+                "--threads" => {
+                    opts.threads = args
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&n: &usize| n >= 1)
+                        .expect("--threads needs an integer >= 1");
+                }
+                other => panic!(
+                    "unknown argument {other} (try --paper, --scale N, --minutes M, --threads T)"
+                ),
             }
         }
         opts
@@ -94,6 +112,33 @@ impl RunOpts {
     /// for reporting.
     pub fn unscale(&self) -> f64 {
         self.scale
+    }
+
+    /// Runs a sweep of configs on the worker pool and returns the
+    /// reports in input order (bit-identical to a serial run).
+    ///
+    /// Per-run wall-clock timings go to **stderr** so the figure rows on
+    /// stdout stay byte-identical across thread counts.
+    pub fn run_sweep(&self, configs: &[ExperimentConfig]) -> Vec<tpslab::ExperimentReport> {
+        let start = std::time::Instant::now();
+        let timed = tpslab::sweep::run_all_timed(configs, self.threads);
+        for (i, run) in timed.iter().enumerate() {
+            eprintln!(
+                "[sweep] run {}/{}: {:.2} s",
+                i + 1,
+                timed.len(),
+                run.wall.as_secs_f64()
+            );
+        }
+        let serial: f64 = timed.iter().map(|run| run.wall.as_secs_f64()).sum();
+        eprintln!(
+            "[sweep] {} runs on {} thread(s): {:.2} s wall ({:.2} s of single-thread work)",
+            timed.len(),
+            self.threads.max(1),
+            start.elapsed().as_secs_f64(),
+            serial
+        );
+        timed.into_iter().map(|run| run.value).collect()
     }
 }
 
@@ -184,7 +229,11 @@ pub fn print_java_figure(report: &tpslab::ExperimentReport, unscale: f64) {
                 u.tps_shared_mib * unscale
             );
         }
-        print!(" {:>9.1}/{:>7.1}", work_res * unscale, work_shared * unscale);
+        print!(
+            " {:>9.1}/{:>7.1}",
+            work_res * unscale,
+            work_shared * unscale
+        );
         println!(
             " {:>9.1}/{:>7.1}",
             total_res * unscale,
@@ -196,7 +245,6 @@ pub fn print_java_figure(report: &tpslab::ExperimentReport, unscale: f64) {
         100.0 * report.mean_nonprimary_class_saving_fraction()
     );
 }
-
 
 #[cfg(test)]
 mod tests {
@@ -214,6 +262,7 @@ mod tests {
         let opts = RunOpts {
             scale: 4.0,
             minutes: 2.0,
+            threads: 1,
         };
         let cfg = opts.apply(tpslab::ExperimentConfig::tiny_test(1, false));
         assert_eq!(cfg.duration_seconds, 120);

@@ -61,7 +61,8 @@ impl SharedClassCache {
     /// Serialises the cache to bytes (the persistent cache file).
     #[must_use]
     pub fn to_bytes(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(64 + self.image.pages.len() * 16 + self.entries.len() * 24);
+        let mut out =
+            Vec::with_capacity(64 + self.image.pages.len() * 16 + self.entries.len() * 24);
         out.extend_from_slice(MAGIC);
         out.extend_from_slice(&(self.name.len() as u64).to_le_bytes());
         out.extend_from_slice(self.name.as_bytes());

@@ -109,7 +109,8 @@ mod tests {
         }
         let frames_before = mm.phys().allocated_frames();
         // Budget of 4 pages.
-        let reclaimed = BalloonDriver::new(4.0 * 4096.0 / (1024.0 * 1024.0)).inflate(mm, &mut guest.os);
+        let reclaimed =
+            BalloonDriver::new(4.0 * 4096.0 / (1024.0 * 1024.0)).inflate(mm, &mut guest.os);
         assert_eq!(reclaimed, 4);
         assert_eq!(mm.phys().allocated_frames(), frames_before - 4);
         // Unlimited budget reclaims the remaining six zeros only.

@@ -167,9 +167,9 @@ impl KvmHost {
         // VM-process overhead: private, outside guest memory, not
         // madvise(MERGEABLE) (QEMU only advises the guest RAM block).
         let overhead_pages = mem::mib_to_pages(VM_OVERHEAD_MIB_PER_GIB * mem_mib / 1024.0).max(1);
-        let overhead_base =
-            self.mm
-                .map_region(vm_space, overhead_pages, MemTag::VmOverhead, false);
+        let overhead_base = self
+            .mm
+            .map_region(vm_space, overhead_pages, MemTag::VmOverhead, false);
         for i in 0..overhead_pages as u64 {
             self.mm.write_page(
                 vm_space,

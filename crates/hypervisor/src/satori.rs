@@ -64,11 +64,14 @@ pub fn share_page_caches(mm: &mut HostMm, guests: &[&GuestOs]) -> u64 {
         };
         let fp = mm.phys().fingerprint(frame).as_u128();
         match canonical.get(&fp) {
-            Some(&canon) if canon != frame
-                && mm.phys().is_live(canon) && mm.phys().fingerprint(canon).as_u128() == fp => {
-                    merged += u64::from(mm.phys().refcount(frame));
-                    mm.merge_frames(frame, canon);
-                }
+            Some(&canon)
+                if canon != frame
+                    && mm.phys().is_live(canon)
+                    && mm.phys().fingerprint(canon).as_u128() == fp =>
+            {
+                merged += u64::from(mm.phys().refcount(frame));
+                mm.merge_frames(frame, canon);
+            }
             Some(_) => {}
             None => {
                 canonical.insert(fp, frame);
@@ -122,13 +125,9 @@ mod tests {
             let pid = guest.os.spawn("app");
             let r = guest.os.add_region(pid, 4, paging::MemTag::JavaHeap);
             for p in 0..4 {
-                guest.os.write_page(
-                    mm,
-                    pid,
-                    r.offset(p),
-                    mem::Fingerprint::of(&[p]),
-                    Tick(1),
-                );
+                guest
+                    .os
+                    .write_page(mm, pid, r.offset(p), mem::Fingerprint::of(&[p]), Tick(1));
             }
         }
         let anon_frames_before = host.mm().phys().allocated_frames();

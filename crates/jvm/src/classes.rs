@@ -181,8 +181,18 @@ mod tests {
         assert_eq!(mw_a, mw_b);
         assert_ne!(a, b);
         // App classes (the non-cacheable suffix) differ entirely.
-        let app_a: HashSet<u64> = a.classes().iter().filter(|c| !c.cacheable).map(|c| c.token).collect();
-        let app_b: HashSet<u64> = b.classes().iter().filter(|c| !c.cacheable).map(|c| c.token).collect();
+        let app_a: HashSet<u64> = a
+            .classes()
+            .iter()
+            .filter(|c| !c.cacheable)
+            .map(|c| c.token)
+            .collect();
+        let app_b: HashSet<u64> = b
+            .classes()
+            .iter()
+            .filter(|c| !c.cacheable)
+            .map(|c| c.token)
+            .collect();
         assert!(app_a.is_disjoint(&app_b));
     }
 

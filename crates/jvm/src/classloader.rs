@@ -109,8 +109,7 @@ impl ClassLoader {
         }
         let private_image = writer.finish();
         let private_pages = private_image.len_pages();
-        let private_base =
-            guest.add_region(pid, private_pages.max(1), MemTag::JavaClassMetadata);
+        let private_base = guest.add_region(pid, private_pages.max(1), MemTag::JavaClassMetadata);
         let cache = shared_cache.map(|c| {
             let pages = c.image().pages.clone();
             let base = guest.add_region(pid, pages.len().max(1), MemTag::JavaSharedClassCache);
@@ -207,7 +206,10 @@ impl ClassLoader {
         pid: Pid,
         fraction: f64,
     ) -> usize {
-        assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&fraction),
+            "fraction must be in [0, 1]"
+        );
         let total = self.private_image.len_pages();
         let target = ((total as f64) * fraction) as usize;
         let mut released = 0;

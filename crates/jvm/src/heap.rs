@@ -59,7 +59,12 @@ impl Space {
         // VMs do not collect in lockstep (their request streams are not
         // synchronized in reality either).
         let free = hwm - live_pages;
-        let cursor = live_pages + if free > 0 { (phase_salt % free as u64) as usize } else { 0 };
+        let cursor = live_pages
+            + if free > 0 {
+                (phase_salt % free as u64) as usize
+            } else {
+                0
+            };
         Space {
             base,
             pages,
@@ -164,7 +169,15 @@ impl HeapSim {
         match profile.policy {
             GcPolicy::Flat => {
                 let pages = mem::mib_to_pages(profile.heap_mib);
-                let nursery = Space::new(mm, guest, pid, pages, profile.live_fraction, profile.untouched_fraction, phase_salt);
+                let nursery = Space::new(
+                    mm,
+                    guest,
+                    pid,
+                    pages,
+                    profile.live_fraction,
+                    profile.untouched_fraction,
+                    phase_salt,
+                );
                 HeapSim {
                     profile: profile.clone(),
                     nursery,
@@ -181,9 +194,24 @@ impl HeapSim {
                 // long-lived data sits in the tenured space.
                 let nursery_pages = mem::mib_to_pages(nursery_mib);
                 let tenured_pages = mem::mib_to_pages(tenured_mib);
-                let nursery = Space::new(mm, guest, pid, nursery_pages, 0.08, profile.untouched_fraction, phase_salt);
-                let tenured =
-                    Space::new(mm, guest, pid, tenured_pages, profile.live_fraction, profile.untouched_fraction, phase_salt / 7);
+                let nursery = Space::new(
+                    mm,
+                    guest,
+                    pid,
+                    nursery_pages,
+                    0.08,
+                    profile.untouched_fraction,
+                    phase_salt,
+                );
+                let tenured = Space::new(
+                    mm,
+                    guest,
+                    pid,
+                    tenured_pages,
+                    profile.live_fraction,
+                    profile.untouched_fraction,
+                    phase_salt / 7,
+                );
                 let promote_per_gc = (nursery_pages / 64).max(1);
                 HeapSim {
                     profile: profile.clone(),
@@ -210,13 +238,11 @@ impl HeapSim {
         if let Some(tenured) = &mut self.tenured {
             tenured.warmup(mm, guest, pid, salt ^ 0x7e4, warmup_fraction, now);
         }
-        self.alloc_carry += mem::mib_to_pages(self.profile.alloc_mib_per_sec) as f64
-            / mem::TICKS_PER_SECOND as f64;
+        self.alloc_carry +=
+            mem::mib_to_pages(self.profile.alloc_mib_per_sec) as f64 / mem::TICKS_PER_SECOND as f64;
         let count = self.alloc_carry as usize;
         self.alloc_carry -= count as f64;
-        let minor_gcs = self
-            .nursery
-            .allocate(mm, guest, pid, salt, count, now);
+        let minor_gcs = self.nursery.allocate(mm, guest, pid, salt, count, now);
         if minor_gcs > 0 {
             if let Some(tenured) = &mut self.tenured {
                 // Survivors are promoted: moving writes into the tenured
@@ -268,7 +294,8 @@ mod tests {
         let (mut mm, mut guest, pid) = setup();
         let mut heap = HeapSim::launch(&mut mm, &mut guest, pid, &flat_profile(), 0);
         let before = mm.phys().allocated_frames();
-        heap.nursery.warmup(&mut mm, &mut guest, pid, 1, 1.0, Tick(1));
+        heap.nursery
+            .warmup(&mut mm, &mut guest, pid, 1, 1.0, Tick(1));
         let after = mm.phys().allocated_frames();
         // Live set plus the zeroed never-reused tail fault in.
         let tail = heap.nursery.pages - heap.nursery.hwm;
@@ -276,7 +303,8 @@ mod tests {
         assert_eq!(after - before, heap.nursery.live_pages + tail);
         // Re-warming writes nothing.
         let writes = mm.phys().total_writes();
-        heap.nursery.warmup(&mut mm, &mut guest, pid, 1, 1.0, Tick(2));
+        heap.nursery
+            .warmup(&mut mm, &mut guest, pid, 1, 1.0, Tick(2));
         assert_eq!(mm.phys().total_writes(), writes);
     }
 

@@ -40,7 +40,8 @@ impl JitSim {
         let scratch_pages = mem::mib_to_pages(profile.jit_work_mib).max(1);
         let zero_pages = mem::mib_to_pages(profile.jit_work_zero_mib);
         let code_base = guest.add_region(pid, code_pages, MemTag::JavaJitCode);
-        let work_base = guest.add_region(pid, scratch_pages + zero_pages.max(1), MemTag::JavaJitWork);
+        let work_base =
+            guest.add_region(pid, scratch_pages + zero_pages.max(1), MemTag::JavaJitWork);
         let mut jit = JitSim {
             code_base,
             code_fill: ProgressFill::new(code_pages),
@@ -136,10 +137,7 @@ mod tests {
         assert!(jit.zero_pages() > 0);
         for i in 0..jit.zero_pages() {
             let vpn = jit.work_base.offset((jit.scratch_pages + i) as u64);
-            assert_eq!(
-                guest.fingerprint_at(&mm, pid, vpn),
-                Some(Fingerprint::ZERO)
-            );
+            assert_eq!(guest.fingerprint_at(&mm, pid, vpn), Some(Fingerprint::ZERO));
         }
     }
 

@@ -144,8 +144,7 @@ impl JavaVm {
         );
         self.code.tick(mm, guest, self.pid, self.salt, load_f, now);
         self.loader.tick(mm, guest, self.pid, load_f, now);
-        self.heap
-            .tick(mm, guest, self.pid, self.salt, load_f, now);
+        self.heap.tick(mm, guest, self.pid, self.salt, load_f, now);
         self.jit
             .tick(mm, guest, self.pid, &self.profile, self.salt, jit_f, now);
         self.work.tick(
@@ -201,12 +200,7 @@ impl JavaVm {
     /// Unloads a fraction of loaded classes (application redeploy):
     /// private class structures are freed, shared-cache pages stay
     /// mapped and shared (§IV.B). Returns private pages released.
-    pub fn unload_classes(
-        &mut self,
-        mm: &mut HostMm,
-        guest: &mut GuestOs,
-        fraction: f64,
-    ) -> usize {
+    pub fn unload_classes(&mut self, mm: &mut HostMm, guest: &mut GuestOs, fraction: f64) -> usize {
         self.loader.unload(mm, guest, self.pid, fraction)
     }
 }
@@ -413,10 +407,7 @@ mod unload_tests {
             Tick(0),
         );
         let profile = AppProfile::tiny_test();
-        let warm_after = profile
-            .class_load_seconds
-            .max(profile.jit_warmup_seconds)
-            + 30.0;
+        let warm_after = profile.class_load_seconds.max(profile.jit_warmup_seconds) + 30.0;
         let java = JavaVm::launch(&mut mm, &mut guest, JvmConfig::new(6, 7), profile, Tick(0));
         assert!(!java.warmed_up(Tick::from_seconds(warm_after - 1.0)));
         assert!(java.warmed_up(Tick::from_seconds(warm_after)));

@@ -229,10 +229,7 @@ mod tests {
         // The tail pages really are zero.
         for i in 0..w.zero_tail_pages() {
             let vpn = w.data_base().offset((w.data_pages + i) as u64);
-            assert_eq!(
-                guest.fingerprint_at(&mm, p1, vpn),
-                Some(Fingerprint::ZERO)
-            );
+            assert_eq!(guest.fingerprint_at(&mm, p1, vpn), Some(Fingerprint::ZERO));
         }
     }
 

@@ -118,11 +118,14 @@ impl PowerVmScanner {
             }
             let fp = mm.phys().fingerprint(frame);
             match canonical.get(&fp) {
-                Some(&canon) if canon != frame
-                    && mm.phys().is_live(canon) && mm.phys().fingerprint(canon) == fp => {
-                        merged += u64::from(mm.phys().refcount(frame));
-                        mm.merge_frames(frame, canon);
-                    }
+                Some(&canon)
+                    if canon != frame
+                        && mm.phys().is_live(canon)
+                        && mm.phys().fingerprint(canon) == fp =>
+                {
+                    merged += u64::from(mm.phys().refcount(frame));
+                    mm.merge_frames(frame, canon);
+                }
                 Some(_) => {}
                 None => {
                     canonical.insert(fp, frame);
@@ -151,7 +154,11 @@ mod tests {
             let r = mm.map_region(s, 10, MemTag::VmGuestMemory, true);
             for i in 0..10 {
                 // 6 common pages, 4 unique per LPAR.
-                let content = if i < 6 { fp(i) } else { fp(1000 + vm * 100 + i) };
+                let content = if i < 6 {
+                    fp(i)
+                } else {
+                    fp(1000 + vm * 100 + i)
+                };
                 mm.write_page(s, r.offset(i), content, Tick(0));
             }
         }

@@ -25,19 +25,71 @@ use std::collections::{BTreeMap, HashMap};
 ///
 /// The unstable tree is discarded at the end of every full pass.
 ///
+/// # Incremental scanning
+///
+/// Converged memory is mostly *stable*: whole regions whose every page
+/// is already a stable-tree frame, revisited pass after pass only to be
+/// skipped page by page. The scanner exploits the region
+/// write-generation counters maintained by [`HostMm`]: a region whose
+/// generation is unchanged since a pass that observed every one of its
+/// pages stable is **credited in O(1)** instead of being walked — the
+/// same number of budget units is consumed (so pass boundaries, the
+/// volatility horizon, and all counters behave exactly as a page-by-page
+/// walk would), but no page is touched. Regions that do get walked are
+/// resolved once and iterated by direct frame-table indexing rather
+/// than a per-page `BTreeMap` address lookup.
+///
 /// See the [crate docs](crate) for a usage example.
 #[derive(Debug)]
 pub struct KsmScanner {
     params: KsmParams,
     stable: BTreeMap<Fingerprint, FrameId>,
     unstable: HashMap<Fingerprint, Mapping>,
-    scan_list: Vec<(AsId, Vpn, usize)>,
+    scan_list: Vec<ScanRegion>,
     cursor_region: usize,
     cursor_page: u64,
+    /// `true` once per-region pass-tracking state is initialised for the
+    /// region under the cursor.
+    in_region: bool,
+    region_gen_at_entry: u64,
+    region_all_stable: bool,
+    region_mapped_seen: u64,
+    /// Clean-region fast path: when skipping, how many budget units the
+    /// skip has left / had in total.
+    skipping: bool,
+    skip_left: u64,
+    skip_total: u64,
+    /// Regions observed fully stable at their last completed scan, keyed
+    /// by `(space, region id)` and guarded by the write generation.
+    clean: HashMap<(AsId, u64), CleanRegion>,
     pass_start: Tick,
     prev_pass_start: Tick,
     first_pass_done: bool,
+    /// Bumped on every stable-tree insert/remove; together with
+    /// [`HostMm::epoch`] it keys the [`recount`](Self::recount) memo.
+    stable_version: u64,
+    /// `(mm epoch, stable_version)` at the last recount, if any.
+    last_recount: Option<(u64, u64)>,
     stats: KsmStats,
+}
+
+/// One mergeable region snapshotted into the pass scan list.
+#[derive(Debug, Clone, Copy)]
+struct ScanRegion {
+    space: AsId,
+    base: Vpn,
+    id: u64,
+    len: u64,
+}
+
+/// Record of a region whose pages were all stable at its last scan.
+#[derive(Debug, Clone, Copy)]
+struct CleanRegion {
+    /// Region write generation at that scan.
+    generation: u64,
+    /// Populated pages at that scan — the budget the skip must consume
+    /// to stay cycle-accurate with a page-by-page walk.
+    mapped: u64,
 }
 
 impl KsmScanner {
@@ -51,9 +103,19 @@ impl KsmScanner {
             scan_list: Vec::new(),
             cursor_region: 0,
             cursor_page: 0,
+            in_region: false,
+            region_gen_at_entry: 0,
+            region_all_stable: false,
+            region_mapped_seen: 0,
+            skipping: false,
+            skip_left: 0,
+            skip_total: 0,
+            clean: HashMap::new(),
             pass_start: Tick::ZERO,
             prev_pass_start: Tick::ZERO,
             first_pass_done: false,
+            stable_version: 0,
+            last_recount: None,
             stats: KsmStats::default(),
         }
     }
@@ -99,10 +161,9 @@ impl KsmScanner {
         let budget = self.params.pages_to_scan();
         let mut scanned = 0;
         while scanned < budget {
-            match self.step(mm, now) {
-                StepOutcome::Scanned => scanned += 1,
-                StepOutcome::Hole => {}
-                StepOutcome::PassComplete => {
+            match self.advance(mm, budget - scanned) {
+                Advance::Scanned(n) => scanned += n,
+                Advance::PassComplete => {
                     self.finish_pass(mm, now);
                     // At most one pass boundary per wake: real ksmd would
                     // just keep going, but bounding it keeps a wake's work
@@ -117,10 +178,20 @@ impl KsmScanner {
 
     /// Recomputes `pages_shared` / `pages_sharing` from the ground truth,
     /// dropping stale stable-tree nodes.
+    ///
+    /// Memoized on `(mm.epoch(), stable-tree version)`: when neither the
+    /// host memory state nor the stable tree has changed since the last
+    /// recount, the previous counts are still exact and the walk is
+    /// skipped. This makes pass boundaries over converged idle memory
+    /// O(1) instead of O(stable nodes).
     pub fn recount(&mut self, mm: &HostMm) {
+        if self.last_recount == Some((mm.epoch(), self.stable_version)) {
+            return;
+        }
         let phys = mm.phys();
         let mut shared = 0u64;
         let mut sharing = 0u64;
+        let before = self.stable.len();
         self.stable.retain(|&fp, &mut frame| {
             let valid =
                 phys.is_live(frame) && phys.is_ksm_shared(frame) && phys.fingerprint(frame) == fp;
@@ -130,8 +201,12 @@ impl KsmScanner {
             }
             valid
         });
+        if self.stable.len() != before {
+            self.stable_version += 1;
+        }
         self.stats.pages_shared = shared;
         self.stats.pages_sharing = sharing;
+        self.last_recount = Some((mm.epoch(), self.stable_version));
     }
 
     fn begin_pass(&mut self, mm: &HostMm, now: Tick) {
@@ -139,13 +214,24 @@ impl KsmScanner {
         for space in mm.spaces() {
             for region in space.regions() {
                 if region.mergeable() && region.len_pages() > 0 {
-                    self.scan_list
-                        .push((space.id(), region.base(), region.len_pages()));
+                    self.scan_list.push(ScanRegion {
+                        space: space.id(),
+                        base: region.base(),
+                        id: region.id(),
+                        len: region.len_pages() as u64,
+                    });
                 }
             }
         }
+        // Drop clean records of regions that no longer exist so the map
+        // stays bounded under region churn.
+        let live: std::collections::HashSet<(AsId, u64)> =
+            self.scan_list.iter().map(|r| (r.space, r.id)).collect();
+        self.clean.retain(|key, _| live.contains(key));
         self.cursor_region = 0;
         self.cursor_page = 0;
+        self.in_region = false;
+        self.skipping = false;
         self.prev_pass_start = self.pass_start;
         self.pass_start = now;
     }
@@ -159,47 +245,164 @@ impl KsmScanner {
         self.begin_pass(mm, now);
     }
 
-    fn step(&mut self, mm: &mut HostMm, _now: Tick) -> StepOutcome {
-        let Some(&(space, base, len)) = self.scan_list.get(self.cursor_region) else {
-            return StepOutcome::PassComplete;
-        };
-        if self.cursor_page >= len as u64 {
-            self.cursor_region += 1;
-            self.cursor_page = 0;
-            if self.cursor_region >= self.scan_list.len() {
-                return StepOutcome::PassComplete;
-            }
-            return StepOutcome::Hole;
-        }
-        let vpn = base.offset(self.cursor_page);
-        self.cursor_page += 1;
+    fn next_region(&mut self) {
+        self.cursor_region += 1;
+        self.cursor_page = 0;
+        self.in_region = false;
+        self.skipping = false;
+        self.skip_left = 0;
+        self.skip_total = 0;
+    }
 
-        let Some(frame) = mm.frame_at(space, vpn) else {
-            return StepOutcome::Hole;
-        };
-        if mm.phys().is_ksm_shared(frame) {
-            // Already a stable node (or a sharer of one).
-            return StepOutcome::Scanned;
+    /// Records the scan outcome for the region just completed page by
+    /// page: regions observed fully stable under an unchanged write
+    /// generation become skippable; anything else loses its record.
+    fn finish_region(&mut self, space: AsId, region_id: u64, generation_now: u64) {
+        if self.region_all_stable && generation_now == self.region_gen_at_entry {
+            self.clean.insert(
+                (space, region_id),
+                CleanRegion {
+                    generation: generation_now,
+                    mapped: self.region_mapped_seen,
+                },
+            );
+        } else {
+            self.clean.remove(&(space, region_id));
         }
+    }
+
+    /// One bounded unit of scanning work: a clean-region credit, a
+    /// page-walk batch within the current region (applying at most one
+    /// page-table mutation), or a cursor transition. Always either makes
+    /// cursor progress or reports the pass complete.
+    fn advance(&mut self, mm: &mut HostMm, budget_left: usize) -> Advance {
+        debug_assert!(budget_left > 0);
+        let Some(&ScanRegion {
+            space,
+            base,
+            id,
+            len,
+        }) = self.scan_list.get(self.cursor_region)
+        else {
+            return Advance::PassComplete;
+        };
+        // Resolve the region once for the whole batch (a single map
+        // lookup), not once per page.
+        let Some(region) = mm.space(space).region_at(base).filter(|r| r.id() == id) else {
+            // The region was unmapped (or replaced) mid-pass.
+            self.clean.remove(&(space, id));
+            self.next_region();
+            return Advance::Scanned(0);
+        };
+
+        if !self.in_region {
+            self.in_region = true;
+            self.region_gen_at_entry = region.generation();
+            self.region_all_stable = true;
+            self.region_mapped_seen = 0;
+            if let Some(clean) = self.clean.get(&(space, id)) {
+                if clean.generation == region.generation() {
+                    // Unchanged since a pass that saw every page stable:
+                    // credit the scan instead of walking it.
+                    self.skipping = true;
+                    self.skip_left = clean.mapped;
+                    self.skip_total = clean.mapped;
+                }
+            }
+        }
+
+        if self.skipping {
+            return self.advance_skip(region, len, budget_left);
+        }
+
+        // Page-walk batch: read-only classification against the resolved
+        // region; at most one page needs a page-table mutation, which is
+        // applied after the region borrow ends.
+        let mut scanned = 0usize;
+        let mut mutation = None;
+        while scanned < budget_left {
+            if self.cursor_page >= len {
+                self.finish_region(space, id, region.generation());
+                self.next_region();
+                return Advance::Scanned(scanned);
+            }
+            let index = self.cursor_page as usize;
+            let vpn = base.offset(self.cursor_page);
+            self.cursor_page += 1;
+            let Some(frame) = region.frame_at_index(index) else {
+                continue;
+            };
+            self.region_mapped_seen += 1;
+            scanned += 1;
+            if mm.phys().is_ksm_shared(frame) {
+                // Already a stable node (or a sharer of one).
+                continue;
+            }
+            self.region_all_stable = false;
+            match self.classify(mm, Mapping { space, vpn }, frame) {
+                None => {}
+                Some(action) => {
+                    mutation = Some(action);
+                    break;
+                }
+            }
+        }
+        if let Some(action) = mutation {
+            self.apply(mm, action);
+        }
+        Advance::Scanned(scanned)
+    }
+
+    /// Continues a clean-region skip: consumes the same budget a page
+    /// walk would, O(1) per wake. Falls back to a page walk from the
+    /// equivalent cursor position if a write lands mid-skip.
+    fn advance_skip(&mut self, region: &paging::Region, len: u64, budget_left: usize) -> Advance {
+        if region.generation() != self.region_gen_at_entry {
+            let consumed = self.skip_total - self.skip_left;
+            self.cursor_page = region.nth_mapped_index(consumed).map_or(len, |i| i as u64);
+            self.skipping = false;
+            self.region_all_stable = false;
+            return Advance::Scanned(0);
+        }
+        if self.skip_left == 0 {
+            // Zero-mapped clean region (all holes): nothing to credit.
+            self.stats.clean_region_skips += 1;
+            self.next_region();
+            return Advance::Scanned(0);
+        }
+        let take = (budget_left as u64).min(self.skip_left);
+        self.skip_left -= take;
+        self.region_mapped_seen += take;
+        if self.skip_left == 0 {
+            // Record stays valid: the generation was unchanged throughout.
+            self.stats.clean_region_skips += 1;
+            self.next_region();
+        }
+        Advance::Scanned(take as usize)
+    }
+
+    /// Classifies one unshared page. Mutates only scanner state (trees,
+    /// counters); a required page-table mutation is returned for the
+    /// caller to apply once the region borrow is released.
+    fn classify(&mut self, mm: &HostMm, mapping: Mapping, frame: FrameId) -> Option<PageAction> {
         let fp = mm.phys().fingerprint(frame);
 
         // 1. Stable-tree lookup (with stale-node validation). Nodes
         // respect the max_page_sharing cap: a saturated chain head stops
         // accepting duplicates and the page is left for a new node.
         if let Some(canonical) = self.stable_lookup(mm, fp) {
-            if canonical != frame {
-                if mm.phys().refcount(canonical) < self.params.max_page_sharing() {
-                    mm.merge_frames(frame, canonical);
-                    self.stats.merges += 1;
-                } else {
-                    // Chain full: promote this page to a fresh stable
-                    // node so later duplicates have somewhere to go.
-                    mm.mark_ksm_stable(frame);
-                    self.stable.insert(fp, frame);
-                    self.stats.chain_splits += 1;
-                }
+            if canonical == frame {
+                return None;
             }
-            return StepOutcome::Scanned;
+            if mm.phys().refcount(canonical) < self.params.max_page_sharing() {
+                return Some(PageAction::MergeStable {
+                    dup: frame,
+                    canonical,
+                });
+            }
+            // Chain full: promote this page to a fresh stable node so
+            // later duplicates have somewhere to go.
+            return Some(PageAction::PromoteSplit { frame, fp });
         }
 
         // 2. Volatility filter: content must be stable across a full pass.
@@ -210,34 +413,57 @@ impl KsmScanner {
         };
         if mm.phys().last_write(frame) >= horizon && horizon > Tick::ZERO {
             self.stats.volatile_skips += 1;
-            return StepOutcome::Scanned;
+            return None;
         }
 
         // 3. Unstable-tree lookup.
         match self.unstable.get(&fp) {
             Some(&candidate) => {
                 let Some(other) = mm.frame_at(candidate.space, candidate.vpn) else {
-                    self.unstable.insert(fp, Mapping { space, vpn });
-                    return StepOutcome::Scanned;
+                    self.unstable.insert(fp, mapping);
+                    return None;
                 };
                 // Re-verify: the unstable tree holds no write protection,
                 // so the candidate may have changed since insertion.
                 if other != frame && mm.phys().fingerprint(other) == fp {
-                    mm.merge_frames(frame, other);
-                    self.stable.insert(fp, other);
-                    self.unstable.remove(&fp);
-                    self.stats.merges += 1;
+                    return Some(PageAction::MergeUnstable {
+                        dup: frame,
+                        canonical: other,
+                        fp,
+                    });
                 } else if other == frame {
                     // Same page re-encountered; leave the entry in place.
                 } else {
-                    self.unstable.insert(fp, Mapping { space, vpn });
+                    self.unstable.insert(fp, mapping);
                 }
             }
             None => {
-                self.unstable.insert(fp, Mapping { space, vpn });
+                self.unstable.insert(fp, mapping);
             }
         }
-        StepOutcome::Scanned
+        None
+    }
+
+    fn apply(&mut self, mm: &mut HostMm, action: PageAction) {
+        match action {
+            PageAction::MergeStable { dup, canonical } => {
+                mm.merge_frames(dup, canonical);
+                self.stats.merges += 1;
+            }
+            PageAction::PromoteSplit { frame, fp } => {
+                mm.mark_ksm_stable(frame);
+                self.stable.insert(fp, frame);
+                self.stable_version += 1;
+                self.stats.chain_splits += 1;
+            }
+            PageAction::MergeUnstable { dup, canonical, fp } => {
+                mm.merge_frames(dup, canonical);
+                self.stable.insert(fp, canonical);
+                self.stable_version += 1;
+                self.unstable.remove(&fp);
+                self.stats.merges += 1;
+            }
+        }
     }
 
     fn stable_lookup(&mut self, mm: &HostMm, fp: Fingerprint) -> Option<FrameId> {
@@ -247,16 +473,35 @@ impl KsmScanner {
             Some(frame)
         } else {
             self.stable.remove(&fp);
+            self.stable_version += 1;
             self.stats.stale_stable_nodes += 1;
             None
         }
     }
 }
 
-enum StepOutcome {
-    Scanned,
-    Hole,
+enum Advance {
+    /// Progress was made; `n` budget units were consumed.
+    Scanned(usize),
+    /// The cursor is past the last region.
     PassComplete,
+}
+
+/// A page-table mutation decided during a read-only batch.
+enum PageAction {
+    MergeStable {
+        dup: FrameId,
+        canonical: FrameId,
+    },
+    PromoteSplit {
+        frame: FrameId,
+        fp: Fingerprint,
+    },
+    MergeUnstable {
+        dup: FrameId,
+        canonical: FrameId,
+        fp: Fingerprint,
+    },
 }
 
 #[cfg(test)]
@@ -411,6 +656,71 @@ mod tests {
         converge(&mut scanner, &mut mm, Tick(1), 8);
         assert_eq!(scanner.stats().pages_sharing, 64);
     }
+
+    #[test]
+    fn converged_regions_are_credited_not_walked() {
+        let (mut mm, ..) = two_vm_setup(16);
+        let mut scanner = KsmScanner::new(KsmParams::new(1000, 100));
+        let t = converge(&mut scanner, &mut mm, Tick(0), 8);
+        assert_eq!(scanner.stats().pages_sharing, 16);
+
+        // Steady state: both regions are fully stable, so further passes
+        // run on clean-region credits alone...
+        let skips_before = scanner.stats().clean_region_skips;
+        let scanned_before = scanner.stats().pages_scanned;
+        let scans_before = scanner.stats().full_scans;
+        let t = converge(&mut scanner, &mut mm, t, 4);
+        assert!(scanner.stats().clean_region_skips >= skips_before + 2 * 3);
+        // ...while budget accounting stays page-walk-accurate: 32 mapped
+        // pages per pass, one pass per wake at this budget.
+        assert_eq!(scanner.stats().pages_scanned, scanned_before + 4 * 32);
+        assert_eq!(scanner.stats().full_scans, scans_before + 4);
+        assert_eq!(scanner.stats().pages_sharing, 16);
+        let _ = t;
+        mm.assert_consistent();
+    }
+
+    #[test]
+    fn write_to_clean_region_forces_rescan() {
+        let (mut mm, a, ra, b, rb) = two_vm_setup(16);
+        let mut scanner = KsmScanner::new(KsmParams::new(1000, 100));
+        let t = converge(&mut scanner, &mut mm, Tick(0), 8);
+        assert_eq!(scanner.stats().pages_sharing, 16);
+
+        // New identical content in both VMs: CoW breaks the old node, and
+        // the generation bump must invalidate the clean-region records so
+        // the pages get rescanned and re-merged.
+        mm.write_page(a, ra.offset(3), fp(555), Tick(t.0 + 1));
+        mm.write_page(b, rb.offset(3), fp(555), Tick(t.0 + 1));
+        scanner.recount(&mm);
+        assert_eq!(scanner.stats().pages_sharing, 15);
+        converge(&mut scanner, &mut mm, t, 8);
+        assert_eq!(scanner.stats().pages_sharing, 16);
+        let frame = mm.frame_at(a, ra.offset(3)).unwrap();
+        assert_eq!(mm.phys().refcount(frame), 2);
+        mm.assert_consistent();
+    }
+
+    #[test]
+    fn write_landing_mid_skip_falls_back_to_page_walk() {
+        // Budget 10 over 2×64 mapped pages: a clean region's credit spans
+        // several wakes, so a write can land in the middle of a skip.
+        let (mut mm, a, ra, b, rb) = two_vm_setup(64);
+        let mut scanner = KsmScanner::new(KsmParams::new(10, 100));
+        let mut t = converge(&mut scanner, &mut mm, Tick(0), 64);
+        assert_eq!(scanner.stats().pages_sharing, 64);
+        assert!(scanner.stats().clean_region_skips > 0);
+
+        // Interleave writes with wakes so some hit mid-skip.
+        for i in 0..8u64 {
+            mm.write_page(a, ra.offset(i * 7), fp(2000 + i), Tick(t.0 + 1));
+            mm.write_page(b, rb.offset(i * 7), fp(2000 + i), Tick(t.0 + 1));
+            t = converge(&mut scanner, &mut mm, t, 3);
+        }
+        converge(&mut scanner, &mut mm, t, 64);
+        assert_eq!(scanner.stats().pages_sharing, 64);
+        mm.assert_consistent();
+    }
 }
 
 #[cfg(test)]
@@ -429,15 +739,17 @@ mod cap_tests {
         for i in 0..16 {
             mm.write_page(s, r.offset(i), Fingerprint::of(&[1]), Tick(0));
         }
-        let mut scanner =
-            KsmScanner::new(KsmParams::new(1000, 100).with_max_page_sharing(4));
+        let mut scanner = KsmScanner::new(KsmParams::new(1000, 100).with_max_page_sharing(4));
         for t in 1..10 {
             scanner.run(&mut mm, Tick(t));
         }
         scanner.recount(&mm);
         // 16 identical pages at cap 4 → at least 4 frames survive.
         assert!(mm.phys().allocated_frames() >= 4);
-        assert!(mm.phys().allocated_frames() <= 6, "cap should still dedupe most");
+        assert!(
+            mm.phys().allocated_frames() <= 6,
+            "cap should still dedupe most"
+        );
         assert!(scanner.stats().chain_splits > 0);
         for (_, frame) in mm.phys().iter() {
             assert!(frame.refcount() <= 4, "cap exceeded: {}", frame.refcount());

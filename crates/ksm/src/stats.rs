@@ -31,6 +31,9 @@ pub struct KsmStats {
     pub stale_stable_nodes: u64,
     /// Stable nodes re-seeded because a chain hit `max_page_sharing`.
     pub chain_splits: u64,
+    /// Regions credited in O(1) by the clean-region fast path instead of
+    /// being walked page by page.
+    pub clean_region_skips: u64,
 }
 
 impl KsmStats {

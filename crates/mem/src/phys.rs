@@ -198,10 +198,7 @@ impl PhysMemory {
     /// additionally revalidate content before trusting it.
     #[must_use]
     pub fn is_live(&self, id: FrameId) -> bool {
-        matches!(
-            self.slots.get(id.index()),
-            Some(Slot::Used(_))
-        )
+        matches!(self.slots.get(id.index()), Some(Slot::Used(_)))
     }
 
     /// Returns the reference count of `id`.

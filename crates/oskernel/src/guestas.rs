@@ -94,9 +94,10 @@ impl GuestRegion {
 
     /// Iterates `(guest vpn, gpfn)` for populated pages.
     pub fn iter_mapped(&self) -> impl Iterator<Item = (Vpn, u64)> + '_ {
-        self.gpfns.iter().enumerate().filter_map(move |(i, &g)| {
-            (g != UNMAPPED).then_some((self.base.offset(i as u64), g))
-        })
+        self.gpfns
+            .iter()
+            .enumerate()
+            .filter_map(move |(i, &g)| (g != UNMAPPED).then_some((self.base.offset(i as u64), g)))
     }
 }
 
@@ -215,11 +216,7 @@ mod tests {
         gas.region_containing_mut(base)
             .unwrap()
             .set_gpfn(base.offset(2), Some(42));
-        let pairs: Vec<_> = gas
-            .region_containing(base)
-            .unwrap()
-            .iter_mapped()
-            .collect();
+        let pairs: Vec<_> = gas.region_containing(base).unwrap().iter_mapped().collect();
         assert_eq!(pairs, vec![(base.offset(2), 42)]);
     }
 

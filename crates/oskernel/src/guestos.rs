@@ -196,7 +196,10 @@ impl GuestOs {
     /// Translates a process page to its guest physical frame.
     #[must_use]
     pub fn translate(&self, pid: Pid, vpn: Vpn) -> Option<u64> {
-        self.contexts.get(&pid)?.region_containing(vpn)?.gpfn_at(vpn)
+        self.contexts
+            .get(&pid)?
+            .region_containing(vpn)?
+            .gpfn_at(vpn)
     }
 
     /// Content fingerprint seen by the process at `vpn`, if populated.
@@ -333,9 +336,7 @@ mod tests {
                 .filter(|r| r.tag() == tag)
                 .flat_map(|r| {
                     r.iter_mapped()
-                        .map(|(_, gpfn)| {
-                            mm.fingerprint_at(g.vm_space(), g.host_vpn(gpfn)).unwrap()
-                        })
+                        .map(|(_, gpfn)| mm.fingerprint_at(g.vm_space(), g.host_vpn(gpfn)).unwrap())
                         .collect::<Vec<_>>()
                 })
                 .collect()

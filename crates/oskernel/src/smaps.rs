@@ -135,10 +135,16 @@ mod tests {
         guest.write_page(&mut mm, p1, r1, Fingerprint::of(&[7]), Tick(1));
         guest.write_page(&mut mm, p2, r2, Fingerprint::of(&[7]), Tick(1));
         let f1 = mm
-            .frame_at(guest.vm_space(), guest.host_vpn(guest.translate(p1, r1).unwrap()))
+            .frame_at(
+                guest.vm_space(),
+                guest.host_vpn(guest.translate(p1, r1).unwrap()),
+            )
             .unwrap();
         let f2 = mm
-            .frame_at(guest.vm_space(), guest.host_vpn(guest.translate(p2, r2).unwrap()))
+            .frame_at(
+                guest.vm_space(),
+                guest.host_vpn(guest.translate(p2, r2).unwrap()),
+            )
             .unwrap();
         mm.merge_frames(f2, f1);
         for pid in [p1, p2] {

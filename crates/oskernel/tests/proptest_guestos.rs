@@ -9,11 +9,28 @@ use proptest::prelude::*;
 #[derive(Debug, Clone)]
 enum Op {
     Spawn,
-    AddRegion { proc_idx: usize, pages: usize },
-    Write { proc_idx: usize, region_idx: usize, page: u64, content: u64 },
-    ReleasePage { proc_idx: usize, region_idx: usize, page: u64 },
-    FreeRegion { proc_idx: usize, region_idx: usize },
-    Kill { proc_idx: usize },
+    AddRegion {
+        proc_idx: usize,
+        pages: usize,
+    },
+    Write {
+        proc_idx: usize,
+        region_idx: usize,
+        page: u64,
+        content: u64,
+    },
+    ReleasePage {
+        proc_idx: usize,
+        region_idx: usize,
+        page: u64,
+    },
+    FreeRegion {
+        proc_idx: usize,
+        region_idx: usize,
+    },
+    Kill {
+        proc_idx: usize,
+    },
 }
 
 fn op_strategy() -> impl Strategy<Value = Op> {

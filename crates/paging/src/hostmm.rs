@@ -46,6 +46,7 @@ pub struct HostMm {
     spaces: Vec<AddressSpace>,
     rmap: Rmap,
     cow_breaks: u64,
+    epoch: u64,
 }
 
 impl HostMm {
@@ -90,8 +91,18 @@ impl HostMm {
         self.cow_breaks
     }
 
+    /// Monotonic mutation counter, bumped by every state-changing
+    /// operation (mapping, writing, unmapping, merging). Consumers may
+    /// cache values derived from the memory state keyed by this: an
+    /// unchanged epoch guarantees the state is unchanged.
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
     /// Reserves a region in `space` and returns its base page.
     pub fn map_region(&mut self, space: AsId, pages: usize, tag: MemTag, mergeable: bool) -> Vpn {
+        self.epoch += 1;
         self.spaces[space.index()].add_region(pages, tag, mergeable)
     }
 
@@ -108,6 +119,7 @@ impl HostMm {
         tag: MemTag,
         mergeable: bool,
     ) {
+        self.epoch += 1;
         self.spaces[space.index()].add_region_at(base, pages, tag, mergeable);
     }
 
@@ -120,6 +132,7 @@ impl HostMm {
     ///
     /// Panics if `vpn` lies outside every region of `space`.
     pub fn write_page(&mut self, space: AsId, vpn: Vpn, fingerprint: Fingerprint, now: Tick) {
+        self.epoch += 1;
         let mapping = Mapping { space, vpn };
         let region = self.spaces[space.index()]
             .region_containing_mut(vpn)
@@ -140,6 +153,7 @@ impl HostMm {
                     self.rmap.add(fresh, mapping);
                     self.phys.dec_ref(frame);
                 } else {
+                    region.touch();
                     self.phys.write(frame, fingerprint, now);
                 }
             }
@@ -174,6 +188,7 @@ impl HostMm {
             region.set_frame(vpn, None);
             self.rmap.remove(frame, Mapping { space, vpn });
             self.phys.dec_ref(frame);
+            self.epoch += 1;
         }
     }
 
@@ -183,6 +198,7 @@ impl HostMm {
             Some(r) => r,
             None => return,
         };
+        self.epoch += 1;
         for (vpn, frame) in region.iter_mapped() {
             self.rmap.remove(frame, Mapping { space, vpn });
             self.phys.dec_ref(frame);
@@ -199,6 +215,7 @@ impl HostMm {
     /// Panics if the two frames' fingerprints differ (KSM verifies with a
     /// full memcmp before merging) or if `dup == canonical`.
     pub fn merge_frames(&mut self, dup: FrameId, canonical: FrameId) {
+        self.epoch += 1;
         assert_ne!(dup, canonical, "cannot merge a frame into itself");
         assert_eq!(
             self.phys.fingerprint(dup),
@@ -224,6 +241,7 @@ impl HostMm {
     /// into it yet (used when a saturated chain is split and a fresh
     /// canonical page is promoted).
     pub fn mark_ksm_stable(&mut self, frame: FrameId) {
+        self.epoch += 1;
         self.phys.set_ksm_shared(frame, true);
     }
 

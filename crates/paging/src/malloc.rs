@@ -233,7 +233,8 @@ mod tests {
 
     impl PageSink for Sink<'_> {
         fn grow(&mut self, pages: usize) -> Vpn {
-            self.mm.map_region(self.space, pages, MemTag::JavaJvmWork, true)
+            self.mm
+                .map_region(self.space, pages, MemTag::JavaJvmWork, true)
         }
         fn write(&mut self, vpn: Vpn, fp: Fingerprint, now: Tick) {
             self.mm.write_page(self.space, vpn, fp, now);
@@ -254,21 +255,33 @@ mod tests {
         let mut arena_b = MallocArena::new(32);
         // Different small-allocation histories first.
         {
-            let mut sink = Sink { mm: &mut mm, space: s1 };
+            let mut sink = Sink {
+                mm: &mut mm,
+                space: s1,
+            };
             arena_a.malloc(&mut sink, 1, 5000, Tick(0));
             arena_a.malloc(&mut sink, 2, 300, Tick(0));
         }
         {
-            let mut sink = Sink { mm: &mut mm, space: s2 };
+            let mut sink = Sink {
+                mm: &mut mm,
+                space: s2,
+            };
             arena_b.malloc(&mut sink, 3, 99, Tick(0));
         }
         // The same large allocation in both processes.
         let a = {
-            let mut sink = Sink { mm: &mut mm, space: s1 };
+            let mut sink = Sink {
+                mm: &mut mm,
+                space: s1,
+            };
             arena_a.malloc(&mut sink, 77, 256 * 1024, Tick(0))
         };
         let b = {
-            let mut sink = Sink { mm: &mut mm, space: s2 };
+            let mut sink = Sink {
+                mm: &mut mm,
+                space: s2,
+            };
             arena_b.malloc(&mut sink, 77, 256 * 1024, Tick(0))
         };
         assert_eq!(a.offset_in_page, 0);
@@ -290,13 +303,19 @@ mod tests {
         let mut arena_a = MallocArena::new(8);
         let mut arena_b = MallocArena::new(8);
         let a = {
-            let mut sink = Sink { mm: &mut mm, space: s1 };
+            let mut sink = Sink {
+                mm: &mut mm,
+                space: s1,
+            };
             arena_a.malloc(&mut sink, 10, 100, Tick(0));
             arena_a.malloc(&mut sink, 77, 2000, Tick(0))
         };
         let b = {
             // Same token, different predecessor → different offset.
-            let mut sink = Sink { mm: &mut mm, space: s2 };
+            let mut sink = Sink {
+                mm: &mut mm,
+                space: s2,
+            };
             arena_b.malloc(&mut sink, 11, 700, Tick(0));
             arena_b.malloc(&mut sink, 77, 2000, Tick(0))
         };
@@ -313,7 +332,10 @@ mod tests {
         let (mut mm, s1) = setup();
         let mut arena = MallocArena::new(16);
         let alloc = {
-            let mut sink = Sink { mm: &mut mm, space: s1 };
+            let mut sink = Sink {
+                mm: &mut mm,
+                space: s1,
+            };
             arena.malloc(&mut sink, 1, 6000, Tick(0))
         };
         // 6000 + header spans 2 pages of a 16-page block: 14 zero pages.
@@ -327,7 +349,10 @@ mod tests {
     fn arena_grows_new_blocks_when_full() {
         let (mut mm, s1) = setup();
         let mut arena = MallocArena::new(2);
-        let mut sink = Sink { mm: &mut mm, space: s1 };
+        let mut sink = Sink {
+            mm: &mut mm,
+            space: s1,
+        };
         let first = arena.malloc(&mut sink, 1, 6000, Tick(0));
         let second = arena.malloc(&mut sink, 2, 6000, Tick(0));
         assert_ne!(first.base, second.base);
@@ -339,7 +364,10 @@ mod tests {
     fn threshold_is_configurable() {
         let (mut mm, s1) = setup();
         let mut arena = MallocArena::new(8).with_mmap_threshold(1024);
-        let mut sink = Sink { mm: &mut mm, space: s1 };
+        let mut sink = Sink {
+            mm: &mut mm,
+            space: s1,
+        };
         let a = arena.malloc(&mut sink, 1, 2048, Tick(0));
         assert_eq!(a.offset_in_page, 0);
         assert_eq!(arena.mmapped(), 1);
@@ -349,7 +377,10 @@ mod tests {
     #[should_panic(expected = "zero-length")]
     fn zero_len_rejected() {
         let (mut mm, s1) = setup();
-        let mut sink = Sink { mm: &mut mm, space: s1 };
+        let mut sink = Sink {
+            mm: &mut mm,
+            space: s1,
+        };
         MallocArena::new(4).malloc(&mut sink, 1, 0, Tick(0));
     }
 
@@ -357,7 +388,10 @@ mod tests {
     #[should_panic(expected = "exceeds the arena block size")]
     fn oversized_small_alloc_rejected() {
         let (mut mm, s1) = setup();
-        let mut sink = Sink { mm: &mut mm, space: s1 };
+        let mut sink = Sink {
+            mm: &mut mm,
+            space: s1,
+        };
         // Below the mmap threshold but above the block capacity.
         MallocArena::new(4).malloc(&mut sink, 1, 100 * 1024, Tick(0));
     }

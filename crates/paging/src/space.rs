@@ -68,16 +68,27 @@ pub struct Region {
     // paper scale there are millions of page slots).
     pages: Vec<u32>,
     mapped: usize,
+    // Identity within the owning address space: survives nothing — a
+    // region removed and re-added at the same base gets a fresh id, so
+    // cached per-region state (the KSM clean-region records) can never
+    // alias across the replacement.
+    id: u64,
+    // Monotonic write generation: bumped on every fault-in, overwrite,
+    // CoW break, PTE repoint, and unmap. An unchanged generation means
+    // no page of the region changed content or population.
+    generation: u64,
 }
 
 impl Region {
-    fn new(base: Vpn, pages: usize, tag: MemTag, mergeable: bool) -> Region {
+    fn new(id: u64, base: Vpn, pages: usize, tag: MemTag, mergeable: bool) -> Region {
         Region {
             base,
             tag,
             mergeable,
             pages: vec![UNMAPPED; pages],
             mapped: 0,
+            id,
+            generation: 0,
         }
     }
 
@@ -112,6 +123,26 @@ impl Region {
         self.mapped
     }
 
+    /// Identity of this region within its address space. Unique across
+    /// the space's lifetime: a region re-created at the same base gets a
+    /// different id.
+    #[must_use]
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Monotonic write-generation counter. Two equal observations mean
+    /// no page of the region was written, faulted in, repointed, or
+    /// unmapped in between.
+    #[must_use]
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    pub(crate) fn touch(&mut self) {
+        self.generation += 1;
+    }
+
     /// One past the last page of the region.
     #[must_use]
     pub fn end(&self) -> Vpn {
@@ -132,6 +163,39 @@ impl Region {
         (raw != UNMAPPED).then(|| FrameId::from_raw(raw))
     }
 
+    /// Frame backing the `index`-th page of the region, if populated.
+    ///
+    /// Direct indexing into the frame table — the page-iteration path
+    /// for callers (like the KSM scanner) that have already resolved
+    /// the region and walk it with a cursor, avoiding a per-page
+    /// region lookup.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= len_pages()`.
+    #[must_use]
+    pub fn frame_at_index(&self, index: usize) -> Option<FrameId> {
+        let raw = self.pages[index];
+        (raw != UNMAPPED).then(|| FrameId::from_raw(raw))
+    }
+
+    /// Page index of the `n`-th (0-based) populated page, or `None` if
+    /// fewer than `n + 1` pages are populated. O(len); used only on the
+    /// rare fall-back when a clean-region skip is interrupted.
+    #[must_use]
+    pub fn nth_mapped_index(&self, n: u64) -> Option<usize> {
+        let mut seen = 0u64;
+        for (idx, &raw) in self.pages.iter().enumerate() {
+            if raw != UNMAPPED {
+                if seen == n {
+                    return Some(idx);
+                }
+                seen += 1;
+            }
+        }
+        None
+    }
+
     pub(crate) fn set_frame(&mut self, vpn: Vpn, frame: Option<FrameId>) {
         let idx = self.slot_index(vpn).expect("vpn outside region");
         let old = self.pages[idx];
@@ -142,11 +206,16 @@ impl Region {
             self.mapped -= 1;
         }
         self.pages[idx] = new;
+        self.generation += 1;
     }
 
     /// Iterates over populated pages as `(vpn, frame)` pairs.
     pub fn iter_mapped(&self) -> impl Iterator<Item = (Vpn, FrameId)> + '_ {
-        self.pages.iter().enumerate().filter(|&(_i, &raw)| raw != UNMAPPED).map(|(i, &raw)| (self.base.offset(i as u64), FrameId::from_raw(raw)))
+        self.pages
+            .iter()
+            .enumerate()
+            .filter(|&(_i, &raw)| raw != UNMAPPED)
+            .map(|(i, &raw)| (self.base.offset(i as u64), FrameId::from_raw(raw)))
     }
 }
 
@@ -186,6 +255,7 @@ pub struct AddressSpace {
     name: String,
     regions: BTreeMap<u64, Region>,
     next_vpn: u64,
+    next_region_id: u64,
 }
 
 impl AddressSpace {
@@ -196,7 +266,14 @@ impl AddressSpace {
             regions: BTreeMap::new(),
             // Leave page zero unmapped, like every real process image.
             next_vpn: 1,
+            next_region_id: 0,
         }
+    }
+
+    fn fresh_region_id(&mut self) -> u64 {
+        let id = self.next_region_id;
+        self.next_region_id += 1;
+        id
     }
 
     /// Creates a free-standing address space not registered with a
@@ -231,8 +308,9 @@ impl AddressSpace {
         let base = Vpn(self.next_vpn);
         // One guard page between regions, as mmap tends to leave holes.
         self.next_vpn += pages as u64 + 1;
+        let id = self.fresh_region_id();
         self.regions
-            .insert(base.0, Region::new(base, pages, tag, mergeable));
+            .insert(base.0, Region::new(id, base, pages, tag, mergeable));
         base
     }
 
@@ -253,8 +331,9 @@ impl AddressSpace {
             );
         }
         self.next_vpn = self.next_vpn.max(end + 1);
+        let id = self.fresh_region_id();
         self.regions
-            .insert(base.0, Region::new(base, pages, tag, mergeable));
+            .insert(base.0, Region::new(id, base, pages, tag, mergeable));
     }
 
     /// Removes the region based at `base`, returning it.
@@ -267,6 +346,15 @@ impl AddressSpace {
     pub fn region_containing(&self, vpn: Vpn) -> Option<&Region> {
         let (_, region) = self.regions.range(..=vpn.0).next_back()?;
         (vpn < region.end()).then_some(region)
+    }
+
+    /// Returns the region *based* exactly at `base`, if any — a single
+    /// map lookup, cheaper than [`region_containing`](Self::region_containing)
+    /// and sufficient when the caller already knows the base (the KSM
+    /// scanner resolves each region once per batch this way).
+    #[must_use]
+    pub fn region_at(&self, base: Vpn) -> Option<&Region> {
+        self.regions.get(&base.0)
     }
 
     pub(crate) fn region_containing_mut(&mut self, vpn: Vpn) -> Option<&mut Region> {

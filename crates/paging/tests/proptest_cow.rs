@@ -26,17 +26,22 @@ const PAGES: u8 = 8;
 
 fn op_strategy() -> impl Strategy<Value = Op> {
     prop_oneof![
-        (0..SPACES, 0..PAGES, any::<u8>())
-            .prop_map(|(space, page, content)| Op::Write { space, page, content }),
-        (0..SPACES, 0..PAGES).prop_map(|(space, page)| Op::Unmap { space, page }),
-        (0..SPACES, 0..PAGES, 0..SPACES, 0..PAGES).prop_map(|(space_a, page_a, space_b, page_b)| {
-            Op::Merge {
-                space_a,
-                page_a,
-                space_b,
-                page_b,
-            }
+        (0..SPACES, 0..PAGES, any::<u8>()).prop_map(|(space, page, content)| Op::Write {
+            space,
+            page,
+            content
         }),
+        (0..SPACES, 0..PAGES).prop_map(|(space, page)| Op::Unmap { space, page }),
+        (0..SPACES, 0..PAGES, 0..SPACES, 0..PAGES).prop_map(
+            |(space_a, page_a, space_b, page_b)| {
+                Op::Merge {
+                    space_a,
+                    page_a,
+                    space_b,
+                    page_b,
+                }
+            }
+        ),
     ]
 }
 

@@ -4,12 +4,20 @@ fn main() {
     for n in [7usize, 8, 9] {
         for cds in [false, true] {
             let secs = 360u64;
-            let mut cfg = ExperimentConfig::paper_overcommit_daytrader(n, scale).with_duration_seconds(secs);
+            let mut cfg =
+                ExperimentConfig::paper_overcommit_daytrader(n, scale).with_duration_seconds(secs);
             cfg.ksm = KsmSchedule::compressed(scale, secs);
-            if cds { cfg = cfg.with_class_sharing(); }
+            if cds {
+                cfg = cfg.with_class_sharing();
+            }
             let r = Experiment::run(&cfg);
-            println!("n={n} cds={cds}: resident={:.0} usable={:.0} overflow={:.0} (paper-scale: {:.0})",
-                r.resident_mib, r.usable_mib, r.resident_mib - r.usable_mib, (r.resident_mib - r.usable_mib)*scale);
+            println!(
+                "n={n} cds={cds}: resident={:.0} usable={:.0} overflow={:.0} (paper-scale: {:.0})",
+                r.resident_mib,
+                r.usable_mib,
+                r.resident_mib - r.usable_mib,
+                (r.resident_mib - r.usable_mib) * scale
+            );
         }
     }
 }

@@ -43,6 +43,7 @@ mod config;
 mod powervm;
 mod report;
 mod run;
+pub mod sweep;
 
 pub use config::{ExperimentConfig, GuestSpec, KsmSchedule};
 pub use powervm::{PowerVmExperiment, PowerVmFigure};

@@ -111,11 +111,7 @@ impl ExperimentReport {
         if savers.is_empty() {
             0.0
         } else {
-            savers
-                .iter()
-                .map(|j| j.saved_total_mib())
-                .sum::<f64>()
-                / savers.len() as f64
+            savers.iter().map(|j| j.saved_total_mib()).sum::<f64>() / savers.len() as f64
         }
     }
 

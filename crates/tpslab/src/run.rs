@@ -28,6 +28,12 @@ impl Experiment {
         } else {
             HashMap::new()
         };
+        // Serialize each master cache once up front; guests decode from
+        // the shared byte image instead of re-encoding per guest.
+        let cache_images: HashMap<u64, Vec<u8>> = caches
+            .iter()
+            .map(|(&id, cache)| (id, cache.to_bytes()))
+            .collect();
 
         // Boot guests and launch their JVMs.
         let mut javas: Vec<JavaVm> = Vec::new();
@@ -42,9 +48,9 @@ impl Experiment {
             );
             // Each guest receives its own *copy* of the cache file —
             // byte-identical content, as if copied into the disk image.
-            let cache_copy = caches
+            let cache_copy = cache_images
                 .get(&spec.benchmark.profile.workload_id)
-                .map(|c| SharedClassCache::from_bytes(&c.to_bytes()).expect("cache copy decodes"));
+                .map(|bytes| SharedClassCache::from_bytes(bytes).expect("cache copy decodes"));
             let mut cfg = JvmConfig::new(JVM_VERSION, mix(config.seed, 0x9a17, i as u64));
             if let Some(cache) = cache_copy {
                 cfg = cfg.with_shared_cache(cache);
@@ -272,7 +278,8 @@ mod timeline_tests {
 
     #[test]
     fn no_timeline_by_default() {
-        let report = Experiment::run(&ExperimentConfig::tiny_test(1, false).with_duration_seconds(30));
+        let report =
+            Experiment::run(&ExperimentConfig::tiny_test(1, false).with_duration_seconds(30));
         assert!(report.timeline.is_empty());
     }
 }

@@ -1,0 +1,179 @@
+//! Parallel execution of experiment sweeps.
+//!
+//! Every figure and ablation in the paper is a *sweep*: a list of
+//! independent [`ExperimentConfig`]s run one after another. Each
+//! [`Experiment::run`] is single-threaded and deterministic in its
+//! config, so a sweep parallelizes trivially across experiments — the
+//! reports come back in input order and are bit-identical to a serial
+//! run regardless of worker count.
+//!
+//! The pool is a [`std::thread::scope`] over plain workers pulling from
+//! an atomic work index; no external dependencies. [`map_parallel`] is
+//! the generic building block for sweeps that are not expressed as
+//! `ExperimentConfig`s (e.g. the ballooning ablation, which builds its
+//! hosts by hand).
+//!
+//! ```
+//! use tpslab::{sweep, ExperimentConfig};
+//!
+//! let configs = vec![
+//!     ExperimentConfig::tiny_test(1, false),
+//!     ExperimentConfig::tiny_test(1, true),
+//! ];
+//! let reports = sweep::run_all(&configs, 2);
+//! assert_eq!(reports.len(), 2);
+//! ```
+
+use crate::{Experiment, ExperimentConfig, ExperimentReport};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+/// A sweep result paired with the wall-clock time its run took.
+#[derive(Debug, Clone)]
+pub struct Timed<R> {
+    /// The result itself.
+    pub value: R,
+    /// Wall-clock duration of this run on its worker thread.
+    pub wall: Duration,
+}
+
+/// Worker count to use when the caller expresses no preference: the
+/// machine's available parallelism, or 1 if that cannot be determined.
+#[must_use]
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Runs every config and returns the reports in input order.
+///
+/// With `threads <= 1` the sweep runs serially on the calling thread;
+/// either way the reports are identical — parallelism only changes
+/// wall-clock time.
+#[must_use]
+pub fn run_all(configs: &[ExperimentConfig], threads: usize) -> Vec<ExperimentReport> {
+    map_parallel(configs, threads, Experiment::run)
+}
+
+/// [`run_all`], with per-run wall-clock timing attached.
+#[must_use]
+pub fn run_all_timed(configs: &[ExperimentConfig], threads: usize) -> Vec<Timed<ExperimentReport>> {
+    map_parallel_timed(configs, threads, Experiment::run)
+}
+
+/// Applies `f` to every item on a scoped worker pool, returning results
+/// in input order. The generic engine behind [`run_all`].
+#[must_use]
+pub fn map_parallel<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    map_parallel_timed(items, threads, f)
+        .into_iter()
+        .map(|timed| timed.value)
+        .collect()
+}
+
+/// [`map_parallel`], with per-item wall-clock timing attached.
+#[must_use]
+pub fn map_parallel_timed<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<Timed<R>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let time_one = |item: &T| {
+        let start = Instant::now();
+        let value = f(item);
+        Timed {
+            value,
+            wall: start.elapsed(),
+        }
+    };
+    let workers = threads.max(1).min(items.len());
+    if workers <= 1 {
+        return items.iter().map(time_one).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let mut pairs: Vec<(usize, Timed<R>)> = Vec::with_capacity(items.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(item) = items.get(i) else { break };
+                        local.push((i, time_one(item)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for handle in handles {
+            pairs.extend(handle.join().expect("sweep worker panicked"));
+        }
+    });
+    pairs.sort_by_key(|&(i, _)| i);
+    pairs.into_iter().map(|(_, timed)| timed).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_input_order() {
+        let items: Vec<u64> = (0..32).collect();
+        let doubled = map_parallel(&items, 4, |&x| x * 2);
+        assert_eq!(doubled, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn worker_count_does_not_change_results() {
+        let items: Vec<u64> = (0..10).collect();
+        let serial = map_parallel(&items, 1, |&x| x * x);
+        for threads in [2, 3, 8, 64] {
+            assert_eq!(map_parallel(&items, threads, |&x| x * x), serial);
+        }
+    }
+
+    #[test]
+    fn empty_and_single_item_sweeps_work() {
+        let empty: Vec<u64> = Vec::new();
+        assert!(map_parallel(&empty, 4, |&x| x).is_empty());
+        assert_eq!(map_parallel(&[7u64], 4, |&x| x + 1), vec![8]);
+    }
+
+    /// The sweep determinism contract: N workers produce byte-identical
+    /// reports to a single worker, in the same order.
+    #[test]
+    fn parallel_sweep_is_bit_identical_to_serial() {
+        let configs = vec![
+            ExperimentConfig::tiny_test(1, false),
+            ExperimentConfig::tiny_test(2, true),
+            ExperimentConfig::tiny_test(2, false).with_seed(77),
+            ExperimentConfig::tiny_test(3, true).with_seed(99),
+        ];
+        let serial = run_all(&configs, 1);
+        let parallel = run_all(&configs, 4);
+        assert_eq!(serial.len(), parallel.len());
+        for (a, b) in serial.iter().zip(&parallel) {
+            assert_eq!(a.breakdown, b.breakdown);
+            assert_eq!(a.ksm, b.ksm);
+            assert_eq!(a.resident_mib, b.resident_mib);
+            assert_eq!(a.slowdown, b.slowdown);
+        }
+    }
+
+    #[test]
+    fn timed_runs_record_nonzero_wall_clock() {
+        let configs = vec![ExperimentConfig::tiny_test(1, false)];
+        let timed = run_all_timed(&configs, 2);
+        assert_eq!(timed.len(), 1);
+        assert!(timed[0].wall > Duration::ZERO);
+        assert!(timed[0].value.resident_mib > 0.0);
+    }
+}

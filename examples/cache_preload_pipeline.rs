@@ -11,12 +11,12 @@
 //! cargo run --release --example cache_preload_pipeline
 //! ```
 
+use mem::Tick;
 use tpslab::cds::{CacheBuilder, SharedClassCache};
 use tpslab::hypervisor::{HostConfig, KvmHost};
 use tpslab::jvm::{AppProfile, ClassSet, JavaVm, JvmConfig};
 use tpslab::ksm::{KsmParams, KsmScanner};
 use tpslab::oskernel::OsImage;
-use mem::Tick;
 
 fn main() {
     let profile = AppProfile::tiny_test();
@@ -56,7 +56,13 @@ fn main() {
         let copy = SharedClassCache::from_bytes(&file_bytes).expect("cache copy decodes");
         let cfg = JvmConfig::new(6, 1000 + i).with_shared_cache(copy);
         let (mm, guest) = host.mm_and_guest_mut(g);
-        javas.push(JavaVm::launch(mm, &mut guest.os, cfg, profile.clone(), Tick::ZERO));
+        javas.push(JavaVm::launch(
+            mm,
+            &mut guest.os,
+            cfg,
+            profile.clone(),
+            Tick::ZERO,
+        ));
     }
 
     // Step 4: run the system with the KSM scanner watching.

@@ -67,12 +67,32 @@ fn parse_opts(args: &[String]) -> Result<Opts, CliError> {
                 .ok_or_else(|| err(format!("{name} needs a value")))
         };
         match arg.as_str() {
-            "--guests" => opts.guests = value("--guests")?.parse().map_err(|_| err("--guests: not a number"))?,
-            "--from" => opts.from = value("--from")?.parse().map_err(|_| err("--from: not a number"))?,
-            "--to" => opts.to = value("--to")?.parse().map_err(|_| err("--to: not a number"))?,
+            "--guests" => {
+                opts.guests = value("--guests")?
+                    .parse()
+                    .map_err(|_| err("--guests: not a number"))?
+            }
+            "--from" => {
+                opts.from = value("--from")?
+                    .parse()
+                    .map_err(|_| err("--from: not a number"))?
+            }
+            "--to" => {
+                opts.to = value("--to")?
+                    .parse()
+                    .map_err(|_| err("--to: not a number"))?
+            }
             "--benchmark" => opts.benchmark = value("--benchmark")?.clone(),
-            "--scale" => opts.scale = value("--scale")?.parse().map_err(|_| err("--scale: not a number"))?,
-            "--minutes" => opts.minutes = value("--minutes")?.parse().map_err(|_| err("--minutes: not a number"))?,
+            "--scale" => {
+                opts.scale = value("--scale")?
+                    .parse()
+                    .map_err(|_| err("--scale: not a number"))?
+            }
+            "--minutes" => {
+                opts.minutes = value("--minutes")?
+                    .parse()
+                    .map_err(|_| err("--minutes: not a number"))?
+            }
             "--preload" => opts.preload = true,
             "--csv" => opts.csv = true,
             other => return Err(err(format!("unknown option {other}"))),
@@ -128,7 +148,9 @@ fn config_for(opts: &Opts, guests: usize) -> Result<ExperimentConfig, CliError> 
 ///
 /// Returns a [`CliError`] on unknown subcommands, options, or values.
 pub fn dispatch(args: &[String]) -> Result<String, CliError> {
-    let (cmd, rest) = args.split_first().ok_or_else(|| err("missing subcommand"))?;
+    let (cmd, rest) = args
+        .split_first()
+        .ok_or_else(|| err("missing subcommand"))?;
     match cmd.as_str() {
         "run" => cmd_run(&parse_opts(rest)?),
         "sweep" => cmd_sweep(&parse_opts(rest)?),
@@ -263,10 +285,7 @@ mod tests {
 
     #[test]
     fn run_subcommand_produces_table_and_csv() {
-        let text = dispatch(&argv(
-            "run --guests 2 --scale 32 --minutes 1 --preload",
-        ))
-        .unwrap();
+        let text = dispatch(&argv("run --guests 2 --scale 32 --minutes 1 --preload")).unwrap();
         assert!(text.contains("Guest"));
         assert!(text.contains("class metadata eliminated"));
         let csv = dispatch(&argv("run --guests 2 --scale 32 --minutes 1 --csv")).unwrap();

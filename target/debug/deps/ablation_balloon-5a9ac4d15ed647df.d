@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_balloon-5a9ac4d15ed647df.d: crates/bench/src/bin/ablation_balloon.rs
+
+/root/repo/target/debug/deps/ablation_balloon-5a9ac4d15ed647df: crates/bench/src/bin/ablation_balloon.rs
+
+crates/bench/src/bin/ablation_balloon.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_balloon-92e42e7df875c411.d: crates/bench/src/bin/ablation_balloon.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_balloon-92e42e7df875c411.rmeta: crates/bench/src/bin/ablation_balloon.rs Cargo.toml
+
+crates/bench/src/bin/ablation_balloon.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

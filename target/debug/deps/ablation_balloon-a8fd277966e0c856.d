@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_balloon-a8fd277966e0c856.d: crates/bench/src/bin/ablation_balloon.rs
+
+/root/repo/target/debug/deps/ablation_balloon-a8fd277966e0c856: crates/bench/src/bin/ablation_balloon.rs
+
+crates/bench/src/bin/ablation_balloon.rs:

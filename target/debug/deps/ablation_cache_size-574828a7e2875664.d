@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_cache_size-574828a7e2875664.d: crates/bench/src/bin/ablation_cache_size.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_cache_size-574828a7e2875664.rmeta: crates/bench/src/bin/ablation_cache_size.rs Cargo.toml
+
+crates/bench/src/bin/ablation_cache_size.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_cache_size-6778f7e035d0ca37.d: crates/bench/src/bin/ablation_cache_size.rs
+
+/root/repo/target/debug/deps/ablation_cache_size-6778f7e035d0ca37: crates/bench/src/bin/ablation_cache_size.rs
+
+crates/bench/src/bin/ablation_cache_size.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_cache_size-88a3e03f4c9bd1d0.d: crates/bench/src/bin/ablation_cache_size.rs
+
+/root/repo/target/debug/deps/ablation_cache_size-88a3e03f4c9bd1d0: crates/bench/src/bin/ablation_cache_size.rs
+
+crates/bench/src/bin/ablation_cache_size.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_placement-318bd733f19e116b.d: crates/bench/src/bin/ablation_placement.rs
+
+/root/repo/target/debug/deps/ablation_placement-318bd733f19e116b: crates/bench/src/bin/ablation_placement.rs
+
+crates/bench/src/bin/ablation_placement.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_placement-6dbd1622b47b3ad8.d: crates/bench/src/bin/ablation_placement.rs
+
+/root/repo/target/debug/deps/ablation_placement-6dbd1622b47b3ad8: crates/bench/src/bin/ablation_placement.rs
+
+crates/bench/src/bin/ablation_placement.rs:

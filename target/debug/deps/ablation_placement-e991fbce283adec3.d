@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_placement-e991fbce283adec3.d: crates/bench/src/bin/ablation_placement.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_placement-e991fbce283adec3.rmeta: crates/bench/src/bin/ablation_placement.rs Cargo.toml
+
+crates/bench/src/bin/ablation_placement.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

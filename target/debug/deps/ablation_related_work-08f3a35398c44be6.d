@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_related_work-08f3a35398c44be6.d: crates/bench/src/bin/ablation_related_work.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_related_work-08f3a35398c44be6.rmeta: crates/bench/src/bin/ablation_related_work.rs Cargo.toml
+
+crates/bench/src/bin/ablation_related_work.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_related_work-128d4cedcc92a19d.d: crates/bench/src/bin/ablation_related_work.rs
+
+/root/repo/target/debug/deps/ablation_related_work-128d4cedcc92a19d: crates/bench/src/bin/ablation_related_work.rs
+
+crates/bench/src/bin/ablation_related_work.rs:

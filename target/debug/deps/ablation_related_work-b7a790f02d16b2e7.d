@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_related_work-b7a790f02d16b2e7.d: crates/bench/src/bin/ablation_related_work.rs
+
+/root/repo/target/debug/deps/ablation_related_work-b7a790f02d16b2e7: crates/bench/src/bin/ablation_related_work.rs
+
+crates/bench/src/bin/ablation_related_work.rs:

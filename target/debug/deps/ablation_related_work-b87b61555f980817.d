@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_related_work-b87b61555f980817.d: crates/bench/src/bin/ablation_related_work.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_related_work-b87b61555f980817.rmeta: crates/bench/src/bin/ablation_related_work.rs Cargo.toml
+
+crates/bench/src/bin/ablation_related_work.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

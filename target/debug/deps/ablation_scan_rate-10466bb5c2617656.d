@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_scan_rate-10466bb5c2617656.d: crates/bench/src/bin/ablation_scan_rate.rs
+
+/root/repo/target/debug/deps/ablation_scan_rate-10466bb5c2617656: crates/bench/src/bin/ablation_scan_rate.rs
+
+crates/bench/src/bin/ablation_scan_rate.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_scan_rate-26a2d1c6251d227e.d: crates/bench/src/bin/ablation_scan_rate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_scan_rate-26a2d1c6251d227e.rmeta: crates/bench/src/bin/ablation_scan_rate.rs Cargo.toml
+
+crates/bench/src/bin/ablation_scan_rate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_scan_rate-d55a563611e66681.d: crates/bench/src/bin/ablation_scan_rate.rs
+
+/root/repo/target/debug/deps/ablation_scan_rate-d55a563611e66681: crates/bench/src/bin/ablation_scan_rate.rs
+
+crates/bench/src/bin/ablation_scan_rate.rs:

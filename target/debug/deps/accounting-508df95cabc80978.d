@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/accounting-508df95cabc80978.d: tests/accounting.rs
+
+/root/repo/target/debug/deps/accounting-508df95cabc80978: tests/accounting.rs
+
+tests/accounting.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/accounting-678285b56fcfd3cb.d: tests/accounting.rs Cargo.toml
+
+/root/repo/target/debug/deps/libaccounting-678285b56fcfd3cb.rmeta: tests/accounting.rs Cargo.toml
+
+tests/accounting.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/analysis-103cbfdcf1045baf.d: crates/analysis/src/lib.rs crates/analysis/src/breakdown.rs crates/analysis/src/render.rs crates/analysis/src/snapshot.rs
+
+/root/repo/target/debug/deps/analysis-103cbfdcf1045baf: crates/analysis/src/lib.rs crates/analysis/src/breakdown.rs crates/analysis/src/render.rs crates/analysis/src/snapshot.rs
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/breakdown.rs:
+crates/analysis/src/render.rs:
+crates/analysis/src/snapshot.rs:

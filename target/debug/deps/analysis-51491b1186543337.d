@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/analysis-51491b1186543337.d: crates/analysis/src/lib.rs crates/analysis/src/breakdown.rs crates/analysis/src/render.rs crates/analysis/src/snapshot.rs Cargo.toml
+
+/root/repo/target/debug/deps/libanalysis-51491b1186543337.rmeta: crates/analysis/src/lib.rs crates/analysis/src/breakdown.rs crates/analysis/src/render.rs crates/analysis/src/snapshot.rs Cargo.toml
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/breakdown.rs:
+crates/analysis/src/render.rs:
+crates/analysis/src/snapshot.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

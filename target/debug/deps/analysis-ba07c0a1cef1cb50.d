@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/analysis-ba07c0a1cef1cb50.d: crates/analysis/src/lib.rs crates/analysis/src/breakdown.rs crates/analysis/src/render.rs crates/analysis/src/snapshot.rs
+
+/root/repo/target/debug/deps/libanalysis-ba07c0a1cef1cb50.rlib: crates/analysis/src/lib.rs crates/analysis/src/breakdown.rs crates/analysis/src/render.rs crates/analysis/src/snapshot.rs
+
+/root/repo/target/debug/deps/libanalysis-ba07c0a1cef1cb50.rmeta: crates/analysis/src/lib.rs crates/analysis/src/breakdown.rs crates/analysis/src/render.rs crates/analysis/src/snapshot.rs
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/breakdown.rs:
+crates/analysis/src/render.rs:
+crates/analysis/src/snapshot.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench-006908a445c63f01.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/bench-006908a445c63f01: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bench-44b3410aad95ddbd.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libbench-44b3410aad95ddbd.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libbench-44b3410aad95ddbd.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

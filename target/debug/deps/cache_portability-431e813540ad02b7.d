@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cache_portability-431e813540ad02b7.d: tests/cache_portability.rs
+
+/root/repo/target/debug/deps/cache_portability-431e813540ad02b7: tests/cache_portability.rs
+
+tests/cache_portability.rs:

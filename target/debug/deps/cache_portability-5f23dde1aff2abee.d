@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cache_portability-5f23dde1aff2abee.d: tests/cache_portability.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcache_portability-5f23dde1aff2abee.rmeta: tests/cache_portability.rs Cargo.toml
+
+tests/cache_portability.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cds-0d4d5ca910ca39d8.d: crates/cds/src/lib.rs crates/cds/src/cache.rs crates/cds/src/file.rs
+
+/root/repo/target/debug/deps/cds-0d4d5ca910ca39d8: crates/cds/src/lib.rs crates/cds/src/cache.rs crates/cds/src/file.rs
+
+crates/cds/src/lib.rs:
+crates/cds/src/cache.rs:
+crates/cds/src/file.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/cds-3a7496382c29b0dc.d: crates/cds/src/lib.rs crates/cds/src/cache.rs crates/cds/src/file.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcds-3a7496382c29b0dc.rmeta: crates/cds/src/lib.rs crates/cds/src/cache.rs crates/cds/src/file.rs Cargo.toml
+
+crates/cds/src/lib.rs:
+crates/cds/src/cache.rs:
+crates/cds/src/file.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

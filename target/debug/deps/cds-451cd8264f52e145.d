@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cds-451cd8264f52e145.d: crates/cds/src/lib.rs crates/cds/src/cache.rs crates/cds/src/file.rs
+
+/root/repo/target/debug/deps/libcds-451cd8264f52e145.rlib: crates/cds/src/lib.rs crates/cds/src/cache.rs crates/cds/src/file.rs
+
+/root/repo/target/debug/deps/libcds-451cd8264f52e145.rmeta: crates/cds/src/lib.rs crates/cds/src/cache.rs crates/cds/src/file.rs
+
+crates/cds/src/lib.rs:
+crates/cds/src/cache.rs:
+crates/cds/src/file.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/cds-a9705f4df33da6f7.d: crates/cds/src/lib.rs crates/cds/src/cache.rs crates/cds/src/file.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcds-a9705f4df33da6f7.rmeta: crates/cds/src/lib.rs crates/cds/src/cache.rs crates/cds/src/file.rs Cargo.toml
+
+crates/cds/src/lib.rs:
+crates/cds/src/cache.rs:
+crates/cds/src/file.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-d31f74ffcac3da2d.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-d31f74ffcac3da2d: tests/end_to_end.rs
+
+tests/end_to_end.rs:

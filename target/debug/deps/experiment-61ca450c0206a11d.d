@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/experiment-61ca450c0206a11d.d: crates/bench/benches/experiment.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexperiment-61ca450c0206a11d.rmeta: crates/bench/benches/experiment.rs Cargo.toml
+
+crates/bench/benches/experiment.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2-11f3db6455015db5.d: crates/bench/src/bin/fig2.rs
+
+/root/repo/target/debug/deps/fig2-11f3db6455015db5: crates/bench/src/bin/fig2.rs
+
+crates/bench/src/bin/fig2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2-8c22946fd964307c.d: crates/bench/src/bin/fig2.rs
+
+/root/repo/target/debug/deps/fig2-8c22946fd964307c: crates/bench/src/bin/fig2.rs
+
+crates/bench/src/bin/fig2.rs:

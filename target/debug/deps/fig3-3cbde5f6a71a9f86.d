@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3-3cbde5f6a71a9f86.d: crates/bench/src/bin/fig3.rs
+
+/root/repo/target/debug/deps/fig3-3cbde5f6a71a9f86: crates/bench/src/bin/fig3.rs
+
+crates/bench/src/bin/fig3.rs:

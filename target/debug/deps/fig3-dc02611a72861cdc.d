@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3-dc02611a72861cdc.d: crates/bench/src/bin/fig3.rs
+
+/root/repo/target/debug/deps/fig3-dc02611a72861cdc: crates/bench/src/bin/fig3.rs
+
+crates/bench/src/bin/fig3.rs:

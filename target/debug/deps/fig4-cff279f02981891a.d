@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-cff279f02981891a.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/debug/deps/fig4-cff279f02981891a: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-e1b01faa3a685b44.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/debug/deps/fig4-e1b01faa3a685b44: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

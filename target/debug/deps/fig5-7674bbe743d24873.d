@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-7674bbe743d24873.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/fig5-7674bbe743d24873: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-d6e516e43607f769.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/fig5-d6e516e43607f769: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-42ec1e1db8e01ecc.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-42ec1e1db8e01ecc: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-924e97d7c65d96c0.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-924e97d7c65d96c0: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-0a6bbd5ea1e35b3f.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-0a6bbd5ea1e35b3f: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

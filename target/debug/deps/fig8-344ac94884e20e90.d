@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-344ac94884e20e90.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-344ac94884e20e90: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-7dc21da201e92d51.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-7dc21da201e92d51: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/hypervisor-14101e0058afb8a8.d: crates/hypervisor/src/lib.rs crates/hypervisor/src/balloon.rs crates/hypervisor/src/diffengine.rs crates/hypervisor/src/kvm.rs crates/hypervisor/src/pagingmodel.rs crates/hypervisor/src/placement.rs crates/hypervisor/src/powervm.rs crates/hypervisor/src/satori.rs
+
+/root/repo/target/debug/deps/hypervisor-14101e0058afb8a8: crates/hypervisor/src/lib.rs crates/hypervisor/src/balloon.rs crates/hypervisor/src/diffengine.rs crates/hypervisor/src/kvm.rs crates/hypervisor/src/pagingmodel.rs crates/hypervisor/src/placement.rs crates/hypervisor/src/powervm.rs crates/hypervisor/src/satori.rs
+
+crates/hypervisor/src/lib.rs:
+crates/hypervisor/src/balloon.rs:
+crates/hypervisor/src/diffengine.rs:
+crates/hypervisor/src/kvm.rs:
+crates/hypervisor/src/pagingmodel.rs:
+crates/hypervisor/src/placement.rs:
+crates/hypervisor/src/powervm.rs:
+crates/hypervisor/src/satori.rs:

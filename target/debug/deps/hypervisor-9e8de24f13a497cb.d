@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/hypervisor-9e8de24f13a497cb.d: crates/hypervisor/src/lib.rs crates/hypervisor/src/balloon.rs crates/hypervisor/src/diffengine.rs crates/hypervisor/src/kvm.rs crates/hypervisor/src/pagingmodel.rs crates/hypervisor/src/placement.rs crates/hypervisor/src/powervm.rs crates/hypervisor/src/satori.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhypervisor-9e8de24f13a497cb.rmeta: crates/hypervisor/src/lib.rs crates/hypervisor/src/balloon.rs crates/hypervisor/src/diffengine.rs crates/hypervisor/src/kvm.rs crates/hypervisor/src/pagingmodel.rs crates/hypervisor/src/placement.rs crates/hypervisor/src/powervm.rs crates/hypervisor/src/satori.rs Cargo.toml
+
+crates/hypervisor/src/lib.rs:
+crates/hypervisor/src/balloon.rs:
+crates/hypervisor/src/diffengine.rs:
+crates/hypervisor/src/kvm.rs:
+crates/hypervisor/src/pagingmodel.rs:
+crates/hypervisor/src/placement.rs:
+crates/hypervisor/src/powervm.rs:
+crates/hypervisor/src/satori.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

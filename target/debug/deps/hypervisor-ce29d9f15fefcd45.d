@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/hypervisor-ce29d9f15fefcd45.d: crates/hypervisor/src/lib.rs crates/hypervisor/src/balloon.rs crates/hypervisor/src/diffengine.rs crates/hypervisor/src/kvm.rs crates/hypervisor/src/pagingmodel.rs crates/hypervisor/src/placement.rs crates/hypervisor/src/powervm.rs crates/hypervisor/src/satori.rs
+
+/root/repo/target/debug/deps/libhypervisor-ce29d9f15fefcd45.rlib: crates/hypervisor/src/lib.rs crates/hypervisor/src/balloon.rs crates/hypervisor/src/diffengine.rs crates/hypervisor/src/kvm.rs crates/hypervisor/src/pagingmodel.rs crates/hypervisor/src/placement.rs crates/hypervisor/src/powervm.rs crates/hypervisor/src/satori.rs
+
+/root/repo/target/debug/deps/libhypervisor-ce29d9f15fefcd45.rmeta: crates/hypervisor/src/lib.rs crates/hypervisor/src/balloon.rs crates/hypervisor/src/diffengine.rs crates/hypervisor/src/kvm.rs crates/hypervisor/src/pagingmodel.rs crates/hypervisor/src/placement.rs crates/hypervisor/src/powervm.rs crates/hypervisor/src/satori.rs
+
+crates/hypervisor/src/lib.rs:
+crates/hypervisor/src/balloon.rs:
+crates/hypervisor/src/diffengine.rs:
+crates/hypervisor/src/kvm.rs:
+crates/hypervisor/src/pagingmodel.rs:
+crates/hypervisor/src/placement.rs:
+crates/hypervisor/src/powervm.rs:
+crates/hypervisor/src/satori.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/jvm-48ab917dd9d7bb76.d: crates/jvm/src/lib.rs crates/jvm/src/category.rs crates/jvm/src/classes.rs crates/jvm/src/classloader.rs crates/jvm/src/codearea.rs crates/jvm/src/fill.rs crates/jvm/src/heap.rs crates/jvm/src/jit.rs crates/jvm/src/profile.rs crates/jvm/src/stack.rs crates/jvm/src/vm.rs crates/jvm/src/workarea.rs Cargo.toml
+
+/root/repo/target/debug/deps/libjvm-48ab917dd9d7bb76.rmeta: crates/jvm/src/lib.rs crates/jvm/src/category.rs crates/jvm/src/classes.rs crates/jvm/src/classloader.rs crates/jvm/src/codearea.rs crates/jvm/src/fill.rs crates/jvm/src/heap.rs crates/jvm/src/jit.rs crates/jvm/src/profile.rs crates/jvm/src/stack.rs crates/jvm/src/vm.rs crates/jvm/src/workarea.rs Cargo.toml
+
+crates/jvm/src/lib.rs:
+crates/jvm/src/category.rs:
+crates/jvm/src/classes.rs:
+crates/jvm/src/classloader.rs:
+crates/jvm/src/codearea.rs:
+crates/jvm/src/fill.rs:
+crates/jvm/src/heap.rs:
+crates/jvm/src/jit.rs:
+crates/jvm/src/profile.rs:
+crates/jvm/src/stack.rs:
+crates/jvm/src/vm.rs:
+crates/jvm/src/workarea.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

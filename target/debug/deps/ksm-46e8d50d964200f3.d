@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ksm-46e8d50d964200f3.d: crates/ksm/src/lib.rs crates/ksm/src/params.rs crates/ksm/src/powervm.rs crates/ksm/src/scanner.rs crates/ksm/src/stats.rs
+
+/root/repo/target/debug/deps/ksm-46e8d50d964200f3: crates/ksm/src/lib.rs crates/ksm/src/params.rs crates/ksm/src/powervm.rs crates/ksm/src/scanner.rs crates/ksm/src/stats.rs
+
+crates/ksm/src/lib.rs:
+crates/ksm/src/params.rs:
+crates/ksm/src/powervm.rs:
+crates/ksm/src/scanner.rs:
+crates/ksm/src/stats.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/ksm-6c200a0b409a042f.d: crates/ksm/src/lib.rs crates/ksm/src/params.rs crates/ksm/src/powervm.rs crates/ksm/src/scanner.rs crates/ksm/src/stats.rs
+
+/root/repo/target/debug/deps/libksm-6c200a0b409a042f.rlib: crates/ksm/src/lib.rs crates/ksm/src/params.rs crates/ksm/src/powervm.rs crates/ksm/src/scanner.rs crates/ksm/src/stats.rs
+
+/root/repo/target/debug/deps/libksm-6c200a0b409a042f.rmeta: crates/ksm/src/lib.rs crates/ksm/src/params.rs crates/ksm/src/powervm.rs crates/ksm/src/scanner.rs crates/ksm/src/stats.rs
+
+crates/ksm/src/lib.rs:
+crates/ksm/src/params.rs:
+crates/ksm/src/powervm.rs:
+crates/ksm/src/scanner.rs:
+crates/ksm/src/stats.rs:

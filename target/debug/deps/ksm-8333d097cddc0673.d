@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/ksm-8333d097cddc0673.d: crates/ksm/src/lib.rs crates/ksm/src/params.rs crates/ksm/src/powervm.rs crates/ksm/src/scanner.rs crates/ksm/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libksm-8333d097cddc0673.rmeta: crates/ksm/src/lib.rs crates/ksm/src/params.rs crates/ksm/src/powervm.rs crates/ksm/src/scanner.rs crates/ksm/src/stats.rs Cargo.toml
+
+crates/ksm/src/lib.rs:
+crates/ksm/src/params.rs:
+crates/ksm/src/powervm.rs:
+crates/ksm/src/scanner.rs:
+crates/ksm/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/mem-3b44d4ce4cd79a0f.d: crates/mem/src/lib.rs crates/mem/src/fingerprint.rs crates/mem/src/layout.rs crates/mem/src/phys.rs crates/mem/src/tick.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmem-3b44d4ce4cd79a0f.rmeta: crates/mem/src/lib.rs crates/mem/src/fingerprint.rs crates/mem/src/layout.rs crates/mem/src/phys.rs crates/mem/src/tick.rs Cargo.toml
+
+crates/mem/src/lib.rs:
+crates/mem/src/fingerprint.rs:
+crates/mem/src/layout.rs:
+crates/mem/src/phys.rs:
+crates/mem/src/tick.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/mem-765f3aa5fb9c6fed.d: crates/mem/src/lib.rs crates/mem/src/fingerprint.rs crates/mem/src/layout.rs crates/mem/src/phys.rs crates/mem/src/tick.rs
+
+/root/repo/target/debug/deps/libmem-765f3aa5fb9c6fed.rlib: crates/mem/src/lib.rs crates/mem/src/fingerprint.rs crates/mem/src/layout.rs crates/mem/src/phys.rs crates/mem/src/tick.rs
+
+/root/repo/target/debug/deps/libmem-765f3aa5fb9c6fed.rmeta: crates/mem/src/lib.rs crates/mem/src/fingerprint.rs crates/mem/src/layout.rs crates/mem/src/phys.rs crates/mem/src/tick.rs
+
+crates/mem/src/lib.rs:
+crates/mem/src/fingerprint.rs:
+crates/mem/src/layout.rs:
+crates/mem/src/phys.rs:
+crates/mem/src/tick.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mem-a5a3921e9fb79312.d: crates/mem/src/lib.rs crates/mem/src/fingerprint.rs crates/mem/src/layout.rs crates/mem/src/phys.rs crates/mem/src/tick.rs
+
+/root/repo/target/debug/deps/mem-a5a3921e9fb79312: crates/mem/src/lib.rs crates/mem/src/fingerprint.rs crates/mem/src/layout.rs crates/mem/src/phys.rs crates/mem/src/tick.rs
+
+crates/mem/src/lib.rs:
+crates/mem/src/fingerprint.rs:
+crates/mem/src/layout.rs:
+crates/mem/src/phys.rs:
+crates/mem/src/tick.rs:

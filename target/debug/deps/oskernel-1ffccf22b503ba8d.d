@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/oskernel-1ffccf22b503ba8d.d: crates/oskernel/src/lib.rs crates/oskernel/src/guestas.rs crates/oskernel/src/guestos.rs crates/oskernel/src/image.rs crates/oskernel/src/smaps.rs
+
+/root/repo/target/debug/deps/liboskernel-1ffccf22b503ba8d.rlib: crates/oskernel/src/lib.rs crates/oskernel/src/guestas.rs crates/oskernel/src/guestos.rs crates/oskernel/src/image.rs crates/oskernel/src/smaps.rs
+
+/root/repo/target/debug/deps/liboskernel-1ffccf22b503ba8d.rmeta: crates/oskernel/src/lib.rs crates/oskernel/src/guestas.rs crates/oskernel/src/guestos.rs crates/oskernel/src/image.rs crates/oskernel/src/smaps.rs
+
+crates/oskernel/src/lib.rs:
+crates/oskernel/src/guestas.rs:
+crates/oskernel/src/guestos.rs:
+crates/oskernel/src/image.rs:
+crates/oskernel/src/smaps.rs:

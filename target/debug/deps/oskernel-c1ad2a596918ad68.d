@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/oskernel-c1ad2a596918ad68.d: crates/oskernel/src/lib.rs crates/oskernel/src/guestas.rs crates/oskernel/src/guestos.rs crates/oskernel/src/image.rs crates/oskernel/src/smaps.rs Cargo.toml
+
+/root/repo/target/debug/deps/liboskernel-c1ad2a596918ad68.rmeta: crates/oskernel/src/lib.rs crates/oskernel/src/guestas.rs crates/oskernel/src/guestos.rs crates/oskernel/src/image.rs crates/oskernel/src/smaps.rs Cargo.toml
+
+crates/oskernel/src/lib.rs:
+crates/oskernel/src/guestas.rs:
+crates/oskernel/src/guestos.rs:
+crates/oskernel/src/image.rs:
+crates/oskernel/src/smaps.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

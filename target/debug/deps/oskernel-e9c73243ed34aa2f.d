@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/oskernel-e9c73243ed34aa2f.d: crates/oskernel/src/lib.rs crates/oskernel/src/guestas.rs crates/oskernel/src/guestos.rs crates/oskernel/src/image.rs crates/oskernel/src/smaps.rs
+
+/root/repo/target/debug/deps/oskernel-e9c73243ed34aa2f: crates/oskernel/src/lib.rs crates/oskernel/src/guestas.rs crates/oskernel/src/guestos.rs crates/oskernel/src/image.rs crates/oskernel/src/smaps.rs
+
+crates/oskernel/src/lib.rs:
+crates/oskernel/src/guestas.rs:
+crates/oskernel/src/guestos.rs:
+crates/oskernel/src/image.rs:
+crates/oskernel/src/smaps.rs:

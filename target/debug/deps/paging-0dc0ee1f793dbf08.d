@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/paging-0dc0ee1f793dbf08.d: crates/paging/src/lib.rs crates/paging/src/hostmm.rs crates/paging/src/malloc.rs crates/paging/src/rmap.rs crates/paging/src/space.rs crates/paging/src/tag.rs
+
+/root/repo/target/debug/deps/libpaging-0dc0ee1f793dbf08.rlib: crates/paging/src/lib.rs crates/paging/src/hostmm.rs crates/paging/src/malloc.rs crates/paging/src/rmap.rs crates/paging/src/space.rs crates/paging/src/tag.rs
+
+/root/repo/target/debug/deps/libpaging-0dc0ee1f793dbf08.rmeta: crates/paging/src/lib.rs crates/paging/src/hostmm.rs crates/paging/src/malloc.rs crates/paging/src/rmap.rs crates/paging/src/space.rs crates/paging/src/tag.rs
+
+crates/paging/src/lib.rs:
+crates/paging/src/hostmm.rs:
+crates/paging/src/malloc.rs:
+crates/paging/src/rmap.rs:
+crates/paging/src/space.rs:
+crates/paging/src/tag.rs:

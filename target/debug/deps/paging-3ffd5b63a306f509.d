@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/paging-3ffd5b63a306f509.d: crates/paging/src/lib.rs crates/paging/src/hostmm.rs crates/paging/src/malloc.rs crates/paging/src/rmap.rs crates/paging/src/space.rs crates/paging/src/tag.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpaging-3ffd5b63a306f509.rmeta: crates/paging/src/lib.rs crates/paging/src/hostmm.rs crates/paging/src/malloc.rs crates/paging/src/rmap.rs crates/paging/src/space.rs crates/paging/src/tag.rs Cargo.toml
+
+crates/paging/src/lib.rs:
+crates/paging/src/hostmm.rs:
+crates/paging/src/malloc.rs:
+crates/paging/src/rmap.rs:
+crates/paging/src/space.rs:
+crates/paging/src/tag.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

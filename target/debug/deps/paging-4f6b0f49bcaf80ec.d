@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/paging-4f6b0f49bcaf80ec.d: crates/paging/src/lib.rs crates/paging/src/hostmm.rs crates/paging/src/malloc.rs crates/paging/src/rmap.rs crates/paging/src/space.rs crates/paging/src/tag.rs
+
+/root/repo/target/debug/deps/paging-4f6b0f49bcaf80ec: crates/paging/src/lib.rs crates/paging/src/hostmm.rs crates/paging/src/malloc.rs crates/paging/src/rmap.rs crates/paging/src/space.rs crates/paging/src/tag.rs
+
+crates/paging/src/lib.rs:
+crates/paging/src/hostmm.rs:
+crates/paging/src/malloc.rs:
+crates/paging/src/rmap.rs:
+crates/paging/src/space.rs:
+crates/paging/src/tag.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_cow-04c481371f777d62.d: crates/paging/tests/proptest_cow.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_cow-04c481371f777d62.rmeta: crates/paging/tests/proptest_cow.rs Cargo.toml
+
+crates/paging/tests/proptest_cow.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_cow-363c6b353393315e.d: crates/paging/tests/proptest_cow.rs
+
+/root/repo/target/debug/deps/proptest_cow-363c6b353393315e: crates/paging/tests/proptest_cow.rs
+
+crates/paging/tests/proptest_cow.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_file-145fe1d00cc7a763.d: crates/cds/tests/proptest_file.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_file-145fe1d00cc7a763.rmeta: crates/cds/tests/proptest_file.rs Cargo.toml
+
+crates/cds/tests/proptest_file.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

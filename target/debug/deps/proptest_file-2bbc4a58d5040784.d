@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_file-2bbc4a58d5040784.d: crates/cds/tests/proptest_file.rs
+
+/root/repo/target/debug/deps/proptest_file-2bbc4a58d5040784: crates/cds/tests/proptest_file.rs
+
+crates/cds/tests/proptest_file.rs:

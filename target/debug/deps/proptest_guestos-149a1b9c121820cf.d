@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_guestos-149a1b9c121820cf.d: crates/oskernel/tests/proptest_guestos.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_guestos-149a1b9c121820cf.rmeta: crates/oskernel/tests/proptest_guestos.rs Cargo.toml
+
+crates/oskernel/tests/proptest_guestos.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

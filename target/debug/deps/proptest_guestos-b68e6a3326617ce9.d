@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_guestos-b68e6a3326617ce9.d: crates/oskernel/tests/proptest_guestos.rs
+
+/root/repo/target/debug/deps/proptest_guestos-b68e6a3326617ce9: crates/oskernel/tests/proptest_guestos.rs
+
+crates/oskernel/tests/proptest_guestos.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_layout-53b69195aea86de0.d: crates/mem/tests/proptest_layout.rs
+
+/root/repo/target/debug/deps/proptest_layout-53b69195aea86de0: crates/mem/tests/proptest_layout.rs
+
+crates/mem/tests/proptest_layout.rs:

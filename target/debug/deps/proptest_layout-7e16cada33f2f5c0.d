@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_layout-7e16cada33f2f5c0.d: crates/mem/tests/proptest_layout.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_layout-7e16cada33f2f5c0.rmeta: crates/mem/tests/proptest_layout.rs Cargo.toml
+
+crates/mem/tests/proptest_layout.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

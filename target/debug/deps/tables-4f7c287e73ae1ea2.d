@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tables-4f7c287e73ae1ea2.d: crates/bench/src/bin/tables.rs
+
+/root/repo/target/debug/deps/tables-4f7c287e73ae1ea2: crates/bench/src/bin/tables.rs
+
+crates/bench/src/bin/tables.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tables-e1a33eeac8651363.d: crates/bench/src/bin/tables.rs
+
+/root/repo/target/debug/deps/tables-e1a33eeac8651363: crates/bench/src/bin/tables.rs
+
+crates/bench/src/bin/tables.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/timeline-831578ae3fab94c8.d: crates/bench/src/bin/timeline.rs
+
+/root/repo/target/debug/deps/timeline-831578ae3fab94c8: crates/bench/src/bin/timeline.rs
+
+crates/bench/src/bin/timeline.rs:

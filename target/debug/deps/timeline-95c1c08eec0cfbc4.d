@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/timeline-95c1c08eec0cfbc4.d: crates/bench/src/bin/timeline.rs
+
+/root/repo/target/debug/deps/timeline-95c1c08eec0cfbc4: crates/bench/src/bin/timeline.rs
+
+crates/bench/src/bin/timeline.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/timeline-b90243660f472e01.d: crates/bench/src/bin/timeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtimeline-b90243660f472e01.rmeta: crates/bench/src/bin/timeline.rs Cargo.toml
+
+crates/bench/src/bin/timeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/tps_java_repro-2f2ddb39c4b8def2.d: src/lib.rs src/cli.rs
+
+/root/repo/target/debug/deps/tps_java_repro-2f2ddb39c4b8def2: src/lib.rs src/cli.rs
+
+src/lib.rs:
+src/cli.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/tps_java_repro-743b319a8e47180d.d: src/lib.rs src/cli.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtps_java_repro-743b319a8e47180d.rmeta: src/lib.rs src/cli.rs Cargo.toml
+
+src/lib.rs:
+src/cli.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

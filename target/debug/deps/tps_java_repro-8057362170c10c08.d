@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tps_java_repro-8057362170c10c08.d: src/main.rs
+
+/root/repo/target/debug/deps/tps_java_repro-8057362170c10c08: src/main.rs
+
+src/main.rs:

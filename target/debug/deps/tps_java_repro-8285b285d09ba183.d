@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tps_java_repro-8285b285d09ba183.d: src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtps_java_repro-8285b285d09ba183.rmeta: src/main.rs Cargo.toml
+
+src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

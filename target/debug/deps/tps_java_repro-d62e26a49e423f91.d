@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tps_java_repro-d62e26a49e423f91.d: src/main.rs
+
+/root/repo/target/debug/deps/tps_java_repro-d62e26a49e423f91: src/main.rs
+
+src/main.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/tps_java_repro-d8e9a7c15d3e1d85.d: src/lib.rs src/cli.rs
+
+/root/repo/target/debug/deps/libtps_java_repro-d8e9a7c15d3e1d85.rlib: src/lib.rs src/cli.rs
+
+/root/repo/target/debug/deps/libtps_java_repro-d8e9a7c15d3e1d85.rmeta: src/lib.rs src/cli.rs
+
+src/lib.rs:
+src/cli.rs:

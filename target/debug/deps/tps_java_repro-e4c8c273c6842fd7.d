@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tps_java_repro-e4c8c273c6842fd7.d: src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtps_java_repro-e4c8c273c6842fd7.rmeta: src/main.rs Cargo.toml
+
+src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

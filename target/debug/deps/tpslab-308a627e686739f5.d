@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/tpslab-308a627e686739f5.d: crates/tpslab/src/lib.rs crates/tpslab/src/config.rs crates/tpslab/src/powervm.rs crates/tpslab/src/report.rs crates/tpslab/src/run.rs crates/tpslab/src/sweep.rs
+
+/root/repo/target/debug/deps/libtpslab-308a627e686739f5.rlib: crates/tpslab/src/lib.rs crates/tpslab/src/config.rs crates/tpslab/src/powervm.rs crates/tpslab/src/report.rs crates/tpslab/src/run.rs crates/tpslab/src/sweep.rs
+
+/root/repo/target/debug/deps/libtpslab-308a627e686739f5.rmeta: crates/tpslab/src/lib.rs crates/tpslab/src/config.rs crates/tpslab/src/powervm.rs crates/tpslab/src/report.rs crates/tpslab/src/run.rs crates/tpslab/src/sweep.rs
+
+crates/tpslab/src/lib.rs:
+crates/tpslab/src/config.rs:
+crates/tpslab/src/powervm.rs:
+crates/tpslab/src/report.rs:
+crates/tpslab/src/run.rs:
+crates/tpslab/src/sweep.rs:

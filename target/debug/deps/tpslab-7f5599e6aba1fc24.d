@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/tpslab-7f5599e6aba1fc24.d: crates/tpslab/src/lib.rs crates/tpslab/src/config.rs crates/tpslab/src/powervm.rs crates/tpslab/src/report.rs crates/tpslab/src/run.rs crates/tpslab/src/sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtpslab-7f5599e6aba1fc24.rmeta: crates/tpslab/src/lib.rs crates/tpslab/src/config.rs crates/tpslab/src/powervm.rs crates/tpslab/src/report.rs crates/tpslab/src/run.rs crates/tpslab/src/sweep.rs Cargo.toml
+
+crates/tpslab/src/lib.rs:
+crates/tpslab/src/config.rs:
+crates/tpslab/src/powervm.rs:
+crates/tpslab/src/report.rs:
+crates/tpslab/src/run.rs:
+crates/tpslab/src/sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/tpslab-977b7926fff39d9a.d: crates/tpslab/src/lib.rs crates/tpslab/src/config.rs crates/tpslab/src/powervm.rs crates/tpslab/src/report.rs crates/tpslab/src/run.rs crates/tpslab/src/sweep.rs
+
+/root/repo/target/debug/deps/tpslab-977b7926fff39d9a: crates/tpslab/src/lib.rs crates/tpslab/src/config.rs crates/tpslab/src/powervm.rs crates/tpslab/src/report.rs crates/tpslab/src/run.rs crates/tpslab/src/sweep.rs
+
+crates/tpslab/src/lib.rs:
+crates/tpslab/src/config.rs:
+crates/tpslab/src/powervm.rs:
+crates/tpslab/src/report.rs:
+crates/tpslab/src/run.rs:
+crates/tpslab/src/sweep.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/workloads-05a97fba5843caf2.d: crates/workloads/src/lib.rs crates/workloads/src/driver.rs crates/workloads/src/presets.rs
+
+/root/repo/target/debug/deps/libworkloads-05a97fba5843caf2.rlib: crates/workloads/src/lib.rs crates/workloads/src/driver.rs crates/workloads/src/presets.rs
+
+/root/repo/target/debug/deps/libworkloads-05a97fba5843caf2.rmeta: crates/workloads/src/lib.rs crates/workloads/src/driver.rs crates/workloads/src/presets.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/driver.rs:
+crates/workloads/src/presets.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/workloads-5922138daa860bae.d: crates/workloads/src/lib.rs crates/workloads/src/driver.rs crates/workloads/src/presets.rs
+
+/root/repo/target/debug/deps/workloads-5922138daa860bae: crates/workloads/src/lib.rs crates/workloads/src/driver.rs crates/workloads/src/presets.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/driver.rs:
+crates/workloads/src/presets.rs:

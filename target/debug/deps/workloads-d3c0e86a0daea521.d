@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/workloads-d3c0e86a0daea521.d: crates/workloads/src/lib.rs crates/workloads/src/driver.rs crates/workloads/src/presets.rs Cargo.toml
+
+/root/repo/target/debug/deps/libworkloads-d3c0e86a0daea521.rmeta: crates/workloads/src/lib.rs crates/workloads/src/driver.rs crates/workloads/src/presets.rs Cargo.toml
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/driver.rs:
+crates/workloads/src/presets.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/cache_preload_pipeline-18e8050c6bcd5dce.d: examples/cache_preload_pipeline.rs
+
+/root/repo/target/debug/examples/cache_preload_pipeline-18e8050c6bcd5dce: examples/cache_preload_pipeline.rs
+
+examples/cache_preload_pipeline.rs:

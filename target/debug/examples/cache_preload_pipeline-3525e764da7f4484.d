@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/cache_preload_pipeline-3525e764da7f4484.d: examples/cache_preload_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcache_preload_pipeline-3525e764da7f4484.rmeta: examples/cache_preload_pipeline.rs Cargo.toml
+
+examples/cache_preload_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/daytrader_consolidation-2f3bf4fca9156abd.d: examples/daytrader_consolidation.rs
+
+/root/repo/target/debug/examples/daytrader_consolidation-2f3bf4fca9156abd: examples/daytrader_consolidation.rs
+
+examples/daytrader_consolidation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/daytrader_consolidation-b1a5a0e10dc526ac.d: examples/daytrader_consolidation.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdaytrader_consolidation-b1a5a0e10dc526ac.rmeta: examples/daytrader_consolidation.rs Cargo.toml
+
+examples/daytrader_consolidation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

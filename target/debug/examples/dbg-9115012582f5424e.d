@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/dbg-9115012582f5424e.d: crates/tpslab/examples/dbg.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdbg-9115012582f5424e.rmeta: crates/tpslab/examples/dbg.rs Cargo.toml
+
+crates/tpslab/examples/dbg.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

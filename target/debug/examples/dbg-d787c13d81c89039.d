@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/dbg-d787c13d81c89039.d: crates/tpslab/examples/dbg.rs
+
+/root/repo/target/debug/examples/dbg-d787c13d81c89039: crates/tpslab/examples/dbg.rs
+
+crates/tpslab/examples/dbg.rs:

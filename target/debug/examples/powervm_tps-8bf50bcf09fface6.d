@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/powervm_tps-8bf50bcf09fface6.d: examples/powervm_tps.rs
+
+/root/repo/target/debug/examples/powervm_tps-8bf50bcf09fface6: examples/powervm_tps.rs
+
+examples/powervm_tps.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/powervm_tps-f75b8cdfea6eff0f.d: examples/powervm_tps.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpowervm_tps-f75b8cdfea6eff0f.rmeta: examples/powervm_tps.rs Cargo.toml
+
+examples/powervm_tps.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-d0ae20ba92f530f5.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-d0ae20ba92f530f5: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_balloon-321ea5a8384802ff.d: crates/bench/src/bin/ablation_balloon.rs
+
+/root/repo/target/release/deps/ablation_balloon-321ea5a8384802ff: crates/bench/src/bin/ablation_balloon.rs
+
+crates/bench/src/bin/ablation_balloon.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_cache_size-38a85d72b7843eba.d: crates/bench/src/bin/ablation_cache_size.rs
+
+/root/repo/target/release/deps/ablation_cache_size-38a85d72b7843eba: crates/bench/src/bin/ablation_cache_size.rs
+
+crates/bench/src/bin/ablation_cache_size.rs:

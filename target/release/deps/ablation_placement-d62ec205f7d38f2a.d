@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_placement-d62ec205f7d38f2a.d: crates/bench/src/bin/ablation_placement.rs
+
+/root/repo/target/release/deps/ablation_placement-d62ec205f7d38f2a: crates/bench/src/bin/ablation_placement.rs
+
+crates/bench/src/bin/ablation_placement.rs:

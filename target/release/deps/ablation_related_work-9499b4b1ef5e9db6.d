@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_related_work-9499b4b1ef5e9db6.d: crates/bench/src/bin/ablation_related_work.rs
+
+/root/repo/target/release/deps/ablation_related_work-9499b4b1ef5e9db6: crates/bench/src/bin/ablation_related_work.rs
+
+crates/bench/src/bin/ablation_related_work.rs:

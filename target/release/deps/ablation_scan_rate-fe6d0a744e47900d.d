@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_scan_rate-fe6d0a744e47900d.d: crates/bench/src/bin/ablation_scan_rate.rs
+
+/root/repo/target/release/deps/ablation_scan_rate-fe6d0a744e47900d: crates/bench/src/bin/ablation_scan_rate.rs
+
+crates/bench/src/bin/ablation_scan_rate.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/analysis-10f8d08a68e04cb8.d: crates/analysis/src/lib.rs crates/analysis/src/breakdown.rs crates/analysis/src/render.rs crates/analysis/src/snapshot.rs
+
+/root/repo/target/release/deps/libanalysis-10f8d08a68e04cb8.rlib: crates/analysis/src/lib.rs crates/analysis/src/breakdown.rs crates/analysis/src/render.rs crates/analysis/src/snapshot.rs
+
+/root/repo/target/release/deps/libanalysis-10f8d08a68e04cb8.rmeta: crates/analysis/src/lib.rs crates/analysis/src/breakdown.rs crates/analysis/src/render.rs crates/analysis/src/snapshot.rs
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/breakdown.rs:
+crates/analysis/src/render.rs:
+crates/analysis/src/snapshot.rs:

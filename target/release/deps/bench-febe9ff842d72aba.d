@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/bench-febe9ff842d72aba.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libbench-febe9ff842d72aba.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libbench-febe9ff842d72aba.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/cds-8f248edf51a4f0a3.d: crates/cds/src/lib.rs crates/cds/src/cache.rs crates/cds/src/file.rs
+
+/root/repo/target/release/deps/libcds-8f248edf51a4f0a3.rlib: crates/cds/src/lib.rs crates/cds/src/cache.rs crates/cds/src/file.rs
+
+/root/repo/target/release/deps/libcds-8f248edf51a4f0a3.rmeta: crates/cds/src/lib.rs crates/cds/src/cache.rs crates/cds/src/file.rs
+
+crates/cds/src/lib.rs:
+crates/cds/src/cache.rs:
+crates/cds/src/file.rs:

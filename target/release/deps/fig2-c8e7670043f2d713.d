@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig2-c8e7670043f2d713.d: crates/bench/src/bin/fig2.rs
+
+/root/repo/target/release/deps/fig2-c8e7670043f2d713: crates/bench/src/bin/fig2.rs
+
+crates/bench/src/bin/fig2.rs:

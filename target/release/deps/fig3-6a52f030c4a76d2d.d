@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3-6a52f030c4a76d2d.d: crates/bench/src/bin/fig3.rs
+
+/root/repo/target/release/deps/fig3-6a52f030c4a76d2d: crates/bench/src/bin/fig3.rs
+
+crates/bench/src/bin/fig3.rs:

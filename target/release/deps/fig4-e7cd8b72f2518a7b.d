@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4-e7cd8b72f2518a7b.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/release/deps/fig4-e7cd8b72f2518a7b: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5-a7a10daf5bc8ffa0.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/release/deps/fig5-a7a10daf5bc8ffa0: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6-393497739a18eb11.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/release/deps/fig6-393497739a18eb11: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7-a0da51318c9f5181.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/release/deps/fig7-a0da51318c9f5181: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

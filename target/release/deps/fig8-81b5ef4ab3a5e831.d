@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8-81b5ef4ab3a5e831.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/release/deps/fig8-81b5ef4ab3a5e831: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/hypervisor-011b8c891ba5877d.d: crates/hypervisor/src/lib.rs crates/hypervisor/src/balloon.rs crates/hypervisor/src/diffengine.rs crates/hypervisor/src/kvm.rs crates/hypervisor/src/pagingmodel.rs crates/hypervisor/src/placement.rs crates/hypervisor/src/powervm.rs crates/hypervisor/src/satori.rs
+
+/root/repo/target/release/deps/libhypervisor-011b8c891ba5877d.rlib: crates/hypervisor/src/lib.rs crates/hypervisor/src/balloon.rs crates/hypervisor/src/diffengine.rs crates/hypervisor/src/kvm.rs crates/hypervisor/src/pagingmodel.rs crates/hypervisor/src/placement.rs crates/hypervisor/src/powervm.rs crates/hypervisor/src/satori.rs
+
+/root/repo/target/release/deps/libhypervisor-011b8c891ba5877d.rmeta: crates/hypervisor/src/lib.rs crates/hypervisor/src/balloon.rs crates/hypervisor/src/diffengine.rs crates/hypervisor/src/kvm.rs crates/hypervisor/src/pagingmodel.rs crates/hypervisor/src/placement.rs crates/hypervisor/src/powervm.rs crates/hypervisor/src/satori.rs
+
+crates/hypervisor/src/lib.rs:
+crates/hypervisor/src/balloon.rs:
+crates/hypervisor/src/diffengine.rs:
+crates/hypervisor/src/kvm.rs:
+crates/hypervisor/src/pagingmodel.rs:
+crates/hypervisor/src/placement.rs:
+crates/hypervisor/src/powervm.rs:
+crates/hypervisor/src/satori.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/jvm-126f49c23ccde682.d: crates/jvm/src/lib.rs crates/jvm/src/category.rs crates/jvm/src/classes.rs crates/jvm/src/classloader.rs crates/jvm/src/codearea.rs crates/jvm/src/fill.rs crates/jvm/src/heap.rs crates/jvm/src/jit.rs crates/jvm/src/profile.rs crates/jvm/src/stack.rs crates/jvm/src/vm.rs crates/jvm/src/workarea.rs
+
+/root/repo/target/release/deps/libjvm-126f49c23ccde682.rlib: crates/jvm/src/lib.rs crates/jvm/src/category.rs crates/jvm/src/classes.rs crates/jvm/src/classloader.rs crates/jvm/src/codearea.rs crates/jvm/src/fill.rs crates/jvm/src/heap.rs crates/jvm/src/jit.rs crates/jvm/src/profile.rs crates/jvm/src/stack.rs crates/jvm/src/vm.rs crates/jvm/src/workarea.rs
+
+/root/repo/target/release/deps/libjvm-126f49c23ccde682.rmeta: crates/jvm/src/lib.rs crates/jvm/src/category.rs crates/jvm/src/classes.rs crates/jvm/src/classloader.rs crates/jvm/src/codearea.rs crates/jvm/src/fill.rs crates/jvm/src/heap.rs crates/jvm/src/jit.rs crates/jvm/src/profile.rs crates/jvm/src/stack.rs crates/jvm/src/vm.rs crates/jvm/src/workarea.rs
+
+crates/jvm/src/lib.rs:
+crates/jvm/src/category.rs:
+crates/jvm/src/classes.rs:
+crates/jvm/src/classloader.rs:
+crates/jvm/src/codearea.rs:
+crates/jvm/src/fill.rs:
+crates/jvm/src/heap.rs:
+crates/jvm/src/jit.rs:
+crates/jvm/src/profile.rs:
+crates/jvm/src/stack.rs:
+crates/jvm/src/vm.rs:
+crates/jvm/src/workarea.rs:

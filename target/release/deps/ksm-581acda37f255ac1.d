@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/ksm-581acda37f255ac1.d: crates/ksm/src/lib.rs crates/ksm/src/params.rs crates/ksm/src/powervm.rs crates/ksm/src/scanner.rs crates/ksm/src/stats.rs
+
+/root/repo/target/release/deps/libksm-581acda37f255ac1.rlib: crates/ksm/src/lib.rs crates/ksm/src/params.rs crates/ksm/src/powervm.rs crates/ksm/src/scanner.rs crates/ksm/src/stats.rs
+
+/root/repo/target/release/deps/libksm-581acda37f255ac1.rmeta: crates/ksm/src/lib.rs crates/ksm/src/params.rs crates/ksm/src/powervm.rs crates/ksm/src/scanner.rs crates/ksm/src/stats.rs
+
+crates/ksm/src/lib.rs:
+crates/ksm/src/params.rs:
+crates/ksm/src/powervm.rs:
+crates/ksm/src/scanner.rs:
+crates/ksm/src/stats.rs:

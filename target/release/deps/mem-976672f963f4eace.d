@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/mem-976672f963f4eace.d: crates/mem/src/lib.rs crates/mem/src/fingerprint.rs crates/mem/src/layout.rs crates/mem/src/phys.rs crates/mem/src/tick.rs
+
+/root/repo/target/release/deps/libmem-976672f963f4eace.rlib: crates/mem/src/lib.rs crates/mem/src/fingerprint.rs crates/mem/src/layout.rs crates/mem/src/phys.rs crates/mem/src/tick.rs
+
+/root/repo/target/release/deps/libmem-976672f963f4eace.rmeta: crates/mem/src/lib.rs crates/mem/src/fingerprint.rs crates/mem/src/layout.rs crates/mem/src/phys.rs crates/mem/src/tick.rs
+
+crates/mem/src/lib.rs:
+crates/mem/src/fingerprint.rs:
+crates/mem/src/layout.rs:
+crates/mem/src/phys.rs:
+crates/mem/src/tick.rs:

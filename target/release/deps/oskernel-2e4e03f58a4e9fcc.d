@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/oskernel-2e4e03f58a4e9fcc.d: crates/oskernel/src/lib.rs crates/oskernel/src/guestas.rs crates/oskernel/src/guestos.rs crates/oskernel/src/image.rs crates/oskernel/src/smaps.rs
+
+/root/repo/target/release/deps/liboskernel-2e4e03f58a4e9fcc.rlib: crates/oskernel/src/lib.rs crates/oskernel/src/guestas.rs crates/oskernel/src/guestos.rs crates/oskernel/src/image.rs crates/oskernel/src/smaps.rs
+
+/root/repo/target/release/deps/liboskernel-2e4e03f58a4e9fcc.rmeta: crates/oskernel/src/lib.rs crates/oskernel/src/guestas.rs crates/oskernel/src/guestos.rs crates/oskernel/src/image.rs crates/oskernel/src/smaps.rs
+
+crates/oskernel/src/lib.rs:
+crates/oskernel/src/guestas.rs:
+crates/oskernel/src/guestos.rs:
+crates/oskernel/src/image.rs:
+crates/oskernel/src/smaps.rs:

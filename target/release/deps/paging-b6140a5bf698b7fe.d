@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/paging-b6140a5bf698b7fe.d: crates/paging/src/lib.rs crates/paging/src/hostmm.rs crates/paging/src/malloc.rs crates/paging/src/rmap.rs crates/paging/src/space.rs crates/paging/src/tag.rs
+
+/root/repo/target/release/deps/libpaging-b6140a5bf698b7fe.rlib: crates/paging/src/lib.rs crates/paging/src/hostmm.rs crates/paging/src/malloc.rs crates/paging/src/rmap.rs crates/paging/src/space.rs crates/paging/src/tag.rs
+
+/root/repo/target/release/deps/libpaging-b6140a5bf698b7fe.rmeta: crates/paging/src/lib.rs crates/paging/src/hostmm.rs crates/paging/src/malloc.rs crates/paging/src/rmap.rs crates/paging/src/space.rs crates/paging/src/tag.rs
+
+crates/paging/src/lib.rs:
+crates/paging/src/hostmm.rs:
+crates/paging/src/malloc.rs:
+crates/paging/src/rmap.rs:
+crates/paging/src/space.rs:
+crates/paging/src/tag.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/substrates-39baf90ef499cc24.d: crates/bench/benches/substrates.rs
+
+/root/repo/target/release/deps/substrates-39baf90ef499cc24: crates/bench/benches/substrates.rs
+
+crates/bench/benches/substrates.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tables-9193a39c43e66b9c.d: crates/bench/src/bin/tables.rs
+
+/root/repo/target/release/deps/tables-9193a39c43e66b9c: crates/bench/src/bin/tables.rs
+
+crates/bench/src/bin/tables.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/timeline-84f5fcaa3e6b5cf9.d: crates/bench/src/bin/timeline.rs
+
+/root/repo/target/release/deps/timeline-84f5fcaa3e6b5cf9: crates/bench/src/bin/timeline.rs
+
+crates/bench/src/bin/timeline.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/tps_java_repro-a9f356b6760356de.d: src/lib.rs src/cli.rs
+
+/root/repo/target/release/deps/libtps_java_repro-a9f356b6760356de.rlib: src/lib.rs src/cli.rs
+
+/root/repo/target/release/deps/libtps_java_repro-a9f356b6760356de.rmeta: src/lib.rs src/cli.rs
+
+src/lib.rs:
+src/cli.rs:

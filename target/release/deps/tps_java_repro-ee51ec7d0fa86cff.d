@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tps_java_repro-ee51ec7d0fa86cff.d: src/main.rs
+
+/root/repo/target/release/deps/tps_java_repro-ee51ec7d0fa86cff: src/main.rs
+
+src/main.rs:

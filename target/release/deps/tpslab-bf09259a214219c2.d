@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/tpslab-bf09259a214219c2.d: crates/tpslab/src/lib.rs crates/tpslab/src/config.rs crates/tpslab/src/powervm.rs crates/tpslab/src/report.rs crates/tpslab/src/run.rs crates/tpslab/src/sweep.rs
+
+/root/repo/target/release/deps/libtpslab-bf09259a214219c2.rlib: crates/tpslab/src/lib.rs crates/tpslab/src/config.rs crates/tpslab/src/powervm.rs crates/tpslab/src/report.rs crates/tpslab/src/run.rs crates/tpslab/src/sweep.rs
+
+/root/repo/target/release/deps/libtpslab-bf09259a214219c2.rmeta: crates/tpslab/src/lib.rs crates/tpslab/src/config.rs crates/tpslab/src/powervm.rs crates/tpslab/src/report.rs crates/tpslab/src/run.rs crates/tpslab/src/sweep.rs
+
+crates/tpslab/src/lib.rs:
+crates/tpslab/src/config.rs:
+crates/tpslab/src/powervm.rs:
+crates/tpslab/src/report.rs:
+crates/tpslab/src/run.rs:
+crates/tpslab/src/sweep.rs:

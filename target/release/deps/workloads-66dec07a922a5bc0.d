@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/workloads-66dec07a922a5bc0.d: crates/workloads/src/lib.rs crates/workloads/src/driver.rs crates/workloads/src/presets.rs
+
+/root/repo/target/release/deps/libworkloads-66dec07a922a5bc0.rlib: crates/workloads/src/lib.rs crates/workloads/src/driver.rs crates/workloads/src/presets.rs
+
+/root/repo/target/release/deps/libworkloads-66dec07a922a5bc0.rmeta: crates/workloads/src/lib.rs crates/workloads/src/driver.rs crates/workloads/src/presets.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/driver.rs:
+crates/workloads/src/presets.rs:

@@ -40,10 +40,7 @@ fn merged_setup() -> (KvmHost, Vec<tpslab::oskernel::Pid>) {
     (host, pids)
 }
 
-fn views<'a>(
-    host: &'a KvmHost,
-    pids: &'a [tpslab::oskernel::Pid],
-) -> Vec<GuestView<'a>> {
+fn views<'a>(host: &'a KvmHost, pids: &'a [tpslab::oskernel::Pid]) -> Vec<GuestView<'a>> {
     host.guests()
         .iter()
         .zip(pids)

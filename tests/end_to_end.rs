@@ -21,7 +21,11 @@ fn tps_is_ineffective_for_java_without_preloading() {
             class.tps_shared_mib,
             class.resident_mib
         );
-        assert_eq!(java.category(MemoryCategory::JitCompiledCode).tps_shared_mib, 0.0);
+        assert_eq!(
+            java.category(MemoryCategory::JitCompiledCode)
+                .tps_shared_mib,
+            0.0
+        );
         assert_eq!(java.category(MemoryCategory::Stack).tps_shared_mib, 0.0);
         // The code area, in contrast, shares (same JVM binary everywhere).
         assert!(java.category(MemoryCategory::Code).tps_shared_mib > 0.0);

@@ -1,0 +1,239 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build container has no network access, so the real `criterion`
+//! cannot be fetched. This crate implements the API subset the
+//! workspace's benches use — `Criterion`, benchmark groups,
+//! `Bencher::iter`, `Throughput`, `black_box`, and the
+//! `criterion_group!`/`criterion_main!` macros — with a real
+//! wall-clock measurement loop: per sample the routine is batched to
+//! ~[`MEASURE_BATCH`] and the reported figure is the median over
+//! [`DEFAULT_SAMPLES`] samples (min/max also shown). No plotting, no
+//! statistical regression, no saved baselines.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Target wall-clock per measured batch.
+pub const MEASURE_BATCH: Duration = Duration::from_millis(25);
+
+/// Default number of samples per benchmark.
+pub const DEFAULT_SAMPLES: usize = 12;
+
+/// Opaque value barrier preventing the optimiser from deleting work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How a benchmark's throughput is expressed.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Benchmark harness entry point.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: DEFAULT_SAMPLES,
+            throughput: None,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        f: F,
+    ) -> &mut Self {
+        run_benchmark(&id.into(), DEFAULT_SAMPLES, None, f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples for subsequent benchmarks.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(3);
+        self
+    }
+
+    /// Sets the per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        f: F,
+    ) -> &mut Self {
+        let id = format!("{}/{}", self.name, id.into());
+        run_benchmark(&id, self.sample_size, self.throughput, f);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; measures the routine.
+pub struct Bencher {
+    iters_per_sample: u64,
+    samples: Vec<Duration>,
+    target_samples: usize,
+}
+
+impl Bencher {
+    /// Measures `routine`, batching calls so each sample is long enough
+    /// to time reliably.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate: how many calls fit in one measurement batch?
+        let mut calls = 1u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..calls {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= MEASURE_BATCH || calls >= 1 << 20 {
+                self.iters_per_sample = calls;
+                break;
+            }
+            let scale = (MEASURE_BATCH.as_secs_f64() / elapsed.as_secs_f64().max(1e-9)).ceil();
+            calls = (calls.saturating_mul(scale as u64)).clamp(calls + 1, 1 << 20);
+        }
+        for _ in 0..self.target_samples {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(routine());
+            }
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    id: &str,
+    samples: usize,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    let mut bencher = Bencher {
+        iters_per_sample: 1,
+        samples: Vec::new(),
+        target_samples: samples,
+    };
+    f(&mut bencher);
+    if bencher.samples.is_empty() {
+        println!("{id:<50} (no measurement: Bencher::iter was never called)");
+        return;
+    }
+    let per_iter = |d: Duration| d.as_secs_f64() / bencher.iters_per_sample as f64;
+    let mut times: Vec<f64> = bencher.samples.iter().map(|&d| per_iter(d)).collect();
+    times.sort_by(f64::total_cmp);
+    let median = times[times.len() / 2];
+    let (min, max) = (times[0], times[times.len() - 1]);
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) => {
+            format!("  thrpt: {:>12} elem/s", format_si(n as f64 / median))
+        }
+        Some(Throughput::Bytes(n)) => format!("  thrpt: {:>12}B/s", format_si(n as f64 / median)),
+        None => String::new(),
+    };
+    println!(
+        "{id:<50} time: [{} {} {}]{rate}",
+        format_time(min),
+        format_time(median),
+        format_time(max),
+    );
+}
+
+fn format_time(seconds: f64) -> String {
+    if seconds < 1e-6 {
+        format!("{:.2} ns", seconds * 1e9)
+    } else if seconds < 1e-3 {
+        format!("{:.2} µs", seconds * 1e6)
+    } else if seconds < 1.0 {
+        format!("{:.2} ms", seconds * 1e3)
+    } else {
+        format!("{seconds:.3} s")
+    }
+}
+
+fn format_si(value: f64) -> String {
+    if value >= 1e9 {
+        format!("{:.3} G", value / 1e9)
+    } else if value >= 1e6 {
+        format!("{:.3} M", value / 1e6)
+    } else if value >= 1e3 {
+        format!("{:.3} K", value / 1e3)
+    } else {
+        format!("{value:.1} ")
+    }
+}
+
+/// Declares a benchmark group function, upstream-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3).throughput(Throughput::Elements(10));
+        group.bench_function("spin", |b| {
+            b.iter(|| (0..100u64).map(black_box).sum::<u64>())
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn formatting_covers_scales() {
+        assert!(format_time(5e-9).ends_with("ns"));
+        assert!(format_time(5e-6).ends_with("µs"));
+        assert!(format_time(5e-3).ends_with("ms"));
+        assert!(format_time(5.0).ends_with('s'));
+        assert!(format_si(2.5e9).starts_with("2.500 G"));
+    }
+}

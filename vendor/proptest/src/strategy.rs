@@ -1,0 +1,232 @@
+//! The [`Strategy`] trait and combinators.
+
+use crate::test_runner::TestRng;
+use std::ops::{Range, RangeInclusive};
+
+/// A recipe for generating values of one type.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy adapter created by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Object-safe strategy facade used by [`Union`].
+pub trait DynStrategy<T> {
+    /// Draws one value through the trait object.
+    fn generate_dyn(&self, rng: &mut TestRng) -> T;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+/// Weighted choice among boxed strategies (built by `prop_oneof!`).
+pub struct Union<T> {
+    arms: Vec<(u32, Box<dyn DynStrategy<T>>)>,
+    total_weight: u64,
+}
+
+impl<T> Union<T> {
+    /// Builds a union from weighted arms.
+    #[must_use]
+    pub fn new(arms: Vec<(u32, Box<dyn DynStrategy<T>>)>) -> Union<T> {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        let total_weight = arms.iter().map(|&(w, _)| u64::from(w)).sum();
+        assert!(total_weight > 0, "prop_oneof! weights sum to zero");
+        Union { arms, total_weight }
+    }
+
+    /// Boxes one strategy as a union arm.
+    #[must_use]
+    pub fn arm<S: Strategy<Value = T> + 'static>(strategy: S) -> Box<dyn DynStrategy<T>> {
+        Box::new(strategy)
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let mut pick = rng.next_u64() % self.total_weight;
+        for (weight, arm) in &self.arms {
+            if pick < u64::from(*weight) {
+                return arm.generate_dyn(rng);
+            }
+            pick -= u64::from(*weight);
+        }
+        unreachable!("weight arithmetic is exhaustive")
+    }
+}
+
+macro_rules! impl_range_strategies {
+    ($($t:ty),+) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end - self.start) as u64;
+                self.start + (rng.next_u64() % span) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range strategy");
+                let span = (end - start) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                start + (rng.next_u64() % (span + 1)) as $t
+            }
+        }
+    )+};
+}
+
+impl_range_strategies!(u8, u16, u32, u64, usize, i32, i64);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+/// String pattern strategy: supports the `[a-z]{m,n}` shape used by the
+/// workspace's tests; anything else falls back to short lowercase
+/// ASCII strings.
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let (lo, hi, min_len, max_len) = parse_class_pattern(self).unwrap_or(('a', 'z', 1, 8));
+        let span = (max_len - min_len + 1) as u64;
+        let len = min_len + (rng.next_u64() % span) as usize;
+        let class_span = (hi as u64) - (lo as u64) + 1;
+        (0..len)
+            .map(|_| {
+                let offset = (rng.next_u64() % class_span) as u32;
+                char::from_u32(lo as u32 + offset).expect("ascii class")
+            })
+            .collect()
+    }
+}
+
+fn parse_class_pattern(pattern: &str) -> Option<(char, char, usize, usize)> {
+    // "[a-z]{1,16}" -> ('a', 'z', 1, 16)
+    let rest = pattern.strip_prefix('[')?;
+    let (class, rest) = rest.split_once(']')?;
+    let mut class_chars = class.chars();
+    let (lo, dash, hi) = (
+        class_chars.next()?,
+        class_chars.next()?,
+        class_chars.next()?,
+    );
+    if dash != '-' || class_chars.next().is_some() || hi < lo {
+        return None;
+    }
+    let counts = rest.strip_prefix('{')?.strip_suffix('}')?;
+    let (min_len, max_len) = counts.split_once(',')?;
+    let (min_len, max_len) = (min_len.parse().ok()?, max_len.parse().ok()?);
+    (min_len <= max_len && min_len > 0).then_some((lo, hi, min_len, max_len))
+}
+
+macro_rules! impl_tuple_strategies {
+    ($(($($s:ident $idx:tt),+))+) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+impl_tuple_strategies! {
+    (A 0)
+    (A 0, B 1)
+    (A 0, B 1, C 2)
+    (A 0, B 1, C 2, D 3)
+    (A 0, B 1, C 2, D 3, E 4)
+    (A 0, B 1, C 2, D 3, E 4, F 5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_and_maps_compose() {
+        let mut rng = TestRng::for_case("ranges_and_maps_compose", 0);
+        let strat = (0..4u8, 10..=20usize).prop_map(|(a, b)| (a, b));
+        for _ in 0..200 {
+            let (a, b) = strat.generate(&mut rng);
+            assert!(a < 4);
+            assert!((10..=20).contains(&b));
+        }
+    }
+
+    #[test]
+    fn union_respects_weights_roughly() {
+        let mut rng = TestRng::for_case("union_respects_weights_roughly", 0);
+        let strat = Union::new(vec![
+            (9, Union::arm(Just(true))),
+            (1, Union::arm(Just(false))),
+        ]);
+        let trues = (0..1000).filter(|_| strat.generate(&mut rng)).count();
+        assert!(trues > 800, "trues {trues}");
+    }
+
+    #[test]
+    fn string_pattern_is_honoured() {
+        let mut rng = TestRng::for_case("string_pattern_is_honoured", 0);
+        for _ in 0..100 {
+            let s = "[a-z]{1,16}".generate(&mut rng);
+            assert!((1..=16).contains(&s.len()));
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn pattern_parser_accepts_and_rejects() {
+        assert_eq!(parse_class_pattern("[a-z]{1,16}"), Some(('a', 'z', 1, 16)));
+        assert_eq!(parse_class_pattern("[0-9]{2,4}"), Some(('0', '9', 2, 4)));
+        assert_eq!(parse_class_pattern("plain"), None);
+        assert_eq!(parse_class_pattern("[z-a]{1,2}"), None);
+    }
+}
