@@ -1,0 +1,79 @@
+//! Every experiment preset must audit clean.
+//!
+//! `tpslab::Experiment::run` invokes `audit::check_world` at every
+//! timeline sample and at the end of the run whenever the config's
+//! `audit` flag is set (and always in debug builds), panicking on the
+//! first violation. These tests run size-scaled versions of the
+//! fig. 2 / fig. 7 / fig. 8 and ablation configurations, so a passing
+//! suite means the conservation invariants hold across every code path
+//! the figures exercise: class preloading, over-commit with host
+//! paging, generational GC, and non-default KSM schedules.
+
+use tpslab::ksm::KsmParams;
+use tpslab::{Experiment, ExperimentConfig, KsmSchedule};
+
+const SCALE: f64 = 128.0;
+const SECONDS: u64 = 30;
+
+/// Shrinks a paper-scale config to test size and makes the audit
+/// explicit (it is also implied by debug builds).
+fn scaled(cfg: ExperimentConfig) -> ExperimentConfig {
+    cfg.with_duration_seconds(SECONDS)
+        .with_ksm(KsmSchedule::compressed(SCALE, SECONDS))
+        .with_audit()
+}
+
+#[test]
+fn fig2_baseline_and_preloaded_audit_clean() {
+    let cfg = scaled(ExperimentConfig::paper_daytrader_4vm(SCALE));
+    let _ = Experiment::run(&cfg);
+    let _ = Experiment::run(&cfg.with_class_sharing());
+}
+
+#[test]
+fn fig7_overcommit_daytrader_audits_clean() {
+    // The two interesting points: comfortable fit and over-commit.
+    for n in [2, 8] {
+        let cfg = scaled(ExperimentConfig::paper_overcommit_daytrader(n, SCALE));
+        let _ = Experiment::run(&cfg);
+        let _ = Experiment::run(&cfg.with_class_sharing());
+    }
+}
+
+#[test]
+fn fig8_overcommit_specj_audits_clean() {
+    let cfg = scaled(ExperimentConfig::paper_overcommit_specj(6, SCALE));
+    let _ = Experiment::run(&cfg);
+    let _ = Experiment::run(&cfg.with_class_sharing());
+}
+
+#[test]
+fn ablation_scan_rates_audit_clean() {
+    // The scan-rate ablation's extreme points: the incremental
+    // scanner's skip and recount paths behave differently at very low
+    // and very high budgets.
+    for pages in [100, 10_000] {
+        let params = KsmParams::new(pages, 100);
+        let cfg = ExperimentConfig::paper_daytrader_4vm(SCALE)
+            .with_class_sharing()
+            .with_duration_seconds(SECONDS)
+            .with_ksm(KsmSchedule {
+                warmup: params,
+                steady: params,
+                warmup_seconds: 0,
+            })
+            .with_audit();
+        let _ = Experiment::run(&cfg);
+    }
+}
+
+#[test]
+fn ablation_cache_capacity_audits_clean() {
+    // A cache too small for the class set exercises the eviction /
+    // partial-preload paths.
+    let mut cfg = scaled(ExperimentConfig::paper_daytrader_4vm(SCALE).with_class_sharing());
+    for guest in &mut cfg.guests {
+        guest.benchmark.cache_mib = 30.0 / SCALE;
+    }
+    let _ = Experiment::run(&cfg);
+}

@@ -1,0 +1,188 @@
+//! Fault-injection tests: corrupt a consistent world in a targeted way
+//! and assert the auditor reports exactly that corruption — right
+//! variant, right layer, right frame/page, right expected/actual
+//! values. This is what makes the audit a useful debugging tool rather
+//! than a boolean tripwire.
+//!
+//! The corruptions go through [`paging::HostMm::phys_mut`], the
+//! fault-injection backdoor that bypasses the page-table bookkeeping,
+//! or through host-side writes that skip the guest page tables.
+
+use analysis::GuestView;
+use audit::{check_world, Layer, Violation, World};
+use ksm::{KsmParams, KsmScanner};
+use mem::{Fingerprint, FrameId, Tick};
+use oskernel::{GuestOs, OsImage, Pid};
+use paging::{HostMm, MemTag, Vpn};
+
+const HEAP_PAGES: u64 = 16;
+
+/// One booted guest with a "java" process whose heap holds four copies
+/// each of four distinct contents — plenty for KSM to merge.
+fn boot_world() -> (HostMm, GuestOs, Pid, Vpn) {
+    let mut mm = HostMm::new();
+    let space = mm.create_space("vm1");
+    let mut os = GuestOs::boot(&mut mm, space, 2048, &OsImage::tiny_test(), 1, Tick::ZERO);
+    let pid = os.spawn("java");
+    let heap = os.add_region(pid, HEAP_PAGES as usize, MemTag::JavaHeap);
+    for p in 0..HEAP_PAGES {
+        os.write_page(
+            &mut mm,
+            pid,
+            heap.offset(p),
+            Fingerprint::of(&[p % 4]),
+            Tick(1),
+        );
+    }
+    (mm, os, pid, heap)
+}
+
+/// Runs the scanner to convergence and refreshes its counters.
+fn scan(mm: &mut HostMm) -> KsmScanner {
+    let mut scanner = KsmScanner::new(KsmParams::new(100_000, 100));
+    for t in 2..12 {
+        scanner.run(mm, Tick(t));
+    }
+    scanner.recount(mm);
+    assert!(scanner.stats().pages_sharing > 0, "setup failed to merge");
+    scanner
+}
+
+fn audit(mm: &HostMm, os: &GuestOs, pid: Pid, scanner: Option<&KsmScanner>) -> Violation {
+    let world = World {
+        mm,
+        guests: vec![GuestView::new("vm1", os, vec![pid])],
+        scanner,
+    };
+    check_world(&world).expect_err("corrupted world must not audit clean")
+}
+
+/// The frame backing a heap page, through the full guest translation.
+fn heap_frame(mm: &HostMm, os: &GuestOs, pid: Pid, vpn: Vpn) -> FrameId {
+    let gpfn = os.translate(pid, vpn).expect("heap page is mapped");
+    mm.frame_at(os.vm_space(), os.host_vpn(gpfn))
+        .expect("heap page is resident")
+}
+
+#[test]
+fn corrupted_refcount_is_reported_with_both_counts() {
+    let (mut mm, os, pid, heap) = boot_world();
+    let frame = heap_frame(&mm, &os, pid, heap);
+    assert_eq!(mm.phys().refcount(frame), 1);
+    mm.phys_mut().inc_ref(frame);
+    let violation = audit(&mm, &os, pid, None);
+    assert_eq!(violation.layer(), Layer::Host);
+    assert_eq!(
+        violation,
+        Violation::RefcountMismatch {
+            frame,
+            expected: 1,
+            actual: 2,
+        }
+    );
+    let text = violation.to_string();
+    assert!(text.contains("host layer"), "{text}");
+    assert!(text.contains("1 PTE"), "{text}");
+}
+
+#[test]
+fn missed_cow_break_is_reported_as_anonymous_sharing() {
+    let (mut mm, os, pid, heap) = boot_world();
+    let scanner = scan(&mut mm);
+    // Find a merged heap frame and strip its KSM marker: the world now
+    // looks like a write skipped the CoW break on a multi-mapped frame.
+    let frame = (0..HEAP_PAGES)
+        .map(|p| heap_frame(&mm, &os, pid, heap.offset(p)))
+        .find(|&f| mm.phys().refcount(f) > 1)
+        .expect("some heap page is merged");
+    let refcount = mm.phys().refcount(frame);
+    mm.phys_mut().set_ksm_shared(frame, false);
+    let violation = audit(&mm, &os, pid, Some(&scanner));
+    assert_eq!(violation.layer(), Layer::Host);
+    assert_eq!(violation, Violation::AnonymousSharing { frame, refcount });
+}
+
+#[test]
+fn frame_behind_released_gpfn_is_reported() {
+    let (mut mm, mut os, pid, heap) = boot_world();
+    // The guest releases a page (madvise/balloon path)…
+    assert!(os.release_page(&mut mm, pid, heap));
+    let gpfn = *os.free_gpfns().last().expect("release populated free list");
+    // …but a host-side write re-faults its memslot slot behind the
+    // guest's back, as a buggy deflate path would.
+    mm.write_page(
+        os.vm_space(),
+        os.host_vpn(gpfn),
+        Fingerprint::of(&[0xbad]),
+        Tick(2),
+    );
+    let frame = mm.frame_at(os.vm_space(), os.host_vpn(gpfn)).unwrap();
+    let violation = audit(&mm, &os, pid, None);
+    assert_eq!(violation.layer(), Layer::Guest);
+    assert_eq!(
+        violation,
+        Violation::BalloonedPageResident {
+            guest: "vm1".to_string(),
+            gpfn,
+            frame,
+        }
+    );
+}
+
+#[test]
+fn unattributed_address_space_is_reported() {
+    let (mut mm, os, pid, _) = boot_world();
+    // A frame in a space no guest view covers: the snapshot still sees
+    // it (layer 3 walks every host space) but no guest owns it, so the
+    // owner-oriented rollup no longer partitions physical memory.
+    let rogue = mm.create_space("rogue");
+    let base = mm.map_region(rogue, 1, MemTag::VmGuestMemory, false);
+    mm.write_page(rogue, base, Fingerprint::of(&[7]), Tick(2));
+    let violation = audit(&mm, &os, pid, None);
+    assert_eq!(violation.layer(), Layer::Attribution);
+    match violation {
+        Violation::AccountingDrift {
+            what,
+            expected_mib,
+            actual_mib,
+        } => {
+            assert_eq!(what, "guest owned sum vs. total owned");
+            // The drift is exactly the one rogue page.
+            assert!((expected_mib - actual_mib - mem::pages_to_mib(1)).abs() < 1e-9);
+        }
+        other => panic!("expected AccountingDrift, got {other}"),
+    }
+}
+
+#[test]
+fn stale_scanner_counters_are_reported() {
+    let (mut mm, mut os, pid, heap) = boot_world();
+    let scanner = scan(&mut mm);
+    let sharing_before = scanner.stats().pages_sharing;
+    // CoW-break one merged page after the recount: the scanner's
+    // counters are now stale by exactly one sharer.
+    let broken = (0..HEAP_PAGES)
+        .map(|p| heap.offset(p))
+        .find(|&vpn| mm.phys().refcount(heap_frame(&mm, &os, pid, vpn)) > 1)
+        .expect("some heap page is merged");
+    os.write_page(&mut mm, pid, broken, Fingerprint::of(&[0xf5e5]), Tick(20));
+    let violation = audit(&mm, &os, pid, Some(&scanner));
+    assert_eq!(violation.layer(), Layer::Ksm);
+    assert_eq!(
+        violation,
+        Violation::KsmStatsMismatch {
+            field: "pages_sharing",
+            expected: sharing_before - 1,
+            actual: sharing_before,
+        }
+    );
+    // A recount clears the staleness and the audit passes again.
+    let mut scanner = scanner;
+    scanner.recount(&mm);
+    let world = World {
+        mm: &mm,
+        guests: vec![GuestView::new("vm1", &os, vec![pid])],
+        scanner: Some(&scanner),
+    };
+    check_world(&world).expect("recounted world audits clean");
+}

@@ -7,17 +7,9 @@
 //! shared); TPS saving in the non-primary Java processes only ≈20 MB;
 //! total of the four guests ≈3 648 MB.
 
-use bench::{banner, print_guest_figure, RunOpts};
-use tpslab::{Experiment, ExperimentConfig};
+use bench::{figures, RunOpts};
 
 fn main() {
     let opts = RunOpts::from_args();
-    banner(
-        "Fig. 2",
-        "4 x DayTrader/WAS, baseline (no preloading)",
-        &opts,
-    );
-    let cfg = opts.apply(ExperimentConfig::paper_daytrader_4vm(opts.scale));
-    let report = Experiment::run(&cfg);
-    print_guest_figure(&report, opts.unscale());
+    print!("{}", figures::fig2_text(&opts));
 }

@@ -6,41 +6,9 @@
 //! at 8 VMs the default collapses to 17.2 r/s while preloading stays at
 //! ≈148 r/s; at 9 VMs both collapse (2.9 vs. 6.8 r/s).
 
-use bench::{banner, RunOpts};
-use tpslab::ExperimentConfig;
+use bench::{figures, RunOpts};
 
 fn main() {
     let opts = RunOpts::from_args();
-    banner(
-        "Fig. 7",
-        "DayTrader total throughput (req/s) vs. number of guest VMs",
-        &opts,
-    );
-    // All 18 runs (default + preloaded per VM count) are independent:
-    // build the whole sweep, run it on the worker pool, print in order.
-    let mut configs = Vec::new();
-    for n in 1..=9usize {
-        let base_cfg = opts.apply(ExperimentConfig::paper_overcommit_daytrader(n, opts.scale));
-        configs.push(base_cfg.clone());
-        configs.push(base_cfg.with_class_sharing());
-    }
-    let reports = opts.run_sweep(&configs);
-    println!(
-        "{:>4} {:>18} {:>18} {:>14} {:>14}",
-        "VMs", "default (req/s)", "preloaded (req/s)", "default slow", "preload slow"
-    );
-    for (i, pair) in reports.chunks(2).enumerate() {
-        let (default, preload) = (&pair[0], &pair[1]);
-        println!(
-            "{:>4} {:>18.1} {:>18.1} {:>14.3} {:>14.3}",
-            i + 1,
-            default.total_throughput(),
-            preload.total_throughput(),
-            default.slowdown,
-            preload.slowdown,
-        );
-    }
-    println!(
-        "\npaper: default knee at 8 VMs (17.2 r/s), preloaded knee at 9 VMs (148.1 r/s at 8)."
-    );
+    print!("{}", figures::fig7_text(&opts));
 }

@@ -6,48 +6,9 @@
 //! at 7 VMs the default drops to 15 and fails the response-time SLA
 //! while preloading holds 24.
 
-use bench::{banner, RunOpts};
-use tpslab::ExperimentConfig;
-use workloads::SlaOutcome;
-
-const VM_COUNTS: std::ops::RangeInclusive<usize> = 5..=8;
+use bench::{figures, RunOpts};
 
 fn main() {
     let opts = RunOpts::from_args();
-    banner(
-        "Fig. 8",
-        "SPECjEnterprise 2010 EjOPS vs. number of guest VMs (IR 15)",
-        &opts,
-    );
-    let mut configs = Vec::new();
-    for n in VM_COUNTS {
-        let cfg = opts.apply(ExperimentConfig::paper_overcommit_specj(n, opts.scale));
-        configs.push(cfg.clone());
-        configs.push(cfg.with_class_sharing());
-    }
-    let reports = opts.run_sweep(&configs);
-    println!(
-        "{:>4} {:>16} {:>10} {:>16} {:>10}",
-        "VMs", "default EjOPS", "SLA", "preload EjOPS", "SLA"
-    );
-    for (n, pair) in VM_COUNTS.zip(reports.chunks(2)) {
-        let (default, preload) = (&pair[0], &pair[1]);
-        let per_vm = |r: &tpslab::ExperimentReport| r.total_throughput() / n as f64;
-        let sla = |r: &tpslab::ExperimentReport| {
-            if r.throughput.iter().all(|t| t.sla == SlaOutcome::Met) {
-                "met"
-            } else {
-                "VIOLATED"
-            }
-        };
-        println!(
-            "{:>4} {:>16.1} {:>10} {:>16.1} {:>10}",
-            n,
-            per_vm(default),
-            sla(default),
-            per_vm(preload),
-            sla(preload),
-        );
-    }
-    println!("\npaper: default fails SLA at 7 VMs (score 15), preloading holds ~24 through 7.");
+    print!("{}", figures::fig8_text(&opts));
 }

@@ -1,53 +1,6 @@
 //! Tables I–IV: the measurement environment and the Java memory
 //! taxonomy, as encoded in the reproduction's presets.
 
-use hypervisor::HostConfig;
-use jvm::MemoryCategory;
-use oskernel::OsImage;
-
 fn main() {
-    println!("TABLE I — physical machines");
-    let intel = HostConfig::paper_intel();
-    let power = HostConfig::paper_power();
-    println!(
-        "  Intel: IBM BladeCenter LS21-like, {:.0} MiB RAM, KVM (host reserve {:.0} MiB)",
-        intel.ram_mib, intel.reserve_mib
-    );
-    println!(
-        "  POWER: IBM BladeCenter PS701-like, {:.0} MiB RAM, PowerVM 2.1 (reserve {:.0} MiB)",
-        power.ram_mib, power.reserve_mib
-    );
-
-    println!("\nTABLE II — guest VM configuration");
-    let rhel = OsImage::rhel55();
-    let aix = OsImage::aix61();
-    println!(
-        "  Intel guest: RHEL 5.5 image — kernel area {:.0} MiB ({:.0} MiB image-derived/shareable), 1 GiB guests, KSM 1000 pages / 100 ms steady",
-        rhel.total_mib(), rhel.shareable_mib()
-    );
-    println!(
-        "  POWER guest: AIX 6.1 image — kernel area {:.0} MiB ({:.0} MiB shareable), 3.5 GiB LPARs",
-        aix.total_mib(),
-        aix.shareable_mib()
-    );
-
-    println!("\nTABLE III — benchmark and JVM configuration");
-    for bench in [
-        workloads::daytrader(),
-        workloads::specjenterprise(),
-        workloads::tpcw(),
-        workloads::tuscany(),
-        workloads::daytrader_power(),
-    ] {
-        let p = &bench.profile;
-        println!(
-            "  {:<22} heap {:>6.0} MiB | cache {:>5.0} MiB | {:>6} classes | driver {:?}",
-            p.name, p.heap.heap_mib, bench.cache_mib, p.class_count, bench.driver
-        );
-    }
-
-    println!("\nTABLE IV — categories of Java memory");
-    for cat in MemoryCategory::all() {
-        println!("  {cat}");
-    }
+    print!("{}", bench::figures::tables_text());
 }

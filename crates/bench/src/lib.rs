@@ -24,6 +24,8 @@
 
 #![forbid(unsafe_code)]
 
+use std::fmt::Write as _;
+
 use tpslab::{ExperimentConfig, KsmSchedule};
 
 /// Command-line options shared by the figure binaries.
@@ -35,6 +37,8 @@ pub struct RunOpts {
     pub minutes: f64,
     /// Sweep worker threads (default: the machine's parallelism).
     pub threads: usize,
+    /// Run the cross-layer conservation audit during each experiment.
+    pub audit: bool,
 }
 
 impl RunOpts {
@@ -44,6 +48,7 @@ impl RunOpts {
             scale: 8.0,
             minutes: 8.0,
             threads: tpslab::sweep::default_threads(),
+            audit: false,
         }
     }
 
@@ -55,11 +60,26 @@ impl RunOpts {
             scale: 1.0,
             minutes: 20.0,
             threads: tpslab::sweep::default_threads(),
+            audit: false,
         }
     }
 
-    /// Parses `--scale`, `--minutes`, `--paper`, `--threads` from the
-    /// process args.
+    /// The fixed preset the golden-master tests pin figure output
+    /// under: scale 128, 0.2 simulated minutes, two workers. Output is
+    /// bit-identical across thread counts and build profiles, so the
+    /// committed `tests/golden/*.txt` files are reproducible with e.g.
+    /// `cargo run --bin fig7 -- --scale 128 --minutes 0.2`.
+    pub fn golden() -> RunOpts {
+        RunOpts {
+            scale: 128.0,
+            minutes: 0.2,
+            threads: 2,
+            audit: false,
+        }
+    }
+
+    /// Parses `--scale`, `--minutes`, `--paper`, `--threads`, `--audit`
+    /// from the process args.
     ///
     /// # Panics
     ///
@@ -71,9 +91,12 @@ impl RunOpts {
             match arg.as_str() {
                 "--paper" => {
                     let threads = opts.threads;
+                    let audit = opts.audit;
                     opts = RunOpts::paper();
                     opts.threads = threads;
+                    opts.audit = audit;
                 }
+                "--audit" => opts.audit = true,
                 "--scale" => {
                     opts.scale = args
                         .next()
@@ -94,18 +117,25 @@ impl RunOpts {
                         .expect("--threads needs an integer >= 1");
                 }
                 other => panic!(
-                    "unknown argument {other} (try --paper, --scale N, --minutes M, --threads T)"
+                    "unknown argument {other} (try --paper, --scale N, --minutes M, --threads T, --audit)"
                 ),
             }
         }
         opts
     }
 
-    /// Applies duration and the compressed-run KSM schedule to a config.
+    /// Applies duration, the compressed-run KSM schedule, and the audit
+    /// flag to a config.
     pub fn apply(&self, cfg: ExperimentConfig) -> ExperimentConfig {
         let seconds = (self.minutes * 60.0) as u64;
-        cfg.with_duration_seconds(seconds)
-            .with_ksm(KsmSchedule::compressed(self.scale, seconds))
+        let cfg = cfg
+            .with_duration_seconds(seconds)
+            .with_ksm(KsmSchedule::compressed(self.scale, seconds));
+        if self.audit {
+            cfg.with_audit()
+        } else {
+            cfg
+        }
     }
 
     /// Multiplier to convert a scaled MiB value back to paper-scale MiB
@@ -142,25 +172,42 @@ impl RunOpts {
     }
 }
 
-/// Prints the standard figure header.
-pub fn banner(figure: &str, what: &str, opts: &RunOpts) {
-    println!("================================================================");
-    println!("{figure}: {what}");
-    println!(
+/// Renders the standard figure header.
+pub fn banner_text(figure: &str, what: &str, opts: &RunOpts) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "================================================================"
+    );
+    let _ = writeln!(out, "{figure}: {what}");
+    let _ = writeln!(
+        out,
         "scale 1/{} | {} simulated minutes | values in paper-scale MiB",
         opts.scale, opts.minutes
     );
-    println!("================================================================");
+    let _ = writeln!(
+        out,
+        "================================================================"
+    );
+    out
 }
 
-/// Prints the per-guest rows of Fig. 2 / Fig. 4.
-pub fn print_guest_figure(report: &tpslab::ExperimentReport, unscale: f64) {
-    println!(
+/// Prints the standard figure header.
+pub fn banner(figure: &str, what: &str, opts: &RunOpts) {
+    print!("{}", banner_text(figure, what, opts));
+}
+
+/// Renders the per-guest rows of Fig. 2 / Fig. 4.
+pub fn guest_figure_text(report: &tpslab::ExperimentReport, unscale: f64) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
         "{:<8} {:>12} {:>12} {:>12} {:>12} {:>12} {:>12}",
         "Guest", "Java", "Other", "Kernel", "GuestVM", "Usage", "TPS saving"
     );
     for g in &report.breakdown.guests {
-        println!(
+        let _ = writeln!(
+            out,
             "{:<8} {:>12.1} {:>12.1} {:>12.1} {:>12.1} {:>12.1} {:>12.1}",
             g.name,
             g.java_owned_mib * unscale,
@@ -171,25 +218,35 @@ pub fn print_guest_figure(report: &tpslab::ExperimentReport, unscale: f64) {
             g.tps_saving_mib() * unscale,
         );
     }
-    println!(
+    let _ = writeln!(
+        out,
         "\nTotal usage of all guests: {:.0} MiB (paper baseline: 3648, preloaded: 3314)",
         report.breakdown.total_owned_mib * unscale
     );
-    println!(
+    let _ = writeln!(
+        out,
         "Mean TPS saving per non-primary Java process: {:.1} MiB (paper: ~20 baseline, ~120 preloaded)",
         report.mean_nonprimary_java_saving_mib() * unscale
     );
-    println!(
+    let _ = writeln!(
+        out,
         "KSM: {} stable pages, {} duplicates elided, {} full scans",
         report.ksm.pages_shared, report.ksm.pages_sharing, report.ksm.full_scans
     );
+    out
 }
 
-/// Prints the per-JVM Table IV category rows of Fig. 3 / Fig. 5
+/// Prints the per-guest rows of Fig. 2 / Fig. 4.
+pub fn print_guest_figure(report: &tpslab::ExperimentReport, unscale: f64) {
+    print!("{}", guest_figure_text(report, unscale));
+}
+
+/// Renders the per-JVM Table IV category rows of Fig. 3 / Fig. 5
 /// ("resident/shared" per category, paper-scale MiB).
-pub fn print_java_figure(report: &tpslab::ExperimentReport, unscale: f64) {
+pub fn java_figure_text(report: &tpslab::ExperimentReport, unscale: f64) -> String {
     use jvm::MemoryCategory;
-    print!("{:<22}", "JVM");
+    let mut out = String::new();
+    let _ = write!(out, "{:<22}", "JVM");
     for cat in [
         MemoryCategory::Code,
         MemoryCategory::ClassMetadata,
@@ -197,12 +254,12 @@ pub fn print_java_figure(report: &tpslab::ExperimentReport, unscale: f64) {
         MemoryCategory::JavaHeap,
         MemoryCategory::Stack,
     ] {
-        print!(" {:>17}", cat.figure_label());
+        let _ = write!(out, " {:>17}", cat.figure_label());
     }
-    print!(" {:>17}", "JVM and JIT work");
-    println!(" {:>17}", "TOTAL");
+    let _ = write!(out, " {:>17}", "JVM and JIT work");
+    let _ = writeln!(out, " {:>17}", "TOTAL");
     for j in &report.breakdown.javas {
-        print!("{:<22}", format!("{} {}", j.guest_name, j.pid));
+        let _ = write!(out, "{:<22}", format!("{} {}", j.guest_name, j.pid));
         let mut work_res = 0.0;
         let mut work_shared = 0.0;
         let mut total_res = 0.0;
@@ -223,27 +280,216 @@ pub fn print_java_figure(report: &tpslab::ExperimentReport, unscale: f64) {
             MemoryCategory::Stack,
         ] {
             let u = j.category(cat);
-            print!(
+            let _ = write!(
+                out,
                 " {:>9.1}/{:>7.1}",
                 u.resident_mib * unscale,
                 u.tps_shared_mib * unscale
             );
         }
-        print!(
+        let _ = write!(
+            out,
             " {:>9.1}/{:>7.1}",
             work_res * unscale,
             work_shared * unscale
         );
-        println!(
+        let _ = writeln!(
+            out,
             " {:>9.1}/{:>7.1}",
             total_res * unscale,
             total_shared * unscale
         );
     }
-    println!(
+    let _ = writeln!(
+        out,
         "\nMean class-metadata saving fraction over non-primary JVMs: {:.1} % (paper with preloading: 89.6 %)",
         100.0 * report.mean_nonprimary_class_saving_fraction()
     );
+    out
+}
+
+/// Prints the per-JVM Table IV category rows of Fig. 3 / Fig. 5
+/// ("resident/shared" per category, paper-scale MiB).
+pub fn print_java_figure(report: &tpslab::ExperimentReport, unscale: f64) {
+    print!("{}", java_figure_text(report, unscale));
+}
+
+/// Text-producing versions of the figures that are pinned by the
+/// golden-master tests (`tests/golden_figures.rs` at the workspace
+/// root). The binaries in `src/bin/` print exactly these strings, so
+/// the committed `tests/golden/*.txt` files are also what a user sees
+/// when running e.g. `cargo run --bin fig7 -- --scale 128 --minutes
+/// 0.2 --threads 2`.
+pub mod figures {
+    use super::{banner_text, guest_figure_text, RunOpts};
+    use std::fmt::Write as _;
+    use tpslab::{Experiment, ExperimentConfig};
+    use workloads::SlaOutcome;
+
+    /// Fig. 2 — per-guest usage + TPS saving, 4 DayTrader guests,
+    /// baseline (no preloading).
+    pub fn fig2_text(opts: &RunOpts) -> String {
+        let mut out = banner_text(
+            "Fig. 2",
+            "4 x DayTrader/WAS, baseline (no preloading)",
+            opts,
+        );
+        let cfg = opts.apply(ExperimentConfig::paper_daytrader_4vm(opts.scale));
+        let report = Experiment::run(&cfg);
+        out.push_str(&guest_figure_text(&report, opts.unscale()));
+        out
+    }
+
+    /// Fig. 7 — DayTrader total throughput vs. number of guest VMs,
+    /// default vs. preloaded.
+    pub fn fig7_text(opts: &RunOpts) -> String {
+        let mut out = banner_text(
+            "Fig. 7",
+            "DayTrader total throughput (req/s) vs. number of guest VMs",
+            opts,
+        );
+        // All 18 runs (default + preloaded per VM count) are independent:
+        // build the whole sweep, run it on the worker pool, print in order.
+        let mut configs = Vec::new();
+        for n in 1..=9usize {
+            let base_cfg = opts.apply(ExperimentConfig::paper_overcommit_daytrader(n, opts.scale));
+            configs.push(base_cfg.clone());
+            configs.push(base_cfg.with_class_sharing());
+        }
+        let reports = opts.run_sweep(&configs);
+        let _ = writeln!(
+            out,
+            "{:>4} {:>18} {:>18} {:>14} {:>14}",
+            "VMs", "default (req/s)", "preloaded (req/s)", "default slow", "preload slow"
+        );
+        for (i, pair) in reports.chunks(2).enumerate() {
+            let (default, preload) = (&pair[0], &pair[1]);
+            let _ = writeln!(
+                out,
+                "{:>4} {:>18.1} {:>18.1} {:>14.3} {:>14.3}",
+                i + 1,
+                default.total_throughput(),
+                preload.total_throughput(),
+                default.slowdown,
+                preload.slowdown,
+            );
+        }
+        let _ = writeln!(
+            out,
+            "\npaper: default knee at 8 VMs (17.2 r/s), preloaded knee at 9 VMs (148.1 r/s at 8)."
+        );
+        out
+    }
+
+    /// Fig. 8 — SPECjEnterprise 2010 EjOPS per VM vs. number of guest
+    /// VMs (IR 15), with the response-time SLA verdict.
+    pub fn fig8_text(opts: &RunOpts) -> String {
+        const VM_COUNTS: std::ops::RangeInclusive<usize> = 5..=8;
+        let mut out = banner_text(
+            "Fig. 8",
+            "SPECjEnterprise 2010 EjOPS vs. number of guest VMs (IR 15)",
+            opts,
+        );
+        let mut configs = Vec::new();
+        for n in VM_COUNTS {
+            let cfg = opts.apply(ExperimentConfig::paper_overcommit_specj(n, opts.scale));
+            configs.push(cfg.clone());
+            configs.push(cfg.with_class_sharing());
+        }
+        let reports = opts.run_sweep(&configs);
+        let _ = writeln!(
+            out,
+            "{:>4} {:>16} {:>10} {:>16} {:>10}",
+            "VMs", "default EjOPS", "SLA", "preload EjOPS", "SLA"
+        );
+        for (n, pair) in VM_COUNTS.zip(reports.chunks(2)) {
+            let (default, preload) = (&pair[0], &pair[1]);
+            let per_vm = |r: &tpslab::ExperimentReport| r.total_throughput() / n as f64;
+            let sla = |r: &tpslab::ExperimentReport| {
+                if r.throughput.iter().all(|t| t.sla == SlaOutcome::Met) {
+                    "met"
+                } else {
+                    "VIOLATED"
+                }
+            };
+            let _ = writeln!(
+                out,
+                "{:>4} {:>16.1} {:>10} {:>16.1} {:>10}",
+                n,
+                per_vm(default),
+                sla(default),
+                per_vm(preload),
+                sla(preload),
+            );
+        }
+        let _ = writeln!(
+            out,
+            "\npaper: default fails SLA at 7 VMs (score 15), preloading holds ~24 through 7."
+        );
+        out
+    }
+
+    /// Tables I–IV — the measurement environment and the Java memory
+    /// taxonomy, as encoded in the reproduction's presets. Static: no
+    /// simulation runs.
+    pub fn tables_text() -> String {
+        use hypervisor::HostConfig;
+        use jvm::MemoryCategory;
+        use oskernel::OsImage;
+
+        let mut out = String::new();
+        let _ = writeln!(out, "TABLE I — physical machines");
+        let intel = HostConfig::paper_intel();
+        let power = HostConfig::paper_power();
+        let _ = writeln!(
+            out,
+            "  Intel: IBM BladeCenter LS21-like, {:.0} MiB RAM, KVM (host reserve {:.0} MiB)",
+            intel.ram_mib, intel.reserve_mib
+        );
+        let _ = writeln!(
+            out,
+            "  POWER: IBM BladeCenter PS701-like, {:.0} MiB RAM, PowerVM 2.1 (reserve {:.0} MiB)",
+            power.ram_mib, power.reserve_mib
+        );
+
+        let _ = writeln!(out, "\nTABLE II — guest VM configuration");
+        let rhel = OsImage::rhel55();
+        let aix = OsImage::aix61();
+        let _ = writeln!(
+            out,
+            "  Intel guest: RHEL 5.5 image — kernel area {:.0} MiB ({:.0} MiB image-derived/shareable), 1 GiB guests, KSM 1000 pages / 100 ms steady",
+            rhel.total_mib(),
+            rhel.shareable_mib()
+        );
+        let _ = writeln!(
+            out,
+            "  POWER guest: AIX 6.1 image — kernel area {:.0} MiB ({:.0} MiB shareable), 3.5 GiB LPARs",
+            aix.total_mib(),
+            aix.shareable_mib()
+        );
+
+        let _ = writeln!(out, "\nTABLE III — benchmark and JVM configuration");
+        for bench in [
+            workloads::daytrader(),
+            workloads::specjenterprise(),
+            workloads::tpcw(),
+            workloads::tuscany(),
+            workloads::daytrader_power(),
+        ] {
+            let p = &bench.profile;
+            let _ = writeln!(
+                out,
+                "  {:<22} heap {:>6.0} MiB | cache {:>5.0} MiB | {:>6} classes | driver {:?}",
+                p.name, p.heap.heap_mib, bench.cache_mib, p.class_count, bench.driver
+            );
+        }
+
+        let _ = writeln!(out, "\nTABLE IV — categories of Java memory");
+        for cat in MemoryCategory::all() {
+            let _ = writeln!(out, "  {cat}");
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -263,6 +509,7 @@ mod tests {
             scale: 4.0,
             minutes: 2.0,
             threads: 1,
+            audit: false,
         };
         let cfg = opts.apply(tpslab::ExperimentConfig::tiny_test(1, false));
         assert_eq!(cfg.duration_seconds, 120);

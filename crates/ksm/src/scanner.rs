@@ -145,6 +145,15 @@ impl KsmScanner {
         self.stable.len()
     }
 
+    /// The stable tree's `(fingerprint, frame)` entries in fingerprint
+    /// order. Entries can be stale between [`recount`](Self::recount)s
+    /// (the tree is validated lazily); consumers such as the
+    /// cross-layer auditor must re-validate each node against the frame
+    /// table.
+    pub fn stable_frames(&self) -> impl Iterator<Item = (Fingerprint, FrameId)> + '_ {
+        self.stable.iter().map(|(&fp, &frame)| (fp, frame))
+    }
+
     /// Advances the scanner by one simulation tick.
     ///
     /// Does nothing unless `now` falls on the scanner's wake cadence.

@@ -152,6 +152,22 @@ impl GuestOs {
         self.next_gpfn as usize - self.free_gpfns.len()
     }
 
+    /// Gpfns currently on the kernel's free list — released by
+    /// `madvise(DONTNEED)` or balloon deflation and not yet re-allocated.
+    /// No host frame may back any of them.
+    #[must_use]
+    pub fn free_gpfns(&self) -> &[u64] {
+        &self.free_gpfns
+    }
+
+    /// The gpfn allocation high-water mark: every gpfn at or above it
+    /// has never been handed out, so the corresponding memslot tail must
+    /// hold no host frames.
+    #[must_use]
+    pub fn gpfn_watermark(&self) -> u64 {
+        self.next_gpfn
+    }
+
     /// Spawns a guest process and returns its pid. Pids ascend in spawn
     /// order from a per-boot offset.
     pub fn spawn(&mut self, name: impl Into<String>) -> Pid {

@@ -85,6 +85,19 @@ impl HostMm {
         &self.phys
     }
 
+    /// Mutable access to the frame pool, bypassing the page-table
+    /// bookkeeping that keeps refcounts, rmap entries and PTEs in sync.
+    ///
+    /// Exists solely so fault-injection tests can corrupt the world and
+    /// prove the cross-layer auditor reports it; simulation code must
+    /// never call this — go through [`write_page`](Self::write_page) and
+    /// friends instead.
+    #[must_use]
+    pub fn phys_mut(&mut self) -> &mut PhysMemory {
+        self.epoch += 1;
+        &mut self.phys
+    }
+
     /// Number of copy-on-write breaks performed so far.
     #[must_use]
     pub fn cow_breaks(&self) -> u64 {

@@ -93,6 +93,12 @@ pub struct ExperimentConfig {
     /// If set, sample the sharing timeline every N seconds (KSM
     /// convergence curves; costs one stable-tree recount per sample).
     pub timeline_seconds: Option<u64>,
+    /// Run the cross-layer conservation audit (`audit::check_world`) at
+    /// every timeline sample and at the end of the run, panicking on
+    /// the first violation. Always on in debug builds (and therefore in
+    /// every test); this flag extends the self-check to release runs
+    /// (CLI/figure-binary `--audit`).
+    pub audit: bool,
 }
 
 impl ExperimentConfig {
@@ -117,6 +123,7 @@ impl ExperimentConfig {
             class_sharing: false,
             seed: 0x0015_9a55,
             timeline_seconds: None,
+            audit: false,
         }
     }
 
@@ -208,7 +215,17 @@ impl ExperimentConfig {
             class_sharing,
             seed: 7,
             timeline_seconds: None,
+            audit: false,
         }
+    }
+
+    /// [`tiny_test`](Self::tiny_test) at a shorter duration, sized so a
+    /// debug-profile run finishes in well under a second. The default
+    /// preset for integration tests; the 90-second `tiny_test` stays
+    /// available for `#[ignore]`d full-size variants.
+    #[must_use]
+    pub fn small_test(n: usize, class_sharing: bool) -> ExperimentConfig {
+        ExperimentConfig::tiny_test(n, class_sharing).with_duration_seconds(40)
     }
 
     /// Enables the class-sharing technique.
@@ -244,6 +261,13 @@ impl ExperimentConfig {
     pub fn with_timeline(mut self, seconds: u64) -> ExperimentConfig {
         assert!(seconds > 0, "sampling interval must be positive");
         self.timeline_seconds = Some(seconds);
+        self
+    }
+
+    /// Enables the cross-layer conservation audit for this run.
+    #[must_use]
+    pub fn with_audit(mut self) -> ExperimentConfig {
+        self.audit = true;
         self
     }
 }

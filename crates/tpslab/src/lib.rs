@@ -52,6 +52,7 @@ pub use run::Experiment;
 
 // Re-export the component crates for downstream users.
 pub use analysis;
+pub use audit;
 pub use cds;
 pub use hypervisor;
 pub use jvm;

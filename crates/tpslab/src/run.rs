@@ -66,6 +66,10 @@ impl Experiment {
         }
 
         // The simulation loop: guests, JVMs, and the KSM scanner.
+        // Debug builds self-check unconditionally, so every test that
+        // runs an experiment also audits it; `--audit` extends the
+        // check to release runs.
+        let audit_enabled = config.audit || cfg!(debug_assertions);
         let mut scanner = KsmScanner::new(config.ksm.warmup);
         let warmup_end = Tick::from_seconds(config.ksm.warmup_seconds as f64);
         let end = Tick::from_seconds(config.duration_seconds as f64);
@@ -89,6 +93,9 @@ impl Experiment {
             if let Some(every) = sample_ticks {
                 if t % every == 0 {
                     scanner.recount(host.mm());
+                    if audit_enabled {
+                        audit_world(&host, &javas, &scanner);
+                    }
                     let stats = scanner.stats();
                     timeline.push(TimelinePoint {
                         seconds: now.as_seconds(),
@@ -100,6 +107,9 @@ impl Experiment {
             }
         }
         scanner.recount(host.mm());
+        if audit_enabled {
+            audit_world(&host, &javas, &scanner);
+        }
 
         // Attribution walk (§II) and rollup.
         let views: Vec<GuestView<'_>> = host
@@ -165,6 +175,26 @@ impl Experiment {
                 .collect(),
             timeline,
         }
+    }
+}
+
+/// Runs the cross-layer conservation audit against the current host
+/// state, panicking with the structured violation on failure. The
+/// scanner's counters must be freshly recounted.
+fn audit_world(host: &KvmHost, javas: &[JavaVm], scanner: &KsmScanner) {
+    let views: Vec<GuestView<'_>> = host
+        .guests()
+        .iter()
+        .zip(javas)
+        .map(|(g, j)| GuestView::new(&g.name, &g.os, vec![j.pid()]))
+        .collect();
+    let world = audit::World {
+        mm: host.mm(),
+        guests: views,
+        scanner: Some(scanner),
+    };
+    if let Err(violation) = audit::check_world(&world) {
+        panic!("memory-accounting audit failed: {violation}");
     }
 }
 

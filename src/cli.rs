@@ -8,11 +8,13 @@ use workloads::Benchmark;
 /// Usage text shown on bad input.
 pub const USAGE: &str = "\
 usage:
-  tps-java run     [--guests N] [--benchmark NAME] [--scale S] [--minutes M] [--preload] [--csv]
-  tps-java sweep   [--from N] [--to N] [--benchmark NAME] [--scale S] [--minutes M]
+  tps-java run     [--guests N] [--benchmark NAME] [--scale S] [--minutes M] [--preload] [--csv] [--audit]
+  tps-java sweep   [--from N] [--to N] [--benchmark NAME] [--scale S] [--minutes M] [--audit]
   tps-java powervm [--scale S] [--minutes M]
   tps-java smaps   [--preload]
-benchmarks: daytrader | specjenterprise | tpcw | tuscany";
+benchmarks: daytrader | specjenterprise | tpcw | tuscany
+--audit runs the cross-layer conservation audit at the end of each
+experiment (always on in debug builds) and aborts on any violation.";
 
 /// A parse or execution error.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -41,6 +43,7 @@ struct Opts {
     minutes: f64,
     preload: bool,
     csv: bool,
+    audit: bool,
 }
 
 impl Default for Opts {
@@ -54,6 +57,7 @@ impl Default for Opts {
             minutes: 6.0,
             preload: false,
             csv: false,
+            audit: false,
         }
     }
 }
@@ -95,6 +99,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, CliError> {
             }
             "--preload" => opts.preload = true,
             "--csv" => opts.csv = true,
+            "--audit" => opts.audit = true,
             other => return Err(err(format!("unknown option {other}"))),
         }
     }
@@ -138,6 +143,9 @@ fn config_for(opts: &Opts, guests: usize) -> Result<ExperimentConfig, CliError> 
         .with_ksm(KsmSchedule::compressed(opts.scale, seconds));
     if opts.preload {
         cfg = cfg.with_class_sharing();
+    }
+    if opts.audit {
+        cfg = cfg.with_audit();
     }
     Ok(cfg)
 }
@@ -233,7 +241,7 @@ fn cmd_powervm(opts: &Opts) -> Result<String, CliError> {
 
 fn cmd_smaps(opts: &Opts) -> Result<String, CliError> {
     // A one-guest demo of the §II.A smaps/PSS view.
-    let mut cfg = ExperimentConfig::tiny_test(2, opts.preload).with_duration_seconds(90);
+    let mut cfg = ExperimentConfig::small_test(2, opts.preload);
     cfg.timeline_seconds = None;
     let report = Experiment::run(&cfg);
     let mut out = String::from("per-JVM PSS view (distribution-oriented accounting):\n");
@@ -260,11 +268,16 @@ mod tests {
 
     #[test]
     fn parse_defaults_and_flags() {
-        let opts = parse_opts(&argv("--guests 3 --preload --csv --scale 16 --minutes 2")).unwrap();
+        let opts = parse_opts(&argv(
+            "--guests 3 --preload --csv --audit --scale 16 --minutes 2",
+        ))
+        .unwrap();
         assert_eq!(opts.guests, 3);
         assert!(opts.preload);
         assert!(opts.csv);
+        assert!(opts.audit);
         assert_eq!(opts.scale, 16.0);
+        assert!(!parse_opts(&argv("--guests 3")).unwrap().audit);
     }
 
     #[test]
@@ -285,10 +298,13 @@ mod tests {
 
     #[test]
     fn run_subcommand_produces_table_and_csv() {
-        let text = dispatch(&argv("run --guests 2 --scale 32 --minutes 1 --preload")).unwrap();
+        let text = dispatch(&argv(
+            "run --guests 2 --scale 64 --minutes 0.5 --preload --audit",
+        ))
+        .unwrap();
         assert!(text.contains("Guest"));
         assert!(text.contains("class metadata eliminated"));
-        let csv = dispatch(&argv("run --guests 2 --scale 32 --minutes 1 --csv")).unwrap();
+        let csv = dispatch(&argv("run --guests 2 --scale 64 --minutes 0.5 --csv")).unwrap();
         assert!(csv.starts_with("guest,"));
         assert!(csv.contains("Java heap"));
     }
@@ -302,7 +318,7 @@ mod tests {
 
     #[test]
     fn sweep_emits_one_row_per_point() {
-        let text = dispatch(&argv("sweep --from 1 --to 2 --scale 32 --minutes 1")).unwrap();
+        let text = dispatch(&argv("sweep --from 1 --to 2 --scale 64 --minutes 0.5")).unwrap();
         assert_eq!(text.lines().count(), 3);
     }
 }

@@ -1,17 +1,38 @@
 //! Cross-crate integration tests: miniature versions of the paper's
 //! experiments, asserting the qualitative results that define the
 //! reproduction.
+//!
+//! The suite runs on [`ExperimentConfig::small_test`] (40 simulated
+//! seconds) and shares the two expensive reports across tests, so the
+//! default `cargo test` stays fast. The original full-size (120 s)
+//! configs live in [`full_size_suite`], which is `#[ignore]`d by
+//! default and run in CI with `cargo test -- --ignored`. Every
+//! experiment here also runs the cross-layer conservation audit
+//! (`audit::check_world`), which is always on in debug builds.
 
+use std::sync::OnceLock;
 use tpslab::jvm::MemoryCategory;
-use tpslab::{Experiment, ExperimentConfig, PowerVmExperiment};
+use tpslab::{Experiment, ExperimentConfig, ExperimentReport, PowerVmExperiment};
 
 fn baseline() -> ExperimentConfig {
-    ExperimentConfig::tiny_test(3, false).with_duration_seconds(120)
+    ExperimentConfig::small_test(3, false)
+}
+
+/// The baseline report, computed once for the whole suite.
+fn base_report() -> &'static ExperimentReport {
+    static REPORT: OnceLock<ExperimentReport> = OnceLock::new();
+    REPORT.get_or_init(|| Experiment::run(&baseline()))
+}
+
+/// The class-sharing report, computed once for the whole suite.
+fn cds_report() -> &'static ExperimentReport {
+    static REPORT: OnceLock<ExperimentReport> = OnceLock::new();
+    REPORT.get_or_init(|| Experiment::run(&baseline().with_class_sharing()))
 }
 
 #[test]
 fn tps_is_ineffective_for_java_without_preloading() {
-    let report = Experiment::run(&baseline());
+    let report = base_report();
     // §III: class metadata, JIT code and stacks essentially unshared.
     for java in &report.breakdown.javas {
         let class = java.category(MemoryCategory::ClassMetadata);
@@ -34,7 +55,7 @@ fn tps_is_ineffective_for_java_without_preloading() {
 
 #[test]
 fn preloading_makes_class_metadata_shareable() {
-    let report = Experiment::run(&baseline().with_class_sharing());
+    let report = cds_report();
     // §V.A: most of the class metadata of non-primary JVMs is eliminated.
     let fraction = report.mean_nonprimary_class_saving_fraction();
     assert!(
@@ -51,8 +72,8 @@ fn preloading_makes_class_metadata_shareable() {
 
 #[test]
 fn preloading_reduces_total_memory_usage() {
-    let base = Experiment::run(&baseline());
-    let cds = Experiment::run(&baseline().with_class_sharing());
+    let base = base_report();
+    let cds = cds_report();
     assert!(cds.breakdown.total_owned_mib < base.breakdown.total_owned_mib);
     assert!(cds.total_tps_saving_mib() > base.total_tps_saving_mib());
 }
@@ -61,7 +82,7 @@ fn preloading_reduces_total_memory_usage() {
 fn guest_kernels_share_about_half_their_area() {
     // §II.D: ~50 % of the kernel area is image-derived and shared with
     // the owning guest.
-    let report = Experiment::run(&baseline());
+    let report = base_report();
     let kernels: Vec<f64> = report
         .breakdown
         .guests
@@ -82,7 +103,7 @@ fn guest_kernels_share_about_half_their_area() {
 
 #[test]
 fn owner_oriented_usage_sums_to_unique_frames() {
-    let report = Experiment::run(&baseline().with_class_sharing());
+    let report = cds_report();
     let guest_sum: f64 = report
         .breakdown
         .guests
@@ -98,11 +119,10 @@ fn owner_oriented_usage_sums_to_unique_frames() {
 
 #[test]
 fn experiments_are_deterministic() {
-    let cfg = baseline().with_class_sharing();
-    let a = Experiment::run(&cfg);
-    let b = Experiment::run(&cfg);
-    assert_eq!(a.breakdown, b.breakdown);
-    assert_eq!(a.ksm, b.ksm);
+    let rerun = Experiment::run(&baseline().with_class_sharing());
+    let first = cds_report();
+    assert_eq!(first.breakdown, rerun.breakdown);
+    assert_eq!(first.ksm, rerun.ksm);
 }
 
 #[test]
@@ -113,12 +133,17 @@ fn powervm_preloading_increases_saving() {
     assert!(with.saving_mib() > without.saving_mib());
 }
 
-#[test]
-fn overcommit_collapses_throughput_and_preloading_delays_it() {
+fn overcommit_config() -> ExperimentConfig {
     // Shrink the host until the guests no longer fit.
-    let mut cfg = ExperimentConfig::tiny_test(4, false).with_duration_seconds(120);
+    let mut cfg = ExperimentConfig::small_test(4, false).with_duration_seconds(30);
     cfg.host.ram_mib = 300.0;
     cfg.host.reserve_mib = 20.0;
+    cfg
+}
+
+#[test]
+fn overcommit_collapses_throughput_and_preloading_delays_it() {
+    let cfg = overcommit_config();
     let base = Experiment::run(&cfg);
     let cds = Experiment::run(&cfg.clone().with_class_sharing());
     assert!(
@@ -128,4 +153,28 @@ fn overcommit_collapses_throughput_and_preloading_delays_it() {
         cds.slowdown
     );
     assert!(base.total_throughput() <= cds.total_throughput());
+}
+
+/// The original full-size (120 simulated seconds) configs, kept as a
+/// slow regression net. Run with `cargo test -- --ignored` (CI does).
+#[test]
+#[ignore = "full-size configs; CI runs them with -- --ignored"]
+fn full_size_suite() {
+    let full = ExperimentConfig::tiny_test(3, false).with_duration_seconds(120);
+    let base = Experiment::run(&full);
+    let cds = Experiment::run(&full.clone().with_class_sharing());
+    assert!(cds.breakdown.total_owned_mib < base.breakdown.total_owned_mib);
+    assert!(cds.mean_nonprimary_class_saving_fraction() > 0.6);
+    for java in &base.breakdown.javas {
+        let class = java.category(MemoryCategory::ClassMetadata);
+        assert!(class.tps_shared_mib < 0.05 * class.resident_mib.max(0.01));
+    }
+
+    let mut over = ExperimentConfig::tiny_test(4, false).with_duration_seconds(120);
+    over.host.ram_mib = 300.0;
+    over.host.reserve_mib = 20.0;
+    let over_base = Experiment::run(&over);
+    let over_cds = Experiment::run(&over.clone().with_class_sharing());
+    assert!(over_base.slowdown <= over_cds.slowdown);
+    assert!(over_base.total_throughput() <= over_cds.total_throughput());
 }

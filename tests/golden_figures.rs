@@ -1,0 +1,85 @@
+//! Golden-master regression tests for the figure binaries.
+//!
+//! Each test renders a figure through `bench::figures` at the fixed
+//! [`RunOpts::golden`] preset and compares the output byte-for-byte
+//! against the committed file under `tests/golden/`. Figure output is
+//! deterministic (timings go to stderr, sweeps return results in input
+//! order regardless of thread count), so any diff here is a real
+//! behaviour change in the simulation or the report formatting.
+//!
+//! To regenerate after an intentional change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --test golden_figures
+//! ```
+//!
+//! then review and commit the updated `tests/golden/*.txt`.
+
+use bench::{figures, RunOpts};
+use std::fs;
+use std::path::PathBuf;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+/// Diffs `actual` against the golden file, or rewrites the file when
+/// `UPDATE_GOLDEN` is set.
+fn assert_golden(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        fs::create_dir_all(path.parent().unwrap()).unwrap();
+        fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "cannot read golden file {}: {e}\n\
+             regenerate with: UPDATE_GOLDEN=1 cargo test --test golden_figures",
+            path.display()
+        )
+    });
+    if expected == actual {
+        return;
+    }
+    // Report the first diverging line to make the diff readable.
+    let mut exp_lines = expected.lines();
+    let mut act_lines = actual.lines();
+    let mut line_no = 1usize;
+    loop {
+        match (exp_lines.next(), act_lines.next()) {
+            (Some(e), Some(a)) if e == a => line_no += 1,
+            (e, a) => panic!(
+                "{name} diverges from the golden master at line {line_no}:\n\
+                 golden: {:?}\n\
+                 actual: {:?}\n\
+                 if the change is intentional, regenerate with:\n\
+                 UPDATE_GOLDEN=1 cargo test --test golden_figures",
+                e.unwrap_or("<end of file>"),
+                a.unwrap_or("<end of file>"),
+            ),
+        }
+    }
+}
+
+#[test]
+fn fig2_matches_golden_master() {
+    assert_golden("fig2.txt", &figures::fig2_text(&RunOpts::golden()));
+}
+
+#[test]
+fn fig7_matches_golden_master() {
+    assert_golden("fig7.txt", &figures::fig7_text(&RunOpts::golden()));
+}
+
+#[test]
+fn fig8_matches_golden_master() {
+    assert_golden("fig8.txt", &figures::fig8_text(&RunOpts::golden()));
+}
+
+#[test]
+fn tables_match_golden_master() {
+    assert_golden("tables.txt", &figures::tables_text());
+}
