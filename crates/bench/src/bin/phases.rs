@@ -1,0 +1,40 @@
+//! Per-phase cost profile of the Fig. 7 over-commit preset.
+//!
+//! Runs six DayTrader guests (the middle of the Fig. 7 sweep) with
+//! per-phase profiling enabled and prints the profile as one JSON
+//! object — the record committed as `results/BENCH_phases.json`:
+//!
+//! ```text
+//! cargo run --release -p bench --bin phases -- --scale 8 --minutes 2 > results/BENCH_phases.json
+//! ```
+//!
+//! Wall-clock numbers are machine-dependent; the interesting shape is
+//! the *relative* split between guest/JVM simulation, KSM scanning,
+//! sampling and the final attribution walk.
+
+use bench::RunOpts;
+use tpslab::{Experiment, ExperimentConfig};
+
+const GUESTS: usize = 6;
+
+fn main() {
+    let opts = RunOpts::from_args();
+    let cfg = opts
+        .apply(ExperimentConfig::paper_overcommit_daytrader(
+            GUESTS, opts.scale,
+        ))
+        .with_profile();
+    let report = Experiment::run(&cfg);
+    let phases = report.phases.expect("profiling was enabled");
+    println!(
+        "{{\"preset\":\"fig7 {GUESTS}x DayTrader over-commit\",\
+         \"command\":\"cargo run --release -p bench --bin phases -- --scale {} --minutes {}\",\
+         \"scale\":{},\"minutes\":{},\"pages_sharing\":{},\"profile\":{}}}",
+        opts.scale,
+        opts.minutes,
+        opts.scale,
+        opts.minutes,
+        report.ksm.pages_sharing,
+        phases.to_json()
+    );
+}

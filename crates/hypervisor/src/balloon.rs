@@ -74,6 +74,12 @@ impl BalloonDriver {
             // back on the free list.
             guest.release_page(mm, pid, vpn);
         }
+        if reclaimed > 0 {
+            mm.tracer().emit_with(|| obs::EventKind::BalloonInflate {
+                space: vm_space.index() as u32,
+                pages: reclaimed as u64,
+            });
+        }
         reclaimed
     }
 

@@ -156,6 +156,12 @@ impl KvmHost {
     ) -> usize {
         let name = name.into();
         let vm_space = self.mm.create_space(format!("qemu-{name}"));
+        self.mm
+            .tracer()
+            .emit_with(|| obs::EventKind::MemslotCreate {
+                space: vm_space.index() as u32,
+                pages: mem::mib_to_pages(mem_mib) as u64,
+            });
         let mut os = GuestOs::boot(
             &mut self.mm,
             vm_space,
@@ -184,7 +190,7 @@ impl KvmHost {
             mem::mib_to_pages(DAEMONS_MIB_PER_GIB * mem_mib / 1024.0) / DAEMON_COUNT;
         for d in 0..DAEMON_COUNT {
             let pid = os.spawn(format!("daemon{d}"));
-            let base = os.add_region(pid, per_daemon_pages.max(1), MemTag::OtherProcess);
+            let base = os.map_region(&self.mm, pid, per_daemon_pages.max(1), MemTag::OtherProcess);
             for i in 0..per_daemon_pages as u64 {
                 os.write_page(
                     &mut self.mm,

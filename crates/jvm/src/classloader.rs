@@ -5,6 +5,7 @@ use crate::classes::ClassSet;
 use crate::fill::ProgressFill;
 use cds::SharedClassCache;
 use mem::{Fingerprint, LayoutImage, LayoutWriter, Tick};
+use obs::EventKind;
 use oskernel::{GuestOs, Pid};
 use paging::{HostMm, MemTag, Vpn};
 use rand::rngs::SmallRng;
@@ -141,11 +142,21 @@ impl ClassLoader {
         fraction: f64,
         now: Tick,
     ) {
+        let mut private_pages = 0u64;
         for i in self.private_fill.advance(fraction) {
             let fp = self.private_image.pages[i];
             guest.write_page(mm, pid, self.private_base.offset(i as u64), fp, now);
+            private_pages += 1;
+        }
+        if private_pages > 0 {
+            mm.tracer().emit_with(|| EventKind::ClassLoad {
+                pid: pid.0,
+                pages: private_pages,
+                from_cache: false,
+            });
         }
         if let Some(cache) = &mut self.cache {
+            let mut cache_pages = 0u64;
             for i in cache.fill.advance(fraction) {
                 let page = cache.fault_order[i] as usize;
                 guest.write_page(
@@ -155,6 +166,14 @@ impl ClassLoader {
                     cache.pages[page],
                     now,
                 );
+                cache_pages += 1;
+            }
+            if cache_pages > 0 {
+                mm.tracer().emit_with(|| EventKind::ClassLoad {
+                    pid: pid.0,
+                    pages: cache_pages,
+                    from_cache: true,
+                });
             }
         }
     }

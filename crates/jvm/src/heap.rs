@@ -13,6 +13,7 @@
 use crate::fill::ProgressFill;
 use crate::profile::{GcPolicy, HeapProfile};
 use mem::{Fingerprint, Tick};
+use obs::EventKind;
 use oskernel::{GuestOs, Pid};
 use paging::{HostMm, MemTag, Vpn};
 
@@ -49,9 +50,8 @@ impl Space {
         untouched_fraction: f64,
         phase_salt: u64,
     ) -> Space {
-        let _ = mm;
         let pages = pages.max(2);
-        let base = guest.add_region(pid, pages, MemTag::JavaHeap);
+        let base = guest.map_region(mm, pid, pages, MemTag::JavaHeap);
         let live_pages = ((pages as f64) * live_fraction.clamp(0.0, 0.95)) as usize;
         let tail = ((pages as f64) * untouched_fraction.clamp(0.0, 0.5)) as usize;
         let hwm = (pages - tail).max(live_pages + 1).min(pages);
@@ -140,6 +140,11 @@ impl Space {
         for i in self.live_pages..self.hwm {
             guest.write_page(mm, pid, self.base.offset(i as u64), Fingerprint::ZERO, now);
         }
+        mm.tracer().emit_with(|| EventKind::GcCollect {
+            pid: pid.0,
+            gvpn: self.base.offset(self.live_pages as u64).0,
+            zeroed_pages: (self.hwm - self.live_pages) as u64,
+        });
         self.cursor = self.live_pages;
         self.epoch += 1;
         self.collections += 1;

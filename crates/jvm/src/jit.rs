@@ -3,6 +3,7 @@
 use crate::fill::ProgressFill;
 use crate::profile::AppProfile;
 use mem::{Fingerprint, Tick};
+use obs::EventKind;
 use oskernel::{GuestOs, Pid};
 use paging::{HostMm, MemTag, Vpn};
 
@@ -39,9 +40,13 @@ impl JitSim {
         let code_pages = mem::mib_to_pages(profile.jit_code_mib).max(1);
         let scratch_pages = mem::mib_to_pages(profile.jit_work_mib).max(1);
         let zero_pages = mem::mib_to_pages(profile.jit_work_zero_mib);
-        let code_base = guest.add_region(pid, code_pages, MemTag::JavaJitCode);
-        let work_base =
-            guest.add_region(pid, scratch_pages + zero_pages.max(1), MemTag::JavaJitWork);
+        let code_base = guest.map_region(mm, pid, code_pages, MemTag::JavaJitCode);
+        let work_base = guest.map_region(
+            mm,
+            pid,
+            scratch_pages + zero_pages.max(1),
+            MemTag::JavaJitWork,
+        );
         let mut jit = JitSim {
             code_base,
             code_fill: ProgressFill::new(code_pages),
@@ -79,9 +84,17 @@ impl JitSim {
         now: Tick,
     ) {
         // Code cache grows as methods get hot.
+        let mut emitted = 0u64;
         for i in self.code_fill.advance(warmup_fraction) {
             let fp = Fingerprint::of(&[JIT_CODE_TOKEN, salt, i as u64]);
             guest.write_page(mm, pid, self.code_base.offset(i as u64), fp, now);
+            emitted += 1;
+        }
+        if emitted > 0 {
+            mm.tracer().emit_with(|| EventKind::JitEmit {
+                pid: pid.0,
+                pages: emitted,
+            });
         }
         // Scratch churn: heavy while compiling, a trickle afterwards.
         let rate = if warmup_fraction < 1.0 {

@@ -2,6 +2,7 @@
 
 use crate::{KsmParams, KsmStats};
 use mem::{Fingerprint, FrameId, Tick};
+use obs::EventKind;
 use paging::{AsId, HostMm, Mapping, Vpn};
 use std::collections::{BTreeMap, HashMap};
 
@@ -161,6 +162,7 @@ impl KsmScanner {
         if !now.0.is_multiple_of(self.params.ticks_per_wake()) {
             return;
         }
+        mm.tracer().set_now(now.0);
         if self.scan_list.is_empty() {
             self.begin_pass(mm, now);
             if self.scan_list.is_empty() {
@@ -249,6 +251,11 @@ impl KsmScanner {
         self.unstable.clear();
         self.stats.full_scans += 1;
         self.first_pass_done = true;
+        mm.tracer().emit_with(|| EventKind::PassComplete {
+            pass: self.stats.full_scans,
+            pages_scanned: self.stats.pages_scanned,
+            merges: self.stats.merges,
+        });
         self.recount(mm);
         // Snapshot the region list afresh for the next pass.
         self.begin_pass(mm, now);
@@ -321,7 +328,7 @@ impl KsmScanner {
         }
 
         if self.skipping {
-            return self.advance_skip(region, len, budget_left);
+            return self.advance_skip(mm.tracer(), space, region, len, budget_left);
         }
 
         // Page-walk batch: read-only classification against the resolved
@@ -365,7 +372,14 @@ impl KsmScanner {
     /// Continues a clean-region skip: consumes the same budget a page
     /// walk would, O(1) per wake. Falls back to a page walk from the
     /// equivalent cursor position if a write lands mid-skip.
-    fn advance_skip(&mut self, region: &paging::Region, len: u64, budget_left: usize) -> Advance {
+    fn advance_skip(
+        &mut self,
+        tracer: &obs::Tracer,
+        space: AsId,
+        region: &paging::Region,
+        len: u64,
+        budget_left: usize,
+    ) -> Advance {
         if region.generation() != self.region_gen_at_entry {
             let consumed = self.skip_total - self.skip_left;
             self.cursor_page = region.nth_mapped_index(consumed).map_or(len, |i| i as u64);
@@ -385,6 +399,11 @@ impl KsmScanner {
         if self.skip_left == 0 {
             // Record stays valid: the generation was unchanged throughout.
             self.stats.clean_region_skips += 1;
+            tracer.emit_with(|| EventKind::CleanRegionCredit {
+                space: space.index() as u32,
+                base: region.base().0,
+                pages: self.skip_total,
+            });
             self.next_region();
         }
         Advance::Scanned(take as usize)
@@ -407,21 +426,24 @@ impl KsmScanner {
                 return Some(PageAction::MergeStable {
                     dup: frame,
                     canonical,
+                    mapping,
                 });
             }
             // Chain full: promote this page to a fresh stable node so
             // later duplicates have somewhere to go.
-            return Some(PageAction::PromoteSplit { frame, fp });
+            return Some(PageAction::PromoteSplit { frame, fp, mapping });
         }
 
         // 2. Volatility filter: content must be stable across a full pass.
-        let horizon = if self.first_pass_done {
-            self.prev_pass_start
-        } else {
-            self.pass_start
-        };
+        let horizon = self.volatility_horizon();
         if mm.phys().last_write(frame) >= horizon && horizon > Tick::ZERO {
             self.stats.volatile_skips += 1;
+            mm.tracer().emit_with(|| EventKind::VolatileSkip {
+                space: mapping.space.index() as u32,
+                vpn: mapping.vpn.0,
+                frame: frame.index() as u64,
+                last_write: mm.phys().last_write(frame).0,
+            });
             return None;
         }
 
@@ -439,6 +461,7 @@ impl KsmScanner {
                         dup: frame,
                         canonical: other,
                         fp,
+                        mapping,
                     });
                 } else if other == frame {
                     // Same page re-encountered; leave the entry in place.
@@ -455,22 +478,48 @@ impl KsmScanner {
 
     fn apply(&mut self, mm: &mut HostMm, action: PageAction) {
         match action {
-            PageAction::MergeStable { dup, canonical } => {
+            PageAction::MergeStable {
+                dup,
+                canonical,
+                mapping,
+            } => {
                 mm.merge_frames(dup, canonical);
                 self.stats.merges += 1;
+                mm.tracer().emit_with(|| EventKind::MergeStable {
+                    space: mapping.space.index() as u32,
+                    vpn: mapping.vpn.0,
+                    dup_frame: dup.index() as u64,
+                    stable_frame: canonical.index() as u64,
+                });
             }
-            PageAction::PromoteSplit { frame, fp } => {
+            PageAction::PromoteSplit { frame, fp, mapping } => {
                 mm.mark_ksm_stable(frame);
                 self.stable.insert(fp, frame);
                 self.stable_version += 1;
                 self.stats.chain_splits += 1;
+                mm.tracer().emit_with(|| EventKind::ChainSplit {
+                    space: mapping.space.index() as u32,
+                    vpn: mapping.vpn.0,
+                    frame: frame.index() as u64,
+                });
             }
-            PageAction::MergeUnstable { dup, canonical, fp } => {
+            PageAction::MergeUnstable {
+                dup,
+                canonical,
+                fp,
+                mapping,
+            } => {
                 mm.merge_frames(dup, canonical);
                 self.stable.insert(fp, canonical);
                 self.stable_version += 1;
                 self.unstable.remove(&fp);
                 self.stats.merges += 1;
+                mm.tracer().emit_with(|| EventKind::MergeUnstable {
+                    space: mapping.space.index() as u32,
+                    vpn: mapping.vpn.0,
+                    dup_frame: dup.index() as u64,
+                    stable_frame: canonical.index() as u64,
+                });
             }
         }
     }
@@ -484,7 +533,25 @@ impl KsmScanner {
             self.stable.remove(&fp);
             self.stable_version += 1;
             self.stats.stale_stable_nodes += 1;
+            mm.tracer().emit_with(|| EventKind::StaleNodeDrop {
+                frame: frame.index() as u64,
+            });
             None
+        }
+    }
+
+    /// The oldest last-write tick a page may carry and still pass the
+    /// volatility filter this pass (the checksum test of §II.C): pages
+    /// written at or after this tick are skipped as volatile. Zero until
+    /// scanning has begun (no filter yet). The merge-miss classifier in
+    /// `analysis` uses this to label unmerged-because-volatile pages
+    /// with the scanner's own criterion.
+    #[must_use]
+    pub fn volatility_horizon(&self) -> Tick {
+        if self.first_pass_done {
+            self.prev_pass_start
+        } else {
+            self.pass_start
         }
     }
 }
@@ -496,20 +563,24 @@ enum Advance {
     PassComplete,
 }
 
-/// A page-table mutation decided during a read-only batch.
+/// A page-table mutation decided during a read-only batch. Each action
+/// carries the mapping that triggered it, for trace provenance.
 enum PageAction {
     MergeStable {
         dup: FrameId,
         canonical: FrameId,
+        mapping: Mapping,
     },
     PromoteSplit {
         frame: FrameId,
         fp: Fingerprint,
+        mapping: Mapping,
     },
     MergeUnstable {
         dup: FrameId,
         canonical: FrameId,
         fp: Fingerprint,
+        mapping: Mapping,
     },
 }
 

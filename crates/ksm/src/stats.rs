@@ -45,6 +45,31 @@ impl KsmStats {
     pub fn saved_pages(&self) -> u64 {
         self.pages_sharing
     }
+
+    /// The change in every counter since `earlier`, for pass-over-pass
+    /// or sample-over-sample comparison. The cumulative counters
+    /// (`full_scans`, `pages_scanned`, `merges`, …) become per-interval
+    /// rates; the instantaneous gauges (`pages_shared`,
+    /// `pages_sharing`) can shrink between samples, so each field
+    /// saturates at zero rather than wrapping.
+    #[must_use]
+    pub fn delta(&self, earlier: &KsmStats) -> KsmStats {
+        KsmStats {
+            pages_shared: self.pages_shared.saturating_sub(earlier.pages_shared),
+            pages_sharing: self.pages_sharing.saturating_sub(earlier.pages_sharing),
+            full_scans: self.full_scans.saturating_sub(earlier.full_scans),
+            pages_scanned: self.pages_scanned.saturating_sub(earlier.pages_scanned),
+            merges: self.merges.saturating_sub(earlier.merges),
+            volatile_skips: self.volatile_skips.saturating_sub(earlier.volatile_skips),
+            stale_stable_nodes: self
+                .stale_stable_nodes
+                .saturating_sub(earlier.stale_stable_nodes),
+            chain_splits: self.chain_splits.saturating_sub(earlier.chain_splits),
+            clean_region_skips: self
+                .clean_region_skips
+                .saturating_sub(earlier.clean_region_skips),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -59,5 +84,35 @@ mod tests {
             ..KsmStats::default()
         };
         assert_eq!(stats.saved_pages(), 17);
+    }
+
+    #[test]
+    fn delta_subtracts_and_saturates() {
+        let earlier = KsmStats {
+            pages_shared: 5,
+            pages_sharing: 40,
+            full_scans: 2,
+            pages_scanned: 1000,
+            merges: 45,
+            ..KsmStats::default()
+        };
+        let later = KsmStats {
+            pages_shared: 4, // gauge shrank (a node died)
+            pages_sharing: 50,
+            full_scans: 3,
+            pages_scanned: 1500,
+            merges: 55,
+            volatile_skips: 7,
+            ..KsmStats::default()
+        };
+        let d = later.delta(&earlier);
+        assert_eq!(d.pages_shared, 0);
+        assert_eq!(d.pages_sharing, 10);
+        assert_eq!(d.full_scans, 1);
+        assert_eq!(d.pages_scanned, 500);
+        assert_eq!(d.merges, 10);
+        assert_eq!(d.volatile_skips, 7);
+        // Identity: a stats value minus itself is all zeros.
+        assert_eq!(later.delta(&later), KsmStats::default());
     }
 }

@@ -1,0 +1,42 @@
+//! Observability layer for the TPS-Java reproduction.
+//!
+//! Three facilities, all zero-cost when not requested (see DESIGN.md §9):
+//!
+//! * [`Tracer`] — a ring-buffered structured-event recorder that the
+//!   core crates (`paging`, `ksm`, `oskernel`, `jvm`, `hypervisor`)
+//!   emit typed [`TraceEvent`]s into. Disabled tracers cost one branch
+//!   per emission site; enabled ones record a seed-deterministic,
+//!   totally ordered event stream exportable as JSONL.
+//! * [`TraceLog`] — the drained trace, plus the summary set of
+//!   merged-then-broken mappings that feeds the merge-miss classifier
+//!   in `analysis`.
+//! * [`Profiler`] — per-phase wall-clock / simulated-tick / pages
+//!   accounting for `Experiment::run` and the KSM pass loop.
+//!
+//! This crate depends only on `std` (events carry raw numeric ids, not
+//! the upper layers' newtypes), so every other crate in the workspace
+//! can depend on it without cycles.
+//!
+//! # Example
+//!
+//! ```
+//! use obs::{EventKind, Tracer};
+//!
+//! let mut tracer = Tracer::new();
+//! tracer.enable(None);
+//! tracer.set_now(7);
+//! tracer.emit_with(|| EventKind::StaleNodeDrop { frame: 3 });
+//! let log = tracer.take_log();
+//! assert_eq!(log.to_jsonl(), "{\"seq\":0,\"tick\":7,\"event\":\"stale_node_drop\",\"frame\":3}\n");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod event;
+mod profile;
+mod tracer;
+
+pub use event::{EventKind, TraceEvent};
+pub use profile::{PhaseReport, PhaseStat, Profiler};
+pub use tracer::{TraceLog, Tracer, DEFAULT_CAPACITY};

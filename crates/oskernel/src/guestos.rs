@@ -2,6 +2,7 @@
 
 use crate::{GuestAddressSpace, OsImage, Pid};
 use mem::{Fingerprint, Tick};
+use obs::EventKind;
 use paging::{AsId, HostMm, MemTag, Vpn};
 use std::collections::BTreeMap;
 
@@ -186,6 +187,20 @@ impl GuestOs {
         self.context_mut(pid).add_region(pages, tag)
     }
 
+    /// [`add_region`](Self::add_region), emitting a
+    /// [`EventKind::GuestRegionMap`] trace event. Preferred whenever the
+    /// caller holds the host memory manager; the untraced variant exists
+    /// for guest-only bookkeeping in tests.
+    pub fn map_region(&mut self, mm: &HostMm, pid: Pid, pages: usize, tag: MemTag) -> Vpn {
+        let base = self.add_region(pid, pages, tag);
+        mm.tracer().emit_with(|| EventKind::GuestRegionMap {
+            pid: pid.0,
+            gvpn: base.0,
+            pages: pages as u64,
+        });
+        base
+    }
+
     /// Writes one page in a process's address space, faulting in a guest
     /// frame (and transitively a host frame) as needed.
     ///
@@ -237,6 +252,10 @@ impl GuestOs {
             .region_containing_mut(vpn)
             .expect("translate succeeded, region exists");
         region.set_gpfn(vpn, None);
+        mm.tracer().emit_with(|| EventKind::GuestPageRelease {
+            pid: pid.0,
+            gvpn: vpn.0,
+        });
         mm.unmap_page(self.vm_space, self.host_vpn(gpfn));
         self.free_gpfns.push(gpfn);
         true
@@ -248,6 +267,11 @@ impl GuestOs {
         let Some(region) = self.context_mut(pid).remove_region(base) else {
             return;
         };
+        mm.tracer().emit_with(|| EventKind::GuestRegionFree {
+            pid: pid.0,
+            gvpn: base.0,
+            pages: region.len_pages() as u64,
+        });
         for (_, gpfn) in region.iter_mapped() {
             mm.unmap_page(self.vm_space, self.host_vpn(gpfn));
             self.free_gpfns.push(gpfn);
@@ -261,6 +285,11 @@ impl GuestOs {
             return;
         };
         for region in gas.regions() {
+            mm.tracer().emit_with(|| EventKind::GuestRegionFree {
+                pid: pid.0,
+                gvpn: region.base().0,
+                pages: region.len_pages() as u64,
+            });
             for (_, gpfn) in region.iter_mapped() {
                 mm.unmap_page(self.vm_space, self.host_vpn(gpfn));
                 self.free_gpfns.push(gpfn);

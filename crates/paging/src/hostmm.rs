@@ -3,6 +3,7 @@
 use crate::rmap::Rmap;
 use crate::{AddressSpace, AsId, Mapping, MemTag, Vpn};
 use mem::{Fingerprint, FrameId, PhysMemory, Tick};
+use obs::{EventKind, Tracer};
 
 /// The host memory manager: frame pool + every address space + rmap.
 ///
@@ -47,6 +48,7 @@ pub struct HostMm {
     rmap: Rmap,
     cow_breaks: u64,
     epoch: u64,
+    tracer: Tracer,
 }
 
 impl HostMm {
@@ -104,6 +106,21 @@ impl HostMm {
         self.cow_breaks
     }
 
+    /// The event tracer attached to this memory manager. Disabled by
+    /// default; every layer that mutates memory through this `HostMm`
+    /// (itself, the guest kernels, the JVMs, KSM, the hypervisor) emits
+    /// structured events into it when enabled.
+    #[must_use]
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Mutable tracer access (to enable tracing or drain the log).
+    #[must_use]
+    pub fn tracer_mut(&mut self) -> &mut Tracer {
+        &mut self.tracer
+    }
+
     /// Monotonic mutation counter, bumped by every state-changing
     /// operation (mapping, writing, unmapping, merging). Consumers may
     /// cache values derived from the memory state keyed by this: an
@@ -116,7 +133,14 @@ impl HostMm {
     /// Reserves a region in `space` and returns its base page.
     pub fn map_region(&mut self, space: AsId, pages: usize, tag: MemTag, mergeable: bool) -> Vpn {
         self.epoch += 1;
-        self.spaces[space.index()].add_region(pages, tag, mergeable)
+        let base = self.spaces[space.index()].add_region(pages, tag, mergeable);
+        self.tracer.emit_with(|| EventKind::RegionMap {
+            space: space.0,
+            base: base.0,
+            pages: pages as u64,
+            mergeable,
+        });
+        base
     }
 
     /// Reserves a region at a fixed base in `space`.
@@ -134,6 +158,12 @@ impl HostMm {
     ) {
         self.epoch += 1;
         self.spaces[space.index()].add_region_at(base, pages, tag, mergeable);
+        self.tracer.emit_with(|| EventKind::RegionMap {
+            space: space.0,
+            base: base.0,
+            pages: pages as u64,
+            mergeable,
+        });
     }
 
     /// Writes `fingerprint` to the page at (`space`, `vpn`).
@@ -164,6 +194,13 @@ impl HostMm {
                     region.set_frame(vpn, Some(fresh));
                     self.rmap.remove(frame, mapping);
                     self.rmap.add(fresh, mapping);
+                    self.tracer.emit_with(|| EventKind::CowBreak {
+                        space: space.0,
+                        vpn: vpn.0,
+                        old_frame: frame.index() as u64,
+                        new_frame: fresh.index() as u64,
+                        was_ksm_shared: self.phys.is_ksm_shared(frame),
+                    });
                     self.phys.dec_ref(frame);
                 } else {
                     region.touch();
@@ -202,6 +239,11 @@ impl HostMm {
             self.rmap.remove(frame, Mapping { space, vpn });
             self.phys.dec_ref(frame);
             self.epoch += 1;
+            self.tracer.emit_with(|| EventKind::PageUnmap {
+                space: space.0,
+                vpn: vpn.0,
+                frame: frame.index() as u64,
+            });
         }
     }
 
@@ -212,6 +254,11 @@ impl HostMm {
             None => return,
         };
         self.epoch += 1;
+        self.tracer.emit_with(|| EventKind::RegionUnmap {
+            space: space.0,
+            base: region.base().0,
+            pages: region.len_pages() as u64,
+        });
         for (vpn, frame) in region.iter_mapped() {
             self.rmap.remove(frame, Mapping { space, vpn });
             self.phys.dec_ref(frame);

@@ -60,6 +60,21 @@ impl KsmSchedule {
     }
 }
 
+/// Timeline sampling configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimelineConfig {
+    /// Sample the sharing timeline every this many simulated seconds
+    /// (each sample costs one stable-tree recount).
+    pub every_seconds: u64,
+    /// Also run the full attribution walk
+    /// ([`analysis::MemorySnapshot::collect`] + breakdown) at every
+    /// sample and record the TPS saving. This walks every page-table
+    /// entry of every guest, which is far more expensive than the
+    /// recount — off by default; enable with
+    /// [`ExperimentConfig::with_timeline_attribution`].
+    pub attribution: bool,
+}
+
 /// One guest VM in an experiment.
 #[derive(Debug, Clone)]
 pub struct GuestSpec {
@@ -90,9 +105,21 @@ pub struct ExperimentConfig {
     /// Master seed; every run with the same config and seed is
     /// bit-identical.
     pub seed: u64,
-    /// If set, sample the sharing timeline every N seconds (KSM
-    /// convergence curves; costs one stable-tree recount per sample).
-    pub timeline_seconds: Option<u64>,
+    /// If set, sample the sharing timeline (KSM convergence curves) at
+    /// the configured cadence; see [`TimelineConfig`].
+    pub timeline: Option<TimelineConfig>,
+    /// Record the page-lifecycle event trace: every merge, COW break,
+    /// volatile skip, chain split, map/unmap, GC move, JIT emission and
+    /// memslot change, in simulation order. Costs memory and a few
+    /// percent of runtime; leaves the report bit-identical otherwise.
+    pub trace: bool,
+    /// Profile `Experiment::run` per phase (wall-clock, simulated
+    /// ticks, pages touched) and attach the [`obs::PhaseReport`].
+    pub profile: bool,
+    /// Run the merge-miss diagnostics
+    /// ([`analysis::diagnose_misses`]) on the final state and attach
+    /// the per-category missed-sharing report.
+    pub diagnose: bool,
     /// Run the cross-layer conservation audit (`audit::check_world`) at
     /// every timeline sample and at the end of the run, panicking on
     /// the first violation. Always on in debug builds (and therefore in
@@ -122,7 +149,10 @@ impl ExperimentConfig {
             duration_seconds: 90 * 60,
             class_sharing: false,
             seed: 0x0015_9a55,
-            timeline_seconds: None,
+            timeline: None,
+            trace: false,
+            profile: false,
+            diagnose: false,
             audit: false,
         }
     }
@@ -214,7 +244,10 @@ impl ExperimentConfig {
             duration_seconds: 90,
             class_sharing,
             seed: 7,
-            timeline_seconds: None,
+            timeline: None,
+            trace: false,
+            profile: false,
+            diagnose: false,
             audit: false,
         }
     }
@@ -256,11 +289,50 @@ impl ExperimentConfig {
         self
     }
 
-    /// Samples the sharing timeline every `seconds`.
+    /// Samples the sharing timeline every `seconds` (no attribution
+    /// walk; see [`with_timeline_attribution`](Self::with_timeline_attribution)).
     #[must_use]
     pub fn with_timeline(mut self, seconds: u64) -> ExperimentConfig {
         assert!(seconds > 0, "sampling interval must be positive");
-        self.timeline_seconds = Some(seconds);
+        let attribution = self.timeline.is_some_and(|t| t.attribution);
+        self.timeline = Some(TimelineConfig {
+            every_seconds: seconds,
+            attribution,
+        });
+        self
+    }
+
+    /// Runs the full attribution walk at every timeline sample,
+    /// recording the TPS saving per sample. Requires
+    /// [`with_timeline`](Self::with_timeline) first.
+    #[must_use]
+    pub fn with_timeline_attribution(mut self) -> ExperimentConfig {
+        let timeline = self
+            .timeline
+            .as_mut()
+            .expect("with_timeline must be configured before attribution");
+        timeline.attribution = true;
+        self
+    }
+
+    /// Records the page-lifecycle event trace.
+    #[must_use]
+    pub fn with_trace(mut self) -> ExperimentConfig {
+        self.trace = true;
+        self
+    }
+
+    /// Profiles the run per phase.
+    #[must_use]
+    pub fn with_profile(mut self) -> ExperimentConfig {
+        self.profile = true;
+        self
+    }
+
+    /// Runs the merge-miss diagnostics on the final state.
+    #[must_use]
+    pub fn with_diagnose(mut self) -> ExperimentConfig {
+        self.diagnose = true;
         self
     }
 
@@ -313,5 +385,31 @@ mod tests {
         assert!(cfg.class_sharing);
         assert_eq!(cfg.duration_seconds, 10);
         assert_eq!(cfg.seed, 99);
+    }
+
+    #[test]
+    fn observability_builders() {
+        let cfg = ExperimentConfig::tiny_test(1, false)
+            .with_timeline(5)
+            .with_timeline_attribution()
+            .with_trace()
+            .with_profile()
+            .with_diagnose();
+        assert_eq!(
+            cfg.timeline,
+            Some(TimelineConfig {
+                every_seconds: 5,
+                attribution: true
+            })
+        );
+        // Re-tuning the cadence keeps the attribution flag.
+        assert!(cfg.clone().with_timeline(7).timeline.unwrap().attribution);
+        assert!(cfg.trace && cfg.profile && cfg.diagnose);
+    }
+
+    #[test]
+    #[should_panic(expected = "with_timeline")]
+    fn attribution_requires_timeline() {
+        let _ = ExperimentConfig::tiny_test(1, false).with_timeline_attribution();
     }
 }

@@ -45,7 +45,7 @@ mod report;
 mod run;
 pub mod sweep;
 
-pub use config::{ExperimentConfig, GuestSpec, KsmSchedule};
+pub use config::{ExperimentConfig, GuestSpec, KsmSchedule, TimelineConfig};
 pub use powervm::{PowerVmExperiment, PowerVmFigure};
 pub use report::{ExperimentReport, TimelinePoint, VmThroughput};
 pub use run::Experiment;
@@ -57,6 +57,7 @@ pub use cds;
 pub use hypervisor;
 pub use jvm;
 pub use ksm;
+pub use obs;
 pub use oskernel;
 pub use paging;
 pub use workloads;

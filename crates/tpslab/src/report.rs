@@ -28,6 +28,19 @@ pub struct TimelinePoint {
     pub pages_sharing: u64,
     /// Distinct stable-tree frames.
     pub pages_shared: u64,
+    /// Full scan passes completed so far.
+    pub full_scans: u64,
+    /// Change in every scanner counter since the previous sample
+    /// ([`KsmStats::delta`]); the first sample's delta is measured from
+    /// zeroed stats.
+    pub delta: KsmStats,
+    /// TPS saving from the full attribution walk, MiB. `None` unless
+    /// [`ExperimentConfig::with_timeline_attribution`] enabled the
+    /// per-sample walk.
+    ///
+    /// [`ExperimentConfig::with_timeline_attribution`]:
+    ///     crate::ExperimentConfig::with_timeline_attribution
+    pub tps_saving_mib: Option<f64>,
 }
 
 /// Everything an experiment produces.
@@ -53,6 +66,18 @@ pub struct ExperimentReport {
     /// [`ExperimentConfig::with_timeline`](crate::ExperimentConfig::with_timeline)
     /// was used).
     pub timeline: Vec<TimelinePoint>,
+    /// Merge-miss diagnostics over the final state (`None` unless
+    /// [`ExperimentConfig::with_diagnose`](crate::ExperimentConfig::with_diagnose)
+    /// was used).
+    pub merge_miss: Option<analysis::MergeMissReport>,
+    /// Per-phase profile of the run (`None` unless
+    /// [`ExperimentConfig::with_profile`](crate::ExperimentConfig::with_profile)
+    /// was used).
+    pub phases: Option<obs::PhaseReport>,
+    /// The page-lifecycle event trace (`None` unless
+    /// [`ExperimentConfig::with_trace`](crate::ExperimentConfig::with_trace)
+    /// was used).
+    pub trace: Option<obs::TraceLog>,
 }
 
 impl ExperimentReport {
@@ -162,6 +187,9 @@ mod tests {
             ],
             caches: vec![],
             timeline: vec![],
+            merge_miss: None,
+            phases: None,
+            trace: None,
         }
     }
 

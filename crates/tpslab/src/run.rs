@@ -5,8 +5,9 @@ use analysis::{GuestView, MemorySnapshot};
 use cds::{CacheBuilder, SharedClassCache};
 use hypervisor::{KvmHost, PagingModel};
 use jvm::{ClassSet, JavaVm, JvmConfig};
-use ksm::KsmScanner;
+use ksm::{KsmScanner, KsmStats};
 use mem::{Fingerprint, Tick};
+use obs::Profiler;
 use std::collections::HashMap;
 use workloads::{ClientDriver, SlaModel, SlaOutcome};
 
@@ -22,7 +23,16 @@ impl Experiment {
     /// measurement quantities. Deterministic in `config.seed`.
     #[must_use]
     pub fn run(config: &ExperimentConfig) -> ExperimentReport {
+        let mut prof = if config.profile {
+            Profiler::enabled()
+        } else {
+            Profiler::disabled()
+        };
+        let setup_started = prof.begin();
         let mut host = KvmHost::new(config.host);
+        if config.trace {
+            host.mm_mut().tracer_mut().enable(None);
+        }
         let caches = if config.class_sharing {
             build_caches(config)
         } else {
@@ -65,6 +75,13 @@ impl Experiment {
             ));
         }
 
+        prof.end(
+            "setup",
+            setup_started,
+            0,
+            host.mm().phys().allocated_frames() as u64,
+        );
+
         // The simulation loop: guests, JVMs, and the KSM scanner.
         // Debug builds self-check unconditionally, so every test that
         // runs an experiment also audits it; `--audit` extends the
@@ -75,43 +92,98 @@ impl Experiment {
         let end = Tick::from_seconds(config.duration_seconds as f64);
         let mut switched = false;
         let sample_ticks = config
-            .timeline_seconds
-            .map(|s| s * u64::from(mem::TICKS_PER_SECOND as u32));
+            .timeline
+            .map(|tl| tl.every_seconds * u64::from(mem::TICKS_PER_SECOND as u32));
+        let attribution = config.timeline.is_some_and(|tl| tl.attribution);
         let mut timeline = Vec::new();
+        let mut last_stats = KsmStats::default();
         for t in 1..=end.0 {
             let now = Tick(t);
+            let tick_started = prof.begin();
+            let writes_before = host.mm().phys().total_writes();
             for (i, java) in javas.iter_mut().enumerate() {
                 let (mm, guest) = host.mm_and_guest_mut(i);
                 guest.os.tick(mm, now);
                 java.tick(mm, &mut guest.os, now);
             }
+            prof.end(
+                "guest_jvm_tick",
+                tick_started,
+                1,
+                host.mm().phys().total_writes() - writes_before,
+            );
             if !switched && now >= warmup_end {
                 scanner.set_params(config.ksm.steady);
                 switched = true;
             }
+            let scan_started = prof.begin();
+            let scanned_before = scanner.stats().pages_scanned;
             scanner.run(host.mm_mut(), now);
+            prof.end(
+                "ksm_scan",
+                scan_started,
+                1,
+                scanner.stats().pages_scanned - scanned_before,
+            );
             if let Some(every) = sample_ticks {
                 if t % every == 0 {
+                    let sample_started = prof.begin();
                     scanner.recount(host.mm());
                     if audit_enabled {
                         audit_world(&host, &javas, &scanner);
                     }
                     let stats = scanner.stats();
+                    prof.end("timeline_sample", sample_started, 0, 0);
+                    // The full per-PTE attribution walk is far more
+                    // expensive than the recount, so it is gated behind
+                    // its own timeline flag.
+                    let tps_saving_mib = if attribution {
+                        let attr_started = prof.begin();
+                        let views: Vec<GuestView<'_>> = host
+                            .guests()
+                            .iter()
+                            .zip(&javas)
+                            .map(|(g, j)| GuestView::new(&g.name, &g.os, vec![j.pid()]))
+                            .collect();
+                        let snapshot = MemorySnapshot::collect(host.mm(), &views);
+                        let saving = snapshot
+                            .breakdown()
+                            .guests
+                            .iter()
+                            .map(analysis::GuestBreakdown::tps_saving_mib)
+                            .sum();
+                        prof.end(
+                            "attribution",
+                            attr_started,
+                            0,
+                            host.mm().phys().allocated_frames() as u64,
+                        );
+                        Some(saving)
+                    } else {
+                        None
+                    };
                     timeline.push(TimelinePoint {
                         seconds: now.as_seconds(),
                         resident_mib: host.resident_mib(),
                         pages_sharing: stats.pages_sharing,
                         pages_shared: stats.pages_shared,
+                        full_scans: stats.full_scans,
+                        delta: stats.delta(&last_stats),
+                        tps_saving_mib,
                     });
+                    last_stats = stats;
                 }
             }
         }
+        let final_started = prof.begin();
         scanner.recount(host.mm());
         if audit_enabled {
             audit_world(&host, &javas, &scanner);
         }
+        prof.end("final_recount", final_started, 0, 0);
 
         // Attribution walk (§II) and rollup.
+        let attr_started = prof.begin();
         let views: Vec<GuestView<'_>> = host
             .guests()
             .iter()
@@ -121,6 +193,27 @@ impl Experiment {
         let snapshot = MemorySnapshot::collect(host.mm(), &views);
         let breakdown = snapshot.breakdown();
         drop(views);
+        prof.end(
+            "attribution",
+            attr_started,
+            0,
+            host.mm().phys().allocated_frames() as u64,
+        );
+
+        // Merge-miss diagnostics over the final state: classify the
+        // sharing an ideal merger would still find. Must run before the
+        // trace log is drained — the COW-broken class needs the
+        // tracer's broken-mapping set.
+        let merge_miss = config.diagnose.then(|| {
+            analysis::diagnose_misses(
+                host.mm(),
+                scanner.params().max_page_sharing(),
+                scanner.volatility_horizon(),
+                &host.mm().tracer().broken_mappings(),
+            )
+        });
+        let trace = config.trace.then(|| host.mm_mut().tracer_mut().take_log());
+        let phases = config.profile.then(|| prof.report());
 
         // Over-commit throughput model (Figs. 7–8).
         let resident_mib = host.resident_mib();
@@ -174,6 +267,9 @@ impl Experiment {
                 })
                 .collect(),
             timeline,
+            merge_miss,
+            phases,
+            trace,
         }
     }
 }

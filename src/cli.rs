@@ -9,12 +9,18 @@ use workloads::Benchmark;
 pub const USAGE: &str = "\
 usage:
   tps-java run     [--guests N] [--benchmark NAME] [--scale S] [--minutes M] [--preload] [--csv] [--audit]
+                   [--trace FILE] [--profile]
+  tps-java explain [--guests N] [--benchmark NAME] [--scale S] [--minutes M] [--preload] [--top N]
   tps-java sweep   [--from N] [--to N] [--benchmark NAME] [--scale S] [--minutes M] [--audit]
   tps-java powervm [--scale S] [--minutes M]
   tps-java smaps   [--preload]
 benchmarks: daytrader | specjenterprise | tpcw | tuscany
 --audit runs the cross-layer conservation audit at the end of each
-experiment (always on in debug builds) and aborts on any violation.";
+experiment (always on in debug builds) and aborts on any violation.
+--trace FILE writes the page-lifecycle event trace as JSONL; --profile
+prints the per-phase cost table. `explain` reruns the experiment with
+tracing on and reports why content-identical pages were not merged,
+plus the --top N busiest page lifecycles.";
 
 /// A parse or execution error.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -44,6 +50,9 @@ struct Opts {
     preload: bool,
     csv: bool,
     audit: bool,
+    trace: Option<String>,
+    profile: bool,
+    top: usize,
 }
 
 impl Default for Opts {
@@ -58,6 +67,9 @@ impl Default for Opts {
             preload: false,
             csv: false,
             audit: false,
+            trace: None,
+            profile: false,
+            top: 3,
         }
     }
 }
@@ -100,6 +112,13 @@ fn parse_opts(args: &[String]) -> Result<Opts, CliError> {
             "--preload" => opts.preload = true,
             "--csv" => opts.csv = true,
             "--audit" => opts.audit = true,
+            "--trace" => opts.trace = Some(value("--trace")?.clone()),
+            "--profile" => opts.profile = true,
+            "--top" => {
+                opts.top = value("--top")?
+                    .parse()
+                    .map_err(|_| err("--top: not a number"))?
+            }
             other => return Err(err(format!("unknown option {other}"))),
         }
     }
@@ -108,6 +127,9 @@ fn parse_opts(args: &[String]) -> Result<Opts, CliError> {
     }
     if opts.scale < 1.0 {
         return Err(err("--scale must be >= 1"));
+    }
+    if opts.top == 0 {
+        return Err(err("--top must be positive"));
     }
     Ok(opts)
 }
@@ -161,6 +183,7 @@ pub fn dispatch(args: &[String]) -> Result<String, CliError> {
         .ok_or_else(|| err("missing subcommand"))?;
     match cmd.as_str() {
         "run" => cmd_run(&parse_opts(rest)?),
+        "explain" => cmd_explain(&parse_opts(rest)?),
         "sweep" => cmd_sweep(&parse_opts(rest)?),
         "powervm" => cmd_powervm(&parse_opts(rest)?),
         "smaps" => cmd_smaps(&parse_opts(rest)?),
@@ -169,9 +192,26 @@ pub fn dispatch(args: &[String]) -> Result<String, CliError> {
 }
 
 fn cmd_run(opts: &Opts) -> Result<String, CliError> {
-    let cfg = config_for(opts, opts.guests)?;
+    let mut cfg = config_for(opts, opts.guests)?;
+    if opts.trace.is_some() {
+        cfg = cfg.with_trace();
+    }
+    if opts.profile {
+        cfg = cfg.with_profile();
+    }
     let report = Experiment::run(&cfg);
     let mut out = String::new();
+    if let Some(path) = &opts.trace {
+        let log = report.trace.as_ref().expect("tracing was enabled");
+        std::fs::write(path, log.to_jsonl()).map_err(|e| err(format!("--trace {path}: {e}")))?;
+        let _ = writeln!(
+            out,
+            "trace: {} events ({} dropped, {} merged-then-broken mappings) -> {path}",
+            log.events.len(),
+            log.dropped,
+            log.broken_mappings.len(),
+        );
+    }
     if opts.csv {
         out.push_str(&analysis::guest_csv(&report.breakdown));
         out.push('\n');
@@ -190,6 +230,78 @@ fn cmd_run(opts: &Opts) -> Result<String, CliError> {
         report.mean_nonprimary_java_saving_mib() * opts.scale,
         100.0 * report.mean_nonprimary_class_saving_fraction(),
         report.slowdown,
+    );
+    if let Some(phases) = &report.phases {
+        out.push('\n');
+        out.push_str(&phases.render());
+    }
+    Ok(out)
+}
+
+/// Renders the `--top N` busiest page lifecycles from a trace: the
+/// per-mapping event chains with the most recorded events.
+fn render_lifecycles(log: &tpslab::obs::TraceLog, top: usize) -> String {
+    use std::collections::HashMap;
+    /// One mapping's recorded history: `(tick, event name)` in emission order.
+    type Lifecycle = Vec<(u64, &'static str)>;
+    let mut by_mapping: HashMap<(u32, u64), Lifecycle> = HashMap::new();
+    for ev in &log.events {
+        if let Some(key) = ev.kind.mapping() {
+            by_mapping
+                .entry(key)
+                .or_default()
+                .push((ev.tick, ev.kind.name()));
+        }
+    }
+    let mut ranked: Vec<((u32, u64), Lifecycle)> = by_mapping.into_iter().collect();
+    // Busiest first; (space, vpn) breaks ties deterministically.
+    ranked.sort_by_key(|(key, events)| (std::cmp::Reverse(events.len()), *key));
+    ranked.truncate(top);
+    let mut out = format!("top {top} page lifecycles (most-eventful mappings):\n");
+    if ranked.is_empty() {
+        out.push_str("  (no per-page events recorded)\n");
+        return out;
+    }
+    const MAX_STEPS: usize = 10;
+    for ((space, vpn), events) in ranked {
+        let _ = writeln!(
+            out,
+            "  space {space} vpn {vpn:#x} - {} events",
+            events.len()
+        );
+        let mut line = String::from("   ");
+        for (tick, name) in events.iter().take(MAX_STEPS) {
+            let _ = write!(line, " t{tick}:{name}");
+        }
+        if events.len() > MAX_STEPS {
+            let _ = write!(line, " ... ({} more)", events.len() - MAX_STEPS);
+        }
+        out.push_str(&line);
+        out.push('\n');
+    }
+    out
+}
+
+fn cmd_explain(opts: &Opts) -> Result<String, CliError> {
+    let cfg = config_for(opts, opts.guests)?.with_trace().with_diagnose();
+    let report = Experiment::run(&cfg);
+    let miss = report.merge_miss.as_ref().expect("diagnosis was enabled");
+    let log = report.trace.as_ref().expect("tracing was enabled");
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{} x {} | scale 1/{} | preload: {} | pages_sharing {}",
+        opts.guests, opts.benchmark, opts.scale, opts.preload, report.ksm.pages_sharing,
+    );
+    out.push_str(&miss.render());
+    out.push('\n');
+    out.push_str(&render_lifecycles(log, opts.top));
+    let _ = writeln!(
+        out,
+        "\ntrace: {} events recorded, {} dropped, {} merged-then-broken mappings",
+        log.events.len(),
+        log.dropped,
+        log.broken_mappings.len(),
     );
     Ok(out)
 }
@@ -242,7 +354,7 @@ fn cmd_powervm(opts: &Opts) -> Result<String, CliError> {
 fn cmd_smaps(opts: &Opts) -> Result<String, CliError> {
     // A one-guest demo of the §II.A smaps/PSS view.
     let mut cfg = ExperimentConfig::small_test(2, opts.preload);
-    cfg.timeline_seconds = None;
+    cfg.timeline = None;
     let report = Experiment::run(&cfg);
     let mut out = String::from("per-JVM PSS view (distribution-oriented accounting):\n");
     for java in &report.breakdown.javas {
@@ -307,6 +419,32 @@ mod tests {
         let csv = dispatch(&argv("run --guests 2 --scale 64 --minutes 0.5 --csv")).unwrap();
         assert!(csv.starts_with("guest,"));
         assert!(csv.contains("Java heap"));
+    }
+
+    #[test]
+    fn run_writes_trace_file_and_prints_profile() {
+        let path = std::env::temp_dir().join("tps_java_cli_trace_test.jsonl");
+        let arg = format!(
+            "run --guests 1 --scale 64 --minutes 0.5 --profile --trace {}",
+            path.display()
+        );
+        let text = dispatch(&argv(&arg)).unwrap();
+        assert!(text.contains("trace:"));
+        assert!(text.contains("guest_jvm_tick"));
+        assert!(text.contains("ksm_scan"));
+        let contents = std::fs::read_to_string(&path).unwrap();
+        assert!(contents.lines().next().unwrap().starts_with("{\"seq\":"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn explain_subcommand_reports_misses_and_lifecycles() {
+        let text = dispatch(&argv("explain --guests 2 --scale 64 --minutes 0.5 --top 2")).unwrap();
+        assert!(text.contains("merge-miss diagnostics"));
+        assert!(text.contains("pending"));
+        assert!(text.contains("top 2 page lifecycles"));
+        assert!(text.contains("events recorded"));
+        assert!(parse_opts(&argv("--top 0")).is_err());
     }
 
     #[test]
