@@ -141,7 +141,7 @@ impl MemorySnapshot {
             })
             .collect();
         let mut javas: BTreeMap<(u32, Pid), JavaBreakdown> = BTreeMap::new();
-        for (&(g, pid), ()) in &self.java_set {
+        for &(g, pid) in &self.java_set {
             javas.insert(
                 (g, pid),
                 JavaBreakdown {
@@ -154,21 +154,18 @@ impl MemorySnapshot {
         }
 
         let mut total_owned_pages = 0u64;
-        for record in self.frames.values() {
+        for (_, users, ksm_shared) in self.frames.iter() {
             total_owned_pages += 1;
-            let owner = self.select_owner(&record.users);
-            let pss_share = 1.0 / record.users.len() as f64;
-            for (i, user) in record.users.iter().enumerate() {
+            let owner = self.select_owner(users);
+            let pss_share = 1.0 / users.len() as f64;
+            for (i, user) in users.iter().enumerate() {
                 let is_owner = i == owner;
                 // Guest rollup.
                 if let Some(g) = user.guest {
                     let gb = &mut guests[g as usize];
                     gb.resident_mib += PAGE_MIB;
                     if is_owner {
-                        let bucket = if user
-                            .pid
-                            .is_some_and(|p| self.java_set.contains_key(&(g, p)))
-                        {
+                        let bucket = if user.pid.is_some_and(|p| self.java_set.contains(&(g, p))) {
                             &mut gb.java_owned_mib
                         } else if user.tag == MemTag::VmOverhead {
                             &mut gb.vm_overhead_owned_mib
@@ -190,7 +187,7 @@ impl MemorySnapshot {
                             if is_owner {
                                 usage.owned_mib += PAGE_MIB;
                             }
-                            if record.ksm_shared && record.users.len() > 1 {
+                            if ksm_shared && users.len() > 1 {
                                 usage.tps_shared_mib += PAGE_MIB;
                             }
                         }
@@ -213,18 +210,12 @@ impl MemorySnapshot {
         let key = |u: &PageUser| (u.pid.map_or(u32::MAX, |p| p.0), u.guest.unwrap_or(u32::MAX));
         let mut best: Option<usize> = None;
         for (i, user) in users.iter().enumerate() {
-            let java = match (user.guest, user.pid) {
-                (Some(g), Some(p)) => self.java_set.contains_key(&(g, p)),
-                _ => false,
-            };
+            let java = user.is_java(&self.java_set);
             let better = match best {
                 None => true,
                 Some(b) => {
                     let bu = &users[b];
-                    let b_java = match (bu.guest, bu.pid) {
-                        (Some(g), Some(p)) => self.java_set.contains_key(&(g, p)),
-                        _ => false,
-                    };
+                    let b_java = bu.is_java(&self.java_set);
                     match (java, b_java) {
                         (true, false) => true,
                         (false, true) => false,

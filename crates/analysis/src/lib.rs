@@ -43,11 +43,13 @@
 #![warn(missing_docs)]
 
 mod breakdown;
+mod engine;
 mod missdiag;
 mod render;
 mod snapshot;
 
 pub use breakdown::{BreakdownReport, CategoryUsage, GuestBreakdown, JavaBreakdown};
+pub use engine::SnapshotEngine;
 pub use missdiag::{diagnose_misses, MergeMissReport, MissGroup, MissReason};
 pub use render::{guest_csv, java_csv, render_guest_table, render_java_table, summarize_java};
 pub use snapshot::{GuestView, MemorySnapshot, PageUser};

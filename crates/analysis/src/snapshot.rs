@@ -1,9 +1,9 @@
 //! Walking the translation layers.
 
-use mem::FrameId;
+use mem::{FrameId, PhysMemory};
 use oskernel::{GuestOs, Pid, KERNEL_PID};
 use paging::{HostMm, MemTag, Vpn};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, HashSet};
 
 /// What the analyst knows about one guest VM: its name, its guest OS
 /// (holding the guest-side page tables), and which of its processes are
@@ -61,26 +61,169 @@ impl PageUser {
     /// `true` if this user is a Java process mapping (used for ownership
     /// priority).
     #[must_use]
-    pub fn is_java(&self, java: &HashMap<(u32, Pid), ()>) -> bool {
+    pub fn is_java(&self, java: &HashSet<(u32, Pid)>) -> bool {
         match (self.guest, self.pid) {
-            (Some(g), Some(p)) => java.contains_key(&(g, p)),
+            (Some(g), Some(p)) => java.contains(&(g, p)),
             _ => false,
         }
     }
 }
 
+/// One attributed PTE before assembly: the raw frame index it references
+/// and the user behind it, in walk order. The per-space segments the
+/// [`SnapshotEngine`](crate::SnapshotEngine) caches are vectors of these.
+pub(crate) type SegEntry = (u32, PageUser);
+
+/// Frame-indexed attribution storage: a compressed-sparse-row table
+/// mapping every attributed frame to its users.
+///
+/// `users_of(frame)` is the slice `users[offsets[i] .. offsets[i + 1]]`
+/// for `i = frame.index()`; a frame with an empty slice is not
+/// attributed (free, or beyond the table). Iteration runs in frame-index
+/// order, which equals `FrameId`'s `Ord` order — so rollups accumulate
+/// in exactly the order the naive `BTreeMap` walk used, keeping float
+/// sums bit-identical.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub(crate) struct FrameTable {
+    /// CSR row offsets; `len = slots + 1` where `slots` is one past the
+    /// highest attributed frame index.
+    offsets: Vec<u32>,
+    /// All users, grouped by frame, in global walk order within a frame.
+    users: Vec<PageUser>,
+    /// Per-slot KSM stable-tree flag (meaningful only for attributed
+    /// slots).
+    ksm: Vec<bool>,
+    /// Number of attributed (non-empty) slots.
+    live: usize,
+}
+
+impl FrameTable {
+    fn slots(&self) -> usize {
+        self.offsets.len().saturating_sub(1)
+    }
+
+    fn row(&self, index: usize) -> &[PageUser] {
+        if index + 1 < self.offsets.len() {
+            &self.users[self.offsets[index] as usize..self.offsets[index + 1] as usize]
+        } else {
+            &[]
+        }
+    }
+
+    /// Iterates attributed frames in index order as
+    /// `(frame, users, ksm_shared)`.
+    pub(crate) fn iter(&self) -> impl Iterator<Item = (FrameId, &[PageUser], bool)> {
+        (0..self.slots()).filter_map(move |i| {
+            let users = self.row(i);
+            (!users.is_empty()).then(|| (FrameId::from_index(i), users, self.ksm[i]))
+        })
+    }
+
+    /// Builds the table from per-space walk segments, in segment order.
+    ///
+    /// Reconstruction is routed through [`PhysMemory::is_live`]: an
+    /// entry whose frame has been freed since the segment was recorded
+    /// (possible only through out-of-band frame-pool mutation, which
+    /// bumps no region generation) is dropped instead of reviving a
+    /// stale id, and the KSM flag is read fresh only for live frames —
+    /// [`PhysMemory::is_ksm_shared`] panics on freed ones.
+    pub(crate) fn assemble(segments: &[&[SegEntry]], phys: &PhysMemory) -> FrameTable {
+        let mut slots = 0usize;
+        for seg in segments {
+            for &(raw, _) in *seg {
+                if phys.is_live(FrameId::from_index(raw as usize)) {
+                    slots = slots.max(raw as usize + 1);
+                }
+            }
+        }
+        let mut offsets = vec![0u32; slots + 1];
+        let mut ksm = vec![false; slots];
+        let mut live = 0usize;
+        for seg in segments {
+            for &(raw, _) in *seg {
+                let i = raw as usize;
+                if i < slots && phys.is_live(FrameId::from_index(i)) {
+                    if offsets[i + 1] == 0 {
+                        live += 1;
+                        ksm[i] = phys.is_ksm_shared(FrameId::from_index(i));
+                    }
+                    offsets[i + 1] += 1;
+                }
+            }
+        }
+        for i in 1..offsets.len() {
+            offsets[i] += offsets[i - 1];
+        }
+        let total = offsets.last().copied().unwrap_or(0) as usize;
+        let filler = PageUser {
+            guest: None,
+            pid: None,
+            tag: MemTag::Other,
+        };
+        let mut users = vec![filler; total];
+        let mut cursor = offsets.clone();
+        for seg in segments {
+            for &(raw, user) in *seg {
+                let i = raw as usize;
+                if i < slots && phys.is_live(FrameId::from_index(i)) {
+                    users[cursor[i] as usize] = user;
+                    cursor[i] += 1;
+                }
+            }
+        }
+        FrameTable {
+            offsets,
+            users,
+            ksm,
+            live,
+        }
+    }
+
+    /// Converts the naive walk's `BTreeMap` accumulator into the dense
+    /// layout (the map iterates in `FrameId` order already).
+    fn from_records(records: &BTreeMap<FrameId, FrameRecord>) -> FrameTable {
+        let slots = records
+            .keys()
+            .next_back()
+            .map_or(0, |last| last.index() + 1);
+        let mut offsets = vec![0u32; slots + 1];
+        let mut ksm = vec![false; slots];
+        let mut users = Vec::with_capacity(records.values().map(|r| r.users.len()).sum());
+        for (frame, record) in records {
+            users.extend_from_slice(&record.users);
+            offsets[frame.index() + 1] = record.users.len() as u32;
+            ksm[frame.index()] = record.ksm_shared;
+        }
+        for i in 1..offsets.len() {
+            offsets[i] += offsets[i - 1];
+        }
+        FrameTable {
+            offsets,
+            users,
+            ksm,
+            live: records.len(),
+        }
+    }
+}
+
 /// A full attribution of host physical memory at one instant.
-#[derive(Debug)]
+///
+/// Equality is field-identical: two snapshots compare equal only if they
+/// attribute the same frames to the same users in the same per-frame
+/// order with the same KSM flags — the contract the parallel/incremental
+/// [`SnapshotEngine`](crate::SnapshotEngine) upholds against
+/// [`collect_naive`](Self::collect_naive).
+#[derive(Debug, Clone, PartialEq)]
 pub struct MemorySnapshot {
-    pub(crate) frames: BTreeMap<FrameId, FrameRecord>,
+    pub(crate) frames: FrameTable,
     pub(crate) guest_names: Vec<String>,
-    pub(crate) java_set: HashMap<(u32, Pid), ()>,
+    pub(crate) java_set: HashSet<(u32, Pid)>,
 }
 
 #[derive(Debug)]
-pub(crate) struct FrameRecord {
-    pub(crate) users: Vec<PageUser>,
-    pub(crate) ksm_shared: bool,
+struct FrameRecord {
+    users: Vec<PageUser>,
+    ksm_shared: bool,
 }
 
 impl MemorySnapshot {
@@ -94,10 +237,26 @@ impl MemorySnapshot {
     /// referenced by any guest page table (memory the guest freed) are
     /// attributed to the guest kernel, and the VM process's non-memslot
     /// regions are attributed as VM overhead.
+    ///
+    /// This runs the frame-indexed engine once, single-threaded. For
+    /// repeated snapshots of an evolving world (timeline sampling) or
+    /// parallel walks, hold a [`SnapshotEngine`](crate::SnapshotEngine)
+    /// instead.
     #[must_use]
     pub fn collect(mm: &HostMm, guests: &[GuestView<'_>]) -> MemorySnapshot {
+        crate::SnapshotEngine::new(1).snapshot(mm, guests)
+    }
+
+    /// The original hash-accumulator reference walk, retained verbatim as
+    /// the differential oracle for the engine: same layering as
+    /// [`collect`](Self::collect), but accumulating through a
+    /// `BTreeMap<FrameId, _>` and a per-page claims `HashMap` instead of
+    /// dense frame-indexed vectors. Single-threaded, allocation-heavy;
+    /// the audit compares its output field-for-field against the engine.
+    #[must_use]
+    pub fn collect_naive(mm: &HostMm, guests: &[GuestView<'_>]) -> MemorySnapshot {
         let mut frames: BTreeMap<FrameId, FrameRecord> = BTreeMap::new();
-        let mut java_set = HashMap::new();
+        let mut java_set = HashSet::new();
         let mut record = |frame: FrameId, user: PageUser, ksm: bool| {
             frames
                 .entry(frame)
@@ -114,7 +273,7 @@ impl MemorySnapshot {
         for (g, view) in guests.iter().enumerate() {
             space_to_guest.insert(view.os.vm_space(), g as u32);
             for &pid in view.java_pids() {
-                java_set.insert((g as u32, pid), ());
+                java_set.insert((g as u32, pid));
             }
         }
 
@@ -164,8 +323,20 @@ impl MemorySnapshot {
         }
 
         MemorySnapshot {
-            frames,
+            frames: FrameTable::from_records(&frames),
             guest_names: guests.iter().map(|g| g.name.to_string()).collect(),
+            java_set,
+        }
+    }
+
+    pub(crate) fn from_parts(
+        frames: FrameTable,
+        guest_names: Vec<String>,
+        java_set: HashSet<(u32, Pid)>,
+    ) -> MemorySnapshot {
+        MemorySnapshot {
+            frames,
+            guest_names,
             java_set,
         }
     }
@@ -173,19 +344,35 @@ impl MemorySnapshot {
     /// Number of distinct host frames attributed.
     #[must_use]
     pub fn frame_count(&self) -> usize {
-        self.frames.len()
+        self.frames.live
     }
 
     /// Total PTEs (virtual resident pages) attributed.
     #[must_use]
     pub fn pte_count(&self) -> usize {
-        self.frames.values().map(|r| r.users.len()).sum()
+        self.frames.users.len()
     }
 
     /// Frames referenced by more than one PTE (CoW/KSM shared).
     #[must_use]
     pub fn shared_frame_count(&self) -> usize {
-        self.frames.values().filter(|r| r.users.len() > 1).count()
+        self.frames
+            .iter()
+            .filter(|(_, users, _)| users.len() > 1)
+            .count()
+    }
+
+    /// The users attributed to `frame`, in walk order — empty if the
+    /// frame was not attributed.
+    #[must_use]
+    pub fn users_of(&self, frame: FrameId) -> &[PageUser] {
+        self.frames.row(frame.index())
+    }
+
+    /// `true` if `frame` was attributed as a KSM stable-tree frame.
+    #[must_use]
+    pub fn ksm_shared(&self, frame: FrameId) -> bool {
+        frame.index() < self.frames.slots() && self.frames.ksm[frame.index()]
     }
 }
 
@@ -246,9 +433,8 @@ mod tests {
         let snap = MemorySnapshot::collect(&mm, &views);
         assert_eq!(snap.shared_frame_count(), 1);
         assert_eq!(snap.pte_count(), snap.frame_count() + 1);
-        let rec = snap.frames.get(&f1).unwrap();
-        assert_eq!(rec.users.len(), 2);
-        assert!(rec.ksm_shared);
+        assert_eq!(snap.users_of(f1).len(), 2);
+        assert!(snap.ksm_shared(f1));
     }
 
     #[test]
@@ -271,10 +457,30 @@ mod tests {
         // All frames attributed; process pages are tagged OtherProcess.
         let other = snap
             .frames
-            .values()
-            .flat_map(|rec| rec.users.iter())
+            .iter()
+            .flat_map(|(_, users, _)| users.iter())
             .filter(|u| u.tag == MemTag::OtherProcess)
             .count();
         assert_eq!(other, 4);
+    }
+
+    #[test]
+    fn naive_reference_matches_engine_one_shot() {
+        let mut mm = HostMm::new();
+        let mut g1 = boot(&mut mm, "vm1", 1);
+        let g2 = boot(&mut mm, "vm2", 2);
+        let p1 = g1.spawn("java");
+        let r1 = g1.add_region(p1, 4, MemTag::JavaHeap);
+        for i in 0..4 {
+            g1.write_page(&mut mm, p1, r1.offset(i), Fingerprint::of(&[i]), Tick(1));
+        }
+        let views = vec![
+            GuestView::new("vm1", &g1, vec![p1]),
+            GuestView::new("vm2", &g2, vec![]),
+        ];
+        assert_eq!(
+            MemorySnapshot::collect(&mm, &views),
+            MemorySnapshot::collect_naive(&mm, &views)
+        );
     }
 }

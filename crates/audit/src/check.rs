@@ -18,7 +18,9 @@
 //!   frame exactly once: its frame and PTE counts match the ground
 //!   truth, and the owner-oriented breakdown partitions resident memory
 //!   (guest totals sum to the global total, which equals the frame
-//!   pool's size).
+//!   pool's size). The frame-indexed snapshot engine is also checked
+//!   differentially: its output must be field-identical to the retained
+//!   naive reference walk on the same world.
 //! * **KSM layer** — `pages_shared`/`pages_sharing` equal a from-scratch
 //!   recount over the scanner's stable tree, i.e. for every valid
 //!   stable node the frame refcount contributes `sharing + 1`.
@@ -175,6 +177,16 @@ pub enum Violation {
         /// The orphaned frame.
         frame: FrameId,
     },
+    /// The frame-indexed attribution engine diverged from the naive
+    /// reference walk: [`MemorySnapshot::collect`] and
+    /// [`MemorySnapshot::collect_naive`] produced snapshots that are not
+    /// field-identical on the same world.
+    SnapshotDivergence {
+        /// The first frame whose attribution differs, if the frame sets
+        /// agree but a frame's users or KSM flag differ (`None` when the
+        /// attributed frame sets themselves differ).
+        frame: Option<FrameId>,
+    },
     /// The attribution walk did not claim every allocated frame exactly
     /// once (frame or PTE counts disagree with the ground truth).
     AttributionIncomplete {
@@ -221,9 +233,9 @@ impl Violation {
             | Violation::GuestPageNotResident { .. }
             | Violation::BalloonedPageResident { .. }
             | Violation::MemslotPageUnclaimed { .. } => Layer::Guest,
-            Violation::AttributionIncomplete { .. } | Violation::AccountingDrift { .. } => {
-                Layer::Attribution
-            }
+            Violation::SnapshotDivergence { .. }
+            | Violation::AttributionIncomplete { .. }
+            | Violation::AccountingDrift { .. } => Layer::Attribution,
             Violation::KsmStatsMismatch { .. } => Layer::Ksm,
         }
     }
@@ -299,6 +311,16 @@ impl std::fmt::Display for Violation {
                 f,
                 "{guest}: memslot gpfn {gpfn} holds frame {frame:?} but no guest PTE claims it"
             ),
+            Violation::SnapshotDivergence { frame } => match frame {
+                Some(frame) => write!(
+                    f,
+                    "engine and naive walks disagree on frame {frame:?}'s attribution"
+                ),
+                None => write!(
+                    f,
+                    "engine and naive walks attribute different frame sets"
+                ),
+            },
             Violation::AttributionIncomplete {
                 what,
                 expected,
@@ -515,10 +537,21 @@ fn check_guest_layer(
 
 /// Attribution layer: the `analysis` walk must claim every allocated
 /// frame exactly once and its owner-oriented rollup must partition
-/// resident memory.
+/// resident memory. The frame-indexed engine behind
+/// [`MemorySnapshot::collect`] is additionally validated differentially
+/// against the retained naive reference walk
+/// ([`MemorySnapshot::collect_naive`]): the two must be field-identical.
 fn check_attribution(world: &World<'_>, report: &mut AuditReport) -> Result<(), Violation> {
     let phys = world.mm.phys();
     let snapshot = MemorySnapshot::collect(world.mm, &world.guests);
+    let naive = MemorySnapshot::collect_naive(world.mm, &world.guests);
+    if snapshot != naive {
+        let frame = phys.iter().map(|(id, _)| id).find(|&id| {
+            snapshot.users_of(id) != naive.users_of(id)
+                || snapshot.ksm_shared(id) != naive.ksm_shared(id)
+        });
+        return Err(Violation::SnapshotDivergence { frame });
+    }
     if snapshot.frame_count() != phys.allocated_frames() {
         return Err(Violation::AttributionIncomplete {
             what: "frames",

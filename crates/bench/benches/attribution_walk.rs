@@ -1,0 +1,69 @@
+//! Criterion benchmarks for the three-layer attribution walk: the naive
+//! BTreeMap reference vs. the frame-indexed [`analysis::SnapshotEngine`]
+//! (serial, parallel, and incremental) on a warmed world. Two presets:
+//! the Fig. 7 six-guest DayTrader over-commit and the scale32 fleet of
+//! 32 SPECjEnterprise guests.
+
+use analysis::{GuestView, MemorySnapshot, SnapshotEngine};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use hypervisor::KvmHost;
+use jvm::JavaVm;
+use tpslab::{Experiment, ExperimentConfig};
+
+fn warmed_world(cfg: &ExperimentConfig) -> (KvmHost, Vec<JavaVm>) {
+    Experiment::build_world(cfg)
+}
+
+fn views<'a>(host: &'a KvmHost, javas: &'a [JavaVm]) -> Vec<GuestView<'a>> {
+    host.guests()
+        .iter()
+        .zip(javas)
+        .map(|(g, j)| GuestView::new(&g.name, &g.os, vec![j.pid()]))
+        .collect()
+}
+
+fn bench_preset(c: &mut Criterion, label: &str, cfg: &ExperimentConfig) {
+    let (host, javas) = warmed_world(cfg);
+    let views = views(&host, &javas);
+    let mut group = c.benchmark_group(format!("attribution_walk_{label}"));
+    group.sample_size(10);
+    group.bench_function("naive", |b| {
+        b.iter(|| black_box(MemorySnapshot::collect_naive(host.mm(), &views)));
+    });
+    group.bench_function("engine_1t", |b| {
+        b.iter(|| {
+            // A fresh engine per iteration: full rebuild, serial merge.
+            let mut engine = SnapshotEngine::new(1);
+            black_box(engine.snapshot(host.mm(), &views))
+        });
+    });
+    let workers = tpslab::sweep::default_threads();
+    if workers > 1 {
+        group.bench_function(format!("engine_{workers}t"), |b| {
+            b.iter(|| {
+                let mut engine = SnapshotEngine::new(workers);
+                black_box(engine.snapshot(host.mm(), &views))
+            });
+        });
+    }
+    group.bench_function("engine_incremental", |b| {
+        // Persistent engine on an unchanged world: the epoch short-circuit.
+        let mut engine = SnapshotEngine::new(workers);
+        engine.snapshot(host.mm(), &views);
+        b.iter(|| black_box(engine.snapshot(host.mm(), &views)));
+    });
+    group.finish();
+}
+
+fn bench_fig7(c: &mut Criterion) {
+    let cfg = ExperimentConfig::paper_overcommit_daytrader(6, 64.0).with_duration_seconds(30);
+    bench_preset(c, "fig7_6vm", &cfg);
+}
+
+fn bench_scale32(c: &mut Criterion) {
+    let cfg = ExperimentConfig::scale32(128.0).with_duration_seconds(30);
+    bench_preset(c, "scale32", &cfg);
+}
+
+criterion_group!(benches, bench_fig7, bench_scale32);
+criterion_main!(benches);

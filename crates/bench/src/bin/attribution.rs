@@ -1,0 +1,48 @@
+//! Attribution-walk benchmark on the scale32 over-commit preset.
+//!
+//! Two modes:
+//!
+//! * default — renders the scale32 timeline-attribution table (the same
+//!   text the CI smoke step diffs against `tests/golden/attribution.txt`):
+//!
+//!   ```text
+//!   cargo run --release -p bench --bin attribution -- --scale 128 --minutes 0.2 --threads 2
+//!   ```
+//!
+//! * `--json` — measures the per-sample attribution walk (naive reference
+//!   vs. the frame-indexed [`analysis::SnapshotEngine`]) and prints one
+//!   JSON record — the line committed as `results/BENCH_attribution.json`:
+//!
+//!   ```text
+//!   cargo run --release -p bench --bin attribution -- --json --scale 128 --minutes 0.2 --threads 4 \
+//!       > results/BENCH_attribution.json
+//!   ```
+//!
+//! Wall-clock numbers are machine-dependent; the invariants are the
+//! engine/naive field-identity (asserted on every sample) and the
+//! `speedup` factor staying well above the 5x acceptance floor.
+
+use bench::{figures, RunOpts};
+
+const SAMPLES: usize = 9;
+
+fn main() {
+    let mut json = false;
+    let args: Vec<String> = std::env::args()
+        .skip(1)
+        .filter(|a| {
+            if a == "--json" {
+                json = true;
+                false
+            } else {
+                true
+            }
+        })
+        .collect();
+    let opts = RunOpts::from_slice(args);
+    if json {
+        println!("{}", bench::attribution_bench_json(&opts, SAMPLES));
+    } else {
+        print!("{}", figures::attribution_text(&opts));
+    }
+}

@@ -85,8 +85,18 @@ impl RunOpts {
     ///
     /// Panics with a usage message on malformed arguments.
     pub fn from_args() -> RunOpts {
+        RunOpts::from_slice(std::env::args().skip(1))
+    }
+
+    /// [`from_args`](Self::from_args) over caller-provided arguments —
+    /// for binaries that strip their own flags first.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on malformed arguments.
+    pub fn from_slice(args: impl IntoIterator<Item = String>) -> RunOpts {
         let mut opts = RunOpts::quick();
-        let mut args = std::env::args().skip(1);
+        let mut args = args.into_iter();
         while let Some(arg) = args.next() {
             match arg.as_str() {
                 "--paper" => {
@@ -124,13 +134,14 @@ impl RunOpts {
         opts
     }
 
-    /// Applies duration, the compressed-run KSM schedule, and the audit
-    /// flag to a config.
+    /// Applies duration, the compressed-run KSM schedule, the
+    /// attribution-walk worker count and the audit flag to a config.
     pub fn apply(&self, cfg: ExperimentConfig) -> ExperimentConfig {
         let seconds = (self.minutes * 60.0) as u64;
         let cfg = cfg
             .with_duration_seconds(seconds)
-            .with_ksm(KsmSchedule::compressed(self.scale, seconds));
+            .with_ksm(KsmSchedule::compressed(self.scale, seconds))
+            .with_threads(self.threads);
         if self.audit {
             cfg.with_audit()
         } else {
@@ -429,6 +440,56 @@ pub mod figures {
         out
     }
 
+    /// The scale32 attribution timeline: 32 over-committed
+    /// SPECjEnterprise guests sampled with the full attribution walk at
+    /// a quarter of the run length. The rows come from the timeline
+    /// report, which the engine guarantees bit-identical at any
+    /// `--threads` value — this text is pinned by the golden-master
+    /// tests and diffed across thread counts in CI.
+    pub fn attribution_text(opts: &RunOpts) -> String {
+        let mut out = banner_text(
+            "Attribution",
+            "scale32 timeline attribution (32 x SPECjEnterprise, preloaded, over-committed)",
+            opts,
+        );
+        let seconds = (opts.minutes * 60.0) as u64;
+        let every = (seconds / 4).max(1);
+        let cfg = opts
+            .apply(ExperimentConfig::scale32(opts.scale))
+            .with_timeline(every)
+            .with_timeline_attribution();
+        let report = Experiment::run(&cfg);
+        let _ = writeln!(
+            out,
+            "{:>8} {:>14} {:>14} {:>16}",
+            "seconds", "resident MiB", "pages_sharing", "tps_saving MiB"
+        );
+        for point in &report.timeline {
+            let _ = writeln!(
+                out,
+                "{:>8.0} {:>14.1} {:>14} {:>16.1}",
+                point.seconds,
+                point.resident_mib * opts.unscale(),
+                point.pages_sharing,
+                point.tps_saving_mib.unwrap_or(0.0) * opts.unscale(),
+            );
+        }
+        let _ = writeln!(
+            out,
+            "\nGuests: {} | total usage {:.1} MiB | final TPS saving {:.1} MiB",
+            report.breakdown.guests.len(),
+            report.breakdown.total_owned_mib * opts.unscale(),
+            report
+                .breakdown
+                .guests
+                .iter()
+                .map(tpslab::analysis::GuestBreakdown::tps_saving_mib)
+                .sum::<f64>()
+                * opts.unscale(),
+        );
+        out
+    }
+
     /// Tables I–IV — the measurement environment and the Java memory
     /// taxonomy, as encoded in the reproduction's presets. Static: no
     /// simulation runs.
@@ -490,6 +551,89 @@ pub mod figures {
         }
         out
     }
+}
+
+/// Measures the per-sample attribution walk on the scale32 preset:
+/// naive reference vs. frame-indexed engine, on identical world states.
+///
+/// Builds the warmed scale32 world once, then for each of `samples`
+/// timeline samples advances the world one simulated second (all guests
+/// keep writing, as in a real timeline run) and times three walks of the
+/// same state: [`analysis::MemorySnapshot::collect_naive`], the
+/// persistent [`analysis::SnapshotEngine`] at `opts.threads` workers
+/// (incremental across samples), and an immediate engine re-walk of the
+/// unchanged world (the epoch short-circuit). Every engine snapshot is
+/// asserted field-identical to the naive one. Returns a single-line
+/// JSON record — the format committed as `results/BENCH_attribution.json`.
+///
+/// # Panics
+///
+/// Panics if the engine's snapshot ever diverges from the naive walk.
+pub fn attribution_bench_json(opts: &RunOpts, samples: usize) -> String {
+    use analysis::{GuestView, MemorySnapshot, SnapshotEngine};
+    use mem::Tick;
+    use std::time::Instant;
+
+    let seconds = (opts.minutes * 60.0) as u64;
+    let cfg = opts.apply(ExperimentConfig::scale32(opts.scale));
+    let (mut host, mut javas) = tpslab::Experiment::build_world(&cfg);
+    let mut engine = SnapshotEngine::new(opts.threads);
+    let ticks_per_second = u64::from(mem::TICKS_PER_SECOND as u32);
+    let base = Tick::from_seconds(seconds as f64).0;
+
+    let mut naive_ns: Vec<u128> = Vec::new();
+    let mut engine_ns: Vec<u128> = Vec::new();
+    let mut idle_ns: Vec<u128> = Vec::new();
+    let mut frames = 0;
+    let mut ptes = 0;
+    for s in 0..samples as u64 {
+        for t in (s * ticks_per_second + 1)..=((s + 1) * ticks_per_second) {
+            tpslab::Experiment::tick_world(&mut host, &mut javas, Tick(base + t));
+        }
+        let views: Vec<GuestView<'_>> = host
+            .guests()
+            .iter()
+            .zip(&javas)
+            .map(|(g, j)| GuestView::new(&g.name, &g.os, vec![j.pid()]))
+            .collect();
+        let start = Instant::now();
+        let naive = MemorySnapshot::collect_naive(host.mm(), &views);
+        naive_ns.push(start.elapsed().as_nanos());
+        let start = Instant::now();
+        let snap = engine.snapshot(host.mm(), &views);
+        engine_ns.push(start.elapsed().as_nanos());
+        assert_eq!(snap, naive, "engine diverged from the naive reference");
+        let start = Instant::now();
+        let _ = engine.snapshot(host.mm(), &views);
+        idle_ns.push(start.elapsed().as_nanos());
+        frames = naive.frame_count();
+        ptes = naive.pte_count();
+    }
+
+    fn median(mut v: Vec<u128>) -> u128 {
+        v.sort_unstable();
+        v[v.len() / 2]
+    }
+    let naive = median(naive_ns);
+    let engine_med = median(engine_ns);
+    let idle = median(idle_ns);
+    format!(
+        "{{\"preset\":\"scale32 32x SPECjEnterprise over-commit\",\
+         \"command\":\"cargo run --release -p bench --bin attribution -- --json --scale {} --minutes {} --threads {}\",\
+         \"scale\":{},\"minutes\":{},\"threads\":{},\"samples\":{},\
+         \"frames\":{frames},\"ptes\":{ptes},\
+         \"naive_median_ns\":{naive},\"engine_median_ns\":{engine_med},\"idle_engine_median_ns\":{idle},\
+         \"speedup\":{:.2},\"idle_speedup\":{:.2}}}",
+        opts.scale,
+        opts.minutes,
+        opts.threads,
+        opts.scale,
+        opts.minutes,
+        opts.threads,
+        samples,
+        naive as f64 / engine_med.max(1) as f64,
+        naive as f64 / idle.max(1) as f64,
+    )
 }
 
 #[cfg(test)]

@@ -1,6 +1,6 @@
 //! Observability layer for the TPS-Java reproduction.
 //!
-//! Three facilities, all zero-cost when not requested (see DESIGN.md §9):
+//! Three facilities, all zero-cost when not requested (see DESIGN.md §8):
 //!
 //! * [`Tracer`] — a ring-buffered structured-event recorder that the
 //!   core crates (`paging`, `ksm`, `oskernel`, `jvm`, `hypervisor`)

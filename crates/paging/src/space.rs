@@ -372,6 +372,24 @@ impl AddressSpace {
     pub fn mapped_pages(&self) -> usize {
         self.regions.values().map(Region::mapped_pages).sum()
     }
+
+    /// The space's write-generation signature: every region's
+    /// `(id, generation)` pair in address order.
+    ///
+    /// Two equal observations mean no region was added, removed, remapped
+    /// or written in between — every PTE mutation bumps its region's
+    /// generation, and region ids are never reused within a space — so a
+    /// cached per-space analysis (e.g. an attribution walk segment) keyed
+    /// on this signature can be reused verbatim. Frame-pool state (KSM
+    /// stable flags, out-of-band frees) is *not* covered: it changes the
+    /// [`HostMm`](crate::HostMm) epoch without touching any generation.
+    #[must_use]
+    pub fn generation_signature(&self) -> Vec<(u64, u64)> {
+        self.regions
+            .values()
+            .map(|r| (r.id(), r.generation()))
+            .collect()
+    }
 }
 
 #[cfg(test)]

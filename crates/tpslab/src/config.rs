@@ -126,6 +126,12 @@ pub struct ExperimentConfig {
     /// every test); this flag extends the self-check to release runs
     /// (CLI/figure-binary `--audit`).
     pub audit: bool,
+    /// Worker threads for the attribution walks
+    /// ([`analysis::SnapshotEngine`]). The simulation itself stays
+    /// single-threaded and the report is bit-identical at any value —
+    /// threads only shrink the wall-clock of timeline-attribution
+    /// sampling. `1` (the default) walks on the calling thread.
+    pub threads: usize,
 }
 
 impl ExperimentConfig {
@@ -154,6 +160,7 @@ impl ExperimentConfig {
             profile: false,
             diagnose: false,
             audit: false,
+            threads: 1,
         }
     }
 
@@ -215,6 +222,18 @@ impl ExperimentConfig {
         cfg
     }
 
+    /// The attribution stress preset: 32 heavily over-committed
+    /// SPECjEnterprise guests (the Fig. 8 workload pushed past the
+    /// paper's 8-VM maximum). With class sharing and timeline
+    /// attribution enabled this is the worst case for the per-sample
+    /// walk — tens of address spaces, millions of PTEs — and the
+    /// benchmark scenario for [`analysis::SnapshotEngine`]
+    /// (`results/BENCH_attribution.json`).
+    #[must_use]
+    pub fn scale32(scale: f64) -> ExperimentConfig {
+        ExperimentConfig::paper_overcommit_specj(32, scale).with_class_sharing()
+    }
+
     /// A miniature configuration for unit tests: `n` guests with the tiny
     /// profile, seconds of simulated time.
     #[must_use]
@@ -249,6 +268,7 @@ impl ExperimentConfig {
             profile: false,
             diagnose: false,
             audit: false,
+            threads: 1,
         }
     }
 
@@ -342,6 +362,13 @@ impl ExperimentConfig {
         self.audit = true;
         self
     }
+
+    /// Sets the attribution-walk worker count (`0` is treated as `1`).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> ExperimentConfig {
+        self.threads = threads.max(1);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -411,5 +438,25 @@ mod tests {
     #[should_panic(expected = "with_timeline")]
     fn attribution_requires_timeline() {
         let _ = ExperimentConfig::tiny_test(1, false).with_timeline_attribution();
+    }
+
+    #[test]
+    fn threads_default_to_one_and_clamp_zero() {
+        let cfg = ExperimentConfig::tiny_test(1, false);
+        assert_eq!(cfg.threads, 1);
+        assert_eq!(cfg.with_threads(0).threads, 1);
+        let cfg = ExperimentConfig::tiny_test(1, false).with_threads(8);
+        assert_eq!(cfg.threads, 8);
+    }
+
+    #[test]
+    fn scale32_is_an_overcommitted_specj_fleet() {
+        let cfg = ExperimentConfig::scale32(128.0);
+        assert_eq!(cfg.guests.len(), 32);
+        assert!(cfg.class_sharing);
+        assert!(cfg
+            .guests
+            .iter()
+            .all(|g| g.benchmark.profile.name.contains("SPECj")));
     }
 }

@@ -1,7 +1,7 @@
 //! The KVM experiment runner.
 
 use crate::{ExperimentConfig, ExperimentReport, TimelinePoint, VmThroughput};
-use analysis::{GuestView, MemorySnapshot};
+use analysis::{GuestView, SnapshotEngine};
 use cds::{CacheBuilder, SharedClassCache};
 use hypervisor::{KvmHost, PagingModel};
 use jvm::{ClassSet, JavaVm, JvmConfig};
@@ -19,6 +19,45 @@ const JVM_VERSION: u64 = 0x0659;
 pub struct Experiment;
 
 impl Experiment {
+    /// Boots the configured guests and JVMs and advances the world
+    /// through `config.duration_seconds` of simulated time (guest/JVM
+    /// ticks plus KSM scanning — no sampling, auditing or profiling),
+    /// returning the live host and JVMs.
+    ///
+    /// This is the bench harness: it hands out the same warmed-up world
+    /// state [`run`](Self::run) measures, so analysis passes (e.g. the
+    /// attribution walk) can be timed in isolation against it. Continue
+    /// the simulation manually with [`tick_world`](Self::tick_world).
+    #[must_use]
+    pub fn build_world(config: &ExperimentConfig) -> (KvmHost, Vec<JavaVm>) {
+        let (mut host, mut javas, _) = boot_world(config);
+        let mut scanner = KsmScanner::new(config.ksm.warmup);
+        let warmup_end = Tick::from_seconds(config.ksm.warmup_seconds as f64);
+        let end = Tick::from_seconds(config.duration_seconds as f64);
+        let mut switched = false;
+        for t in 1..=end.0 {
+            let now = Tick(t);
+            Experiment::tick_world(&mut host, &mut javas, now);
+            if !switched && now >= warmup_end {
+                scanner.set_params(config.ksm.steady);
+                switched = true;
+            }
+            scanner.run(host.mm_mut(), now);
+        }
+        (host, javas)
+    }
+
+    /// Advances the world one tick: every guest OS and its JVM, in
+    /// guest order (exactly the per-tick step of [`run`](Self::run),
+    /// without KSM scanning).
+    pub fn tick_world(host: &mut KvmHost, javas: &mut [JavaVm], now: Tick) {
+        for (i, java) in javas.iter_mut().enumerate() {
+            let (mm, guest) = host.mm_and_guest_mut(i);
+            guest.os.tick(mm, now);
+            java.tick(mm, &mut guest.os, now);
+        }
+    }
+
     /// Simulates the configured system and reports the paper's
     /// measurement quantities. Deterministic in `config.seed`.
     #[must_use]
@@ -29,52 +68,7 @@ impl Experiment {
             Profiler::disabled()
         };
         let setup_started = prof.begin();
-        let mut host = KvmHost::new(config.host);
-        if config.trace {
-            host.mm_mut().tracer_mut().enable(None);
-        }
-        let caches = if config.class_sharing {
-            build_caches(config)
-        } else {
-            HashMap::new()
-        };
-        // Serialize each master cache once up front; guests decode from
-        // the shared byte image instead of re-encoding per guest.
-        let cache_images: HashMap<u64, Vec<u8>> = caches
-            .iter()
-            .map(|(&id, cache)| (id, cache.to_bytes()))
-            .collect();
-
-        // Boot guests and launch their JVMs.
-        let mut javas: Vec<JavaVm> = Vec::new();
-        for (i, spec) in config.guests.iter().enumerate() {
-            let boot_salt = mix(config.seed, 0xb007, i as u64);
-            let idx = host.create_guest(
-                format!("vm{}", i + 1),
-                spec.mem_mib,
-                &config.image,
-                boot_salt,
-                Tick::ZERO,
-            );
-            // Each guest receives its own *copy* of the cache file —
-            // byte-identical content, as if copied into the disk image.
-            let cache_copy = cache_images
-                .get(&spec.benchmark.profile.workload_id)
-                .map(|bytes| SharedClassCache::from_bytes(bytes).expect("cache copy decodes"));
-            let mut cfg = JvmConfig::new(JVM_VERSION, mix(config.seed, 0x9a17, i as u64));
-            if let Some(cache) = cache_copy {
-                cfg = cfg.with_shared_cache(cache);
-            }
-            let (mm, guest) = host.mm_and_guest_mut(idx);
-            javas.push(JavaVm::launch(
-                mm,
-                &mut guest.os,
-                cfg,
-                spec.benchmark.profile.clone(),
-                Tick::ZERO,
-            ));
-        }
-
+        let (mut host, mut javas, caches) = boot_world(config);
         prof.end(
             "setup",
             setup_started,
@@ -95,17 +89,19 @@ impl Experiment {
             .timeline
             .map(|tl| tl.every_seconds * u64::from(mem::TICKS_PER_SECOND as u32));
         let attribution = config.timeline.is_some_and(|tl| tl.attribution);
+        // One engine for the whole run: per-sample walks reuse the
+        // cached segments of address spaces whose region generations did
+        // not move since the previous sample, and walk the dirty ones on
+        // `config.threads` workers. The report stays bit-identical to a
+        // single-threaded from-scratch walk at every sample.
+        let mut engine = SnapshotEngine::new(config.threads);
         let mut timeline = Vec::new();
         let mut last_stats = KsmStats::default();
         for t in 1..=end.0 {
             let now = Tick(t);
             let tick_started = prof.begin();
             let writes_before = host.mm().phys().total_writes();
-            for (i, java) in javas.iter_mut().enumerate() {
-                let (mm, guest) = host.mm_and_guest_mut(i);
-                guest.os.tick(mm, now);
-                java.tick(mm, &mut guest.os, now);
-            }
+            Experiment::tick_world(&mut host, &mut javas, now);
             prof.end(
                 "guest_jvm_tick",
                 tick_started,
@@ -136,7 +132,8 @@ impl Experiment {
                     prof.end("timeline_sample", sample_started, 0, 0);
                     // The full per-PTE attribution walk is far more
                     // expensive than the recount, so it is gated behind
-                    // its own timeline flag.
+                    // its own timeline flag; the engine keeps it cheap
+                    // by re-walking only mutated address spaces.
                     let tps_saving_mib = if attribution {
                         let attr_started = prof.begin();
                         let views: Vec<GuestView<'_>> = host
@@ -145,7 +142,7 @@ impl Experiment {
                             .zip(&javas)
                             .map(|(g, j)| GuestView::new(&g.name, &g.os, vec![j.pid()]))
                             .collect();
-                        let snapshot = MemorySnapshot::collect(host.mm(), &views);
+                        let snapshot = engine.snapshot(host.mm(), &views);
                         let saving = snapshot
                             .breakdown()
                             .guests
@@ -190,7 +187,7 @@ impl Experiment {
             .zip(&javas)
             .map(|(g, j)| GuestView::new(&g.name, &g.os, vec![j.pid()]))
             .collect();
-        let snapshot = MemorySnapshot::collect(host.mm(), &views);
+        let snapshot = engine.snapshot(host.mm(), &views);
         let breakdown = snapshot.breakdown();
         drop(views);
         prof.end(
@@ -272,6 +269,57 @@ impl Experiment {
             trace,
         }
     }
+}
+
+/// Boots the host, its guests and their JVMs as configured, returning
+/// the per-workload master caches alongside for reporting.
+fn boot_world(config: &ExperimentConfig) -> (KvmHost, Vec<JavaVm>, HashMap<u64, SharedClassCache>) {
+    let mut host = KvmHost::new(config.host);
+    if config.trace {
+        host.mm_mut().tracer_mut().enable(None);
+    }
+    let caches = if config.class_sharing {
+        build_caches(config)
+    } else {
+        HashMap::new()
+    };
+    // Serialize each master cache once up front; guests decode from
+    // the shared byte image instead of re-encoding per guest.
+    let cache_images: HashMap<u64, Vec<u8>> = caches
+        .iter()
+        .map(|(&id, cache)| (id, cache.to_bytes()))
+        .collect();
+
+    // Boot guests and launch their JVMs.
+    let mut javas: Vec<JavaVm> = Vec::new();
+    for (i, spec) in config.guests.iter().enumerate() {
+        let boot_salt = mix(config.seed, 0xb007, i as u64);
+        let idx = host.create_guest(
+            format!("vm{}", i + 1),
+            spec.mem_mib,
+            &config.image,
+            boot_salt,
+            Tick::ZERO,
+        );
+        // Each guest receives its own *copy* of the cache file —
+        // byte-identical content, as if copied into the disk image.
+        let cache_copy = cache_images
+            .get(&spec.benchmark.profile.workload_id)
+            .map(|bytes| SharedClassCache::from_bytes(bytes).expect("cache copy decodes"));
+        let mut cfg = JvmConfig::new(JVM_VERSION, mix(config.seed, 0x9a17, i as u64));
+        if let Some(cache) = cache_copy {
+            cfg = cfg.with_shared_cache(cache);
+        }
+        let (mm, guest) = host.mm_and_guest_mut(idx);
+        javas.push(JavaVm::launch(
+            mm,
+            &mut guest.os,
+            cfg,
+            spec.benchmark.profile.clone(),
+            Tick::ZERO,
+        ));
+    }
+    (host, javas, caches)
 }
 
 /// Runs the cross-layer conservation audit against the current host
@@ -400,6 +448,23 @@ mod timeline_tests {
         assert!(last.pages_sharing >= first.pages_sharing);
         // Resident memory grows as the JVMs warm up.
         assert!(last.resident_mib >= first.resident_mib * 0.9);
+    }
+
+    #[test]
+    fn attribution_timeline_is_identical_across_thread_counts() {
+        let cfg = ExperimentConfig::tiny_test(2, true)
+            .with_duration_seconds(40)
+            .with_timeline(10)
+            .with_timeline_attribution();
+        let serial = Experiment::run(&cfg);
+        let parallel = Experiment::run(&cfg.clone().with_threads(4));
+        assert_eq!(serial.breakdown, parallel.breakdown);
+        assert_eq!(serial.timeline.len(), parallel.timeline.len());
+        for (a, b) in serial.timeline.iter().zip(&parallel.timeline) {
+            assert_eq!(a.tps_saving_mib, b.tps_saving_mib);
+            assert_eq!(a.pages_sharing, b.pages_sharing);
+        }
+        assert!(serial.timeline.iter().all(|p| p.tps_saving_mib.is_some()));
     }
 
     #[test]

@@ -7,11 +7,12 @@
 //! reports come back in input order and are bit-identical to a serial
 //! run regardless of worker count.
 //!
-//! The pool is a [`std::thread::scope`] over plain workers pulling from
-//! an atomic work index; no external dependencies. [`map_parallel`] is
-//! the generic building block for sweeps that are not expressed as
-//! `ExperimentConfig`s (e.g. the ballooning ablation, which builds its
-//! hosts by hand).
+//! The pool itself lives in the `par` crate (a [`std::thread::scope`]
+//! over plain workers pulling from an atomic work index; no external
+//! dependencies) so the attribution engine in `analysis` can share it;
+//! [`map_parallel`] and friends are re-exported here for sweeps that
+//! are not expressed as `ExperimentConfig`s (e.g. the ballooning
+//! ablation, which builds its hosts by hand).
 //!
 //! ```
 //! use tpslab::{sweep, ExperimentConfig};
@@ -25,24 +26,7 @@
 //! ```
 
 use crate::{Experiment, ExperimentConfig, ExperimentReport};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::time::{Duration, Instant};
-
-/// A sweep result paired with the wall-clock time its run took.
-#[derive(Debug, Clone)]
-pub struct Timed<R> {
-    /// The result itself.
-    pub value: R,
-    /// Wall-clock duration of this run on its worker thread.
-    pub wall: Duration,
-}
-
-/// Worker count to use when the caller expresses no preference: the
-/// machine's available parallelism, or 1 if that cannot be determined.
-#[must_use]
-pub fn default_threads() -> usize {
-    std::thread::available_parallelism().map_or(1, |n| n.get())
-}
+pub use par::{default_threads, map_parallel, map_parallel_timed, Timed};
 
 /// Runs every config and returns the reports in input order.
 ///
@@ -60,91 +44,16 @@ pub fn run_all_timed(configs: &[ExperimentConfig], threads: usize) -> Vec<Timed<
     map_parallel_timed(configs, threads, Experiment::run)
 }
 
-/// Applies `f` to every item on a scoped worker pool, returning results
-/// in input order. The generic engine behind [`run_all`].
-#[must_use]
-pub fn map_parallel<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
-where
-    T: Sync,
-    R: Send,
-    F: Fn(&T) -> R + Sync,
-{
-    map_parallel_timed(items, threads, f)
-        .into_iter()
-        .map(|timed| timed.value)
-        .collect()
-}
-
-/// [`map_parallel`], with per-item wall-clock timing attached.
-#[must_use]
-pub fn map_parallel_timed<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<Timed<R>>
-where
-    T: Sync,
-    R: Send,
-    F: Fn(&T) -> R + Sync,
-{
-    let time_one = |item: &T| {
-        let start = Instant::now();
-        let value = f(item);
-        Timed {
-            value,
-            wall: start.elapsed(),
-        }
-    };
-    let workers = threads.max(1).min(items.len());
-    if workers <= 1 {
-        return items.iter().map(time_one).collect();
-    }
-
-    let next = AtomicUsize::new(0);
-    let mut pairs: Vec<(usize, Timed<R>)> = Vec::with_capacity(items.len());
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..workers)
-            .map(|_| {
-                scope.spawn(|| {
-                    let mut local = Vec::new();
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        let Some(item) = items.get(i) else { break };
-                        local.push((i, time_one(item)));
-                    }
-                    local
-                })
-            })
-            .collect();
-        for handle in handles {
-            pairs.extend(handle.join().expect("sweep worker panicked"));
-        }
-    });
-    pairs.sort_by_key(|&(i, _)| i);
-    pairs.into_iter().map(|(_, timed)| timed).collect()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::time::Duration;
 
     #[test]
-    fn results_come_back_in_input_order() {
+    fn reexported_pool_keeps_input_order() {
         let items: Vec<u64> = (0..32).collect();
         let doubled = map_parallel(&items, 4, |&x| x * 2);
         assert_eq!(doubled, items.iter().map(|x| x * 2).collect::<Vec<_>>());
-    }
-
-    #[test]
-    fn worker_count_does_not_change_results() {
-        let items: Vec<u64> = (0..10).collect();
-        let serial = map_parallel(&items, 1, |&x| x * x);
-        for threads in [2, 3, 8, 64] {
-            assert_eq!(map_parallel(&items, threads, |&x| x * x), serial);
-        }
-    }
-
-    #[test]
-    fn empty_and_single_item_sweeps_work() {
-        let empty: Vec<u64> = Vec::new();
-        assert!(map_parallel(&empty, 4, |&x| x).is_empty());
-        assert_eq!(map_parallel(&[7u64], 4, |&x| x + 1), vec![8]);
     }
 
     /// The sweep determinism contract: N workers produce byte-identical

@@ -9,7 +9,7 @@ use workloads::Benchmark;
 pub const USAGE: &str = "\
 usage:
   tps-java run     [--guests N] [--benchmark NAME] [--scale S] [--minutes M] [--preload] [--csv] [--audit]
-                   [--trace FILE] [--profile]
+                   [--trace FILE] [--profile] [--timeline S] [--threads N]
   tps-java explain [--guests N] [--benchmark NAME] [--scale S] [--minutes M] [--preload] [--top N]
   tps-java sweep   [--from N] [--to N] [--benchmark NAME] [--scale S] [--minutes M] [--audit]
   tps-java powervm [--scale S] [--minutes M]
@@ -20,7 +20,10 @@ experiment (always on in debug builds) and aborts on any violation.
 --trace FILE writes the page-lifecycle event trace as JSONL; --profile
 prints the per-phase cost table. `explain` reruns the experiment with
 tracing on and reports why content-identical pages were not merged,
-plus the --top N busiest page lifecycles.";
+plus the --top N busiest page lifecycles. --timeline S samples the
+sharing timeline with full attribution every S simulated seconds and
+prints one row per sample; --threads N walks attribution on N workers
+(the report is bit-identical at any thread count).";
 
 /// A parse or execution error.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -53,6 +56,8 @@ struct Opts {
     trace: Option<String>,
     profile: bool,
     top: usize,
+    timeline: Option<u64>,
+    threads: usize,
 }
 
 impl Default for Opts {
@@ -70,6 +75,8 @@ impl Default for Opts {
             trace: None,
             profile: false,
             top: 3,
+            timeline: None,
+            threads: 1,
         }
     }
 }
@@ -119,6 +126,18 @@ fn parse_opts(args: &[String]) -> Result<Opts, CliError> {
                     .parse()
                     .map_err(|_| err("--top: not a number"))?
             }
+            "--timeline" => {
+                opts.timeline = Some(
+                    value("--timeline")?
+                        .parse()
+                        .map_err(|_| err("--timeline: not a number"))?,
+                )
+            }
+            "--threads" => {
+                opts.threads = value("--threads")?
+                    .parse()
+                    .map_err(|_| err("--threads: not a number"))?
+            }
             other => return Err(err(format!("unknown option {other}"))),
         }
     }
@@ -130,6 +149,12 @@ fn parse_opts(args: &[String]) -> Result<Opts, CliError> {
     }
     if opts.top == 0 {
         return Err(err("--top must be positive"));
+    }
+    if opts.timeline == Some(0) {
+        return Err(err("--timeline must be positive"));
+    }
+    if opts.threads == 0 {
+        return Err(err("--threads must be positive"));
     }
     Ok(opts)
 }
@@ -168,6 +193,10 @@ fn config_for(opts: &Opts, guests: usize) -> Result<ExperimentConfig, CliError> 
     }
     if opts.audit {
         cfg = cfg.with_audit();
+    }
+    cfg = cfg.with_threads(opts.threads);
+    if let Some(seconds) = opts.timeline {
+        cfg = cfg.with_timeline(seconds).with_timeline_attribution();
     }
     Ok(cfg)
 }
@@ -231,6 +260,24 @@ fn cmd_run(opts: &Opts) -> Result<String, CliError> {
         100.0 * report.mean_nonprimary_class_saving_fraction(),
         report.slowdown,
     );
+    if !report.timeline.is_empty() {
+        out.push('\n');
+        let _ = writeln!(
+            out,
+            "{:>8} {:>13} {:>14} {:>15}",
+            "seconds", "resident MiB", "pages_sharing", "tps_saving MiB"
+        );
+        for point in &report.timeline {
+            let _ = writeln!(
+                out,
+                "{:>8.0} {:>13.1} {:>14} {:>15.1}",
+                point.seconds,
+                point.resident_mib * opts.scale,
+                point.pages_sharing,
+                point.tps_saving_mib.unwrap_or(0.0) * opts.scale,
+            );
+        }
+    }
     if let Some(phases) = &report.phases {
         out.push('\n');
         out.push_str(&phases.render());
@@ -399,6 +446,33 @@ mod tests {
         assert!(parse_opts(&argv("--wat 1")).is_err());
         assert!(parse_opts(&argv("--scale 0.5")).is_err());
         assert!(parse_opts(&argv("--from 5 --to 3")).is_err());
+        assert!(parse_opts(&argv("--timeline 0")).is_err());
+        assert!(parse_opts(&argv("--threads 0")).is_err());
+        assert!(parse_opts(&argv("--threads two")).is_err());
+    }
+
+    #[test]
+    fn parse_timeline_and_threads() {
+        let opts = parse_opts(&argv("--timeline 15 --threads 4")).unwrap();
+        assert_eq!(opts.timeline, Some(15));
+        assert_eq!(opts.threads, 4);
+        let defaults = parse_opts(&argv("")).unwrap();
+        assert_eq!(defaults.timeline, None);
+        assert_eq!(defaults.threads, 1);
+    }
+
+    #[test]
+    fn run_with_timeline_prints_sample_rows() {
+        let text = dispatch(&argv(
+            "run --guests 2 --scale 64 --minutes 0.5 --timeline 10 --threads 2",
+        ))
+        .unwrap();
+        assert!(text.contains("pages_sharing"));
+        assert!(text.contains("tps_saving"));
+        // 30 simulated seconds sampled every 10 -> rows at 10, 20, 30.
+        for row in ["\n      10 ", "\n      20 ", "\n      30 "] {
+            assert!(text.contains(row), "missing timeline row {row:?}");
+        }
     }
 
     #[test]

@@ -83,3 +83,14 @@ fn fig8_matches_golden_master() {
 fn tables_match_golden_master() {
     assert_golden("tables.txt", &figures::tables_text());
 }
+
+#[test]
+fn attribution_matches_golden_master() {
+    // The golden preset runs at 2 worker threads; the committed file was
+    // generated single-threaded. Passing byte-for-byte here is itself an
+    // assertion — attribution output is thread-count invariant.
+    assert_golden(
+        "attribution.txt",
+        &figures::attribution_text(&RunOpts::golden()),
+    );
+}
