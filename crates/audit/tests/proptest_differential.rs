@@ -186,4 +186,41 @@ proptest! {
             panic!("audit failed after op sequence: {violation}");
         }
     }
+
+    /// The sharded scanner is the same computation at every thread
+    /// count, for arbitrary interleavings and scan budgets. Random
+    /// budgets matter here: a budget smaller than the mergeable span
+    /// makes wakes mix deferred whole-region classify tasks with
+    /// serial budget-crossing walks, which is where plan-window
+    /// ordering could diverge.
+    #[test]
+    fn thread_count_is_invariant_under_random_interleavings(
+        ops in prop::collection::vec(op_strategy(), 0..32),
+        budget in 8usize..96,
+    ) {
+        let params = KsmParams::new(budget, 100);
+        let drive = |threads: usize| {
+            let mut w = WorldState::build();
+            let mut scanner = KsmScanner::new(params).with_threads(threads);
+            let mut t = 1u64;
+            for &op in &ops {
+                w.apply(op, Tick(t));
+                scanner.run(&mut w.mm, Tick(t));
+                t += 1;
+            }
+            for _ in 0..16 {
+                scanner.run(&mut w.mm, Tick(t));
+                t += 1;
+            }
+            scanner.recount(&w.mm);
+            (scanner.stats(), frame_table(&w.mm), pte_table(&w.mm))
+        };
+        let baseline = drive(1);
+        for threads in [3, 8] {
+            let run = drive(threads);
+            prop_assert_eq!(&baseline.0, &run.0, "stats diverged at {} threads", threads);
+            prop_assert_eq!(&baseline.1, &run.1, "frame table diverged at {} threads", threads);
+            prop_assert_eq!(&baseline.2, &run.2, "PTE table diverged at {} threads", threads);
+        }
+    }
 }

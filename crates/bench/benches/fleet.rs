@@ -1,0 +1,59 @@
+//! Criterion benchmarks of the sharded KSM scanner on the synthetic
+//! fleet world: the merge-heavy convergence phase and the converged
+//! steady-state wake, each at 1 and 8 resolve workers. On a single-core
+//! host the 8-worker numbers show scheduling overhead, not speedup —
+//! `results/BENCH_fleet.json` carries the labelled Amdahl projection.
+
+use bench::fleet::{self, FleetSpec};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use mem::Tick;
+
+const GUESTS: usize = 256;
+
+/// Full convergence from a cold world: plan + resolve + commit with the
+/// merge work dominating.
+fn bench_fleet_converge(c: &mut Criterion) {
+    let spec = FleetSpec::preset(GUESTS);
+    let mut group = c.benchmark_group("fleet_converge");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(spec.total_pages()));
+    for threads in [1usize, 8] {
+        group.bench_function(format!("{GUESTS}_guests_{threads}_threads"), |b| {
+            b.iter(|| {
+                let mut world = fleet::build(&spec);
+                let mut scanner = world.scanner(threads);
+                fleet::run_passes(&mut world, &mut scanner, 3)
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Steady-state wake over a converged fleet: volatile churn plus
+/// clean-region credits for every stable region.
+fn bench_fleet_converged_wake(c: &mut Criterion) {
+    let spec = FleetSpec::preset(GUESTS);
+    let mut group = c.benchmark_group("fleet_converged_wake");
+    group.throughput(Throughput::Elements(spec.total_pages()));
+    for threads in [1usize, 8] {
+        group.bench_function(format!("{GUESTS}_guests_{threads}_threads"), |b| {
+            let mut world = fleet::build(&spec);
+            let mut scanner = world.scanner(threads);
+            let mut t = 0u64;
+            for _ in 0..5 {
+                t += 1;
+                world.churn(Tick(t));
+                scanner.run(&mut world.mm, Tick(t));
+            }
+            b.iter(|| {
+                t += 1;
+                world.churn(Tick(t));
+                scanner.run(&mut world.mm, Tick(t));
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fleet_converge, bench_fleet_converged_wake);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Fleet-scale sharded-KSM benchmark on the synthetic consolidation
+//! host (see [`bench::fleet`]).
+//!
+//! Two modes:
+//!
+//! * default — renders the deterministic fleet convergence report (the
+//!   text pinned at `tests/golden/fleet.txt`; byte-identical at any
+//!   `--threads` value):
+//!
+//!   ```text
+//!   cargo run --release -p bench --bin fleet -- --threads 2
+//!   ```
+//!
+//! * `--json` — measures converge + steady-state wakes at 32, 256 and
+//!   1024 guests and prints the record committed as
+//!   `results/BENCH_fleet.json`:
+//!
+//!   ```text
+//!   cargo run --release -p bench --bin fleet -- --json > results/BENCH_fleet.json
+//!   ```
+
+use bench::fleet;
+
+const GOLDEN_PASSES: u64 = 5;
+
+fn main() {
+    let mut json = false;
+    let mut threads = 1usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--threads" => {
+                threads = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n: &usize| n >= 1)
+                    .expect("--threads needs an integer >= 1");
+            }
+            other => panic!("unknown argument {other} (try --json, --threads T)"),
+        }
+    }
+    if json {
+        print!("{}", fleet::bench_json());
+    } else {
+        print!(
+            "{}",
+            fleet::report_text(&fleet::FleetSpec::golden(), threads, GOLDEN_PASSES)
+        );
+    }
+}

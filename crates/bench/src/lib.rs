@@ -24,6 +24,8 @@
 
 #![forbid(unsafe_code)]
 
+pub mod fleet;
+
 use std::fmt::Write as _;
 
 use tpslab::{ExperimentConfig, KsmSchedule};

@@ -1,10 +1,26 @@
 //! The KSM scanning loop.
 
 use crate::{KsmParams, KsmStats};
-use mem::{Fingerprint, FrameId, Tick};
+use mem::{Fingerprint, FrameId, PhysMemory, Tick};
 use obs::EventKind;
-use paging::{AsId, HostMm, Mapping, Vpn};
-use std::collections::{BTreeMap, HashMap};
+use paging::{AddressSpace, AsId, HostMm, Mapping, Vpn};
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// Number of fingerprint shards the stable and unstable trees are
+/// partitioned into: the top [`SHARD_BITS`] bits of a page's
+/// [`Fingerprint`] select its shard, so the partition is monotone and
+/// chaining the shards in index order yields the fingerprint-sorted
+/// global tree.
+pub const SHARD_COUNT: usize = 64;
+
+/// `log2(SHARD_COUNT)` — how many top fingerprint bits select a shard.
+pub const SHARD_BITS: u32 = SHARD_COUNT.trailing_zeros();
+
+/// The shard owning `fp`: the top [`SHARD_BITS`] bits of the digest.
+#[must_use]
+pub fn shard_of(fp: Fingerprint) -> usize {
+    fp.shard(SHARD_COUNT)
+}
 
 /// A model of the Linux Kernel Samepage Merging daemon (`ksmd`).
 ///
@@ -24,7 +40,9 @@ use std::collections::{BTreeMap, HashMap};
 ///    test). Two unstable candidates with equal content become a new
 ///    stable node.
 ///
-/// The unstable tree is discarded at the end of every full pass.
+/// The unstable tree is discarded at the end of every full pass (the
+/// backing maps are retained and pre-sized to their high-water mark, so
+/// steady-state passes do not reallocate).
 ///
 /// # Incremental scanning
 ///
@@ -40,12 +58,64 @@ use std::collections::{BTreeMap, HashMap};
 /// resolved once and iterated by direct frame-table indexing rather
 /// than a per-page `BTreeMap` address lookup.
 ///
+/// # Sharded, phased scanning
+///
+/// The stable and unstable trees are partitioned into [`SHARD_COUNT`]
+/// shards by fingerprint top bits, and every wake-up runs in four
+/// phases:
+///
+/// 1. **Plan** (sequential): the cursor/budget/clean-credit machinery
+///    above walks the mergeable regions against the frozen pre-wake
+///    memory state and collects the wake's window of unshared candidate
+///    pages, each stamped with a global scan-sequence number and
+///    bucketed by fingerprint shard. A region entered at its first page
+///    whose populated-page count fits the remaining budget is not walked
+///    here at all: it is deferred whole as one *scan task* (its budget
+///    consumption — the populated-page count — is known O(1) from the
+///    region header, and a contiguous block of scan-sequence numbers is
+///    reserved for it). Only budget-crossing regions, walks resumed
+///    mid-region from a previous wake, and clean-region credits stay on
+///    the sequential path.
+/// 2. **Classify** (parallel): the deferred scan tasks — in the common
+///    full-pass case, nearly every region — run on the
+///    [`par::map_sharded`] work-stealing pool. Each task classifies its
+///    region's pages against the frozen state (mapped? already stable?
+///    fingerprint), producing the same plan items, clean-region verdict
+///    and budget consumption the sequential walk would have produced,
+///    with scan-sequence numbers drawn from the task's reserved block.
+///    Results fold back in task order; each shard bucket is then sorted
+///    by sequence number, so the resolve phase sees exactly the window
+///    a sequential walk would have collected.
+/// 3. **Resolve** (parallel): each non-empty shard runs the per-page
+///    merge state machine against its own trees on the
+///    [`par::map_sharded`] work-stealing pool. Same-wake side effects
+///    (a frame merged away, a frame becoming a stable node, refcounts
+///    granted by earlier merges) are tracked in a per-shard speculative
+///    overlay, so every decision matches what a live sequential scan
+///    would have decided. A frame's fingerprint determines the unique
+///    shard that may merge or promote it, so shards never race over a
+///    frame.
+/// 4. **Commit** (sequential): the planned mutations from all shards
+///    are sorted by scan-sequence number and applied to the [`HostMm`]
+///    in exact global scan order — frame frees, CoW refcounts and trace
+///    events land in the same order a sequential scan would produce
+///    them, which is what keeps reports byte-identical at any thread
+///    count.
+///
+/// The phases run in this form at every thread count (`threads == 1`
+/// simply resolves the shards serially), so a 1-thread and an N-thread
+/// run are the same computation. The sole observable difference from a
+/// non-phased sequential scan is `clean_region_skips`: the frozen
+/// planner cannot see merges from the *current* wake when judging a
+/// region "fully stable", so a region converging this wake earns its
+/// clean-region credit one pass later.
+///
 /// See the [crate docs](crate) for a usage example.
 #[derive(Debug)]
 pub struct KsmScanner {
     params: KsmParams,
-    stable: BTreeMap<Fingerprint, FrameId>,
-    unstable: HashMap<Fingerprint, Mapping>,
+    threads: usize,
+    shards: Vec<Shard>,
     scan_list: Vec<ScanRegion>,
     cursor_region: usize,
     cursor_page: u64,
@@ -72,6 +142,69 @@ pub struct KsmScanner {
     /// `(mm epoch, stable_version)` at the last recount, if any.
     last_recount: Option<(u64, u64)>,
     stats: KsmStats,
+    /// Per-wake plan window, bucketed by shard; reused across wakes.
+    buckets: Vec<Vec<PlanItem>>,
+    /// Clean-region-credit trace events buffered by the planner, to be
+    /// interleaved with the resolve phase's events in scan order.
+    planned_events: Vec<(u32, EventKind)>,
+    /// Whole-region scan tasks deferred by the planner for the parallel
+    /// classify phase; reused across wakes.
+    tasks: Vec<ClassifyTask>,
+    /// Scan-sequence counter for the current wake's window. Sequence
+    /// numbers are sparse: they only order this wake's candidates and
+    /// events, and a classify task reserves one number per page slot.
+    seq: u32,
+    /// Phase timing of the most recent wake (measurement only).
+    last_wake: WakePhases,
+}
+
+/// Wall-clock nanoseconds the most recent wake spent in each of the
+/// scanner's three phases. Plan and commit are inherently serial;
+/// resolve fans out over the worker pool — this split is what the fleet
+/// benchmark feeds its Amdahl projection. Pure measurement plumbing: the
+/// clocks never influence scan behaviour.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WakePhases {
+    /// Serial cursor/budget/credit bookkeeping over the frozen state.
+    pub plan_nanos: u64,
+    /// Parallel whole-region page classification.
+    pub classify_nanos: u64,
+    /// Parallel per-shard merge resolution.
+    pub resolve_nanos: u64,
+    /// Serial seq-ordered commit, event replay and pass-boundary work.
+    pub commit_nanos: u64,
+}
+
+impl WakePhases {
+    /// Total wall-clock nanoseconds of the wake.
+    #[must_use]
+    pub fn total_nanos(&self) -> u64 {
+        self.plan_nanos + self.classify_nanos + self.resolve_nanos + self.commit_nanos
+    }
+
+    /// Nanoseconds spent in the serial phases (plan + commit).
+    #[must_use]
+    pub fn serial_nanos(&self) -> u64 {
+        self.plan_nanos + self.commit_nanos
+    }
+
+    /// Nanoseconds spent in the pool-parallel phases (classify + resolve).
+    #[must_use]
+    pub fn parallel_nanos(&self) -> u64 {
+        self.classify_nanos + self.resolve_nanos
+    }
+}
+
+/// One fingerprint shard: an independent slice of the stable and
+/// unstable trees. A page belongs to the shard of its fingerprint's top
+/// bits, so shards never contend for a frame.
+#[derive(Debug, Default)]
+struct Shard {
+    stable: BTreeMap<Fingerprint, FrameId>,
+    unstable: HashMap<Fingerprint, Mapping>,
+    /// High-water mark of `unstable.len()`, used to pre-size the map at
+    /// each pass boundary so steady-state passes never rehash.
+    unstable_peak: usize,
 }
 
 /// One mergeable region snapshotted into the pass scan list.
@@ -93,14 +226,78 @@ struct CleanRegion {
     mapped: u64,
 }
 
+/// One unshared candidate page captured by the planner: the frozen
+/// pre-wake mapping, frame and fingerprint, stamped with its global
+/// scan-sequence number.
+#[derive(Debug, Clone, Copy)]
+struct PlanItem {
+    seq: u32,
+    mapping: Mapping,
+    frame: FrameId,
+    fp: Fingerprint,
+}
+
+/// A whole region deferred by the planner for parallel classification:
+/// entered at page zero, with a populated-page count that fits the
+/// wake's remaining budget. `seq_base` is the start of the contiguous
+/// scan-sequence block reserved for the region (one number per page
+/// slot), and `generation` is its write generation at planning time —
+/// within a wake the memory state is frozen, so it is also the
+/// generation any page walk of the region would observe.
+#[derive(Debug, Clone, Copy)]
+struct ClassifyTask {
+    space: AsId,
+    base: Vpn,
+    id: u64,
+    len: u64,
+    seq_base: u32,
+    generation: u64,
+}
+
+/// What classifying one task's region produced: the candidate plan
+/// items (in page order, with their final sequence numbers), the
+/// populated-page count, and whether every populated page was already
+/// stable — exactly the facts the sequential walk tracks per region.
+#[derive(Debug)]
+struct ClassifyOutcome {
+    items: Vec<PlanItem>,
+    mapped: u64,
+    all_stable: bool,
+}
+
+/// A page-table mutation decided by a shard's resolve phase, applied to
+/// the `HostMm` at commit in global scan order.
+#[derive(Debug, Clone, Copy)]
+enum CommitOp {
+    /// Merge `dup` into the stable frame `canonical`.
+    Merge { dup: FrameId, canonical: FrameId },
+    /// Mark `frame` as a fresh stable-tree node.
+    Promote { frame: FrameId },
+}
+
+/// Everything one shard's resolve phase produced: mutations and trace
+/// events keyed by scan sequence, plus its counter deltas. Folding the
+/// deltas and replaying the ops/events in sequence order reproduces a
+/// sequential scan exactly, regardless of which worker ran the shard.
+#[derive(Debug, Default)]
+struct ShardOutcome {
+    ops: Vec<(u32, CommitOp)>,
+    events: Vec<(u32, EventKind)>,
+    merges: u64,
+    volatile_skips: u64,
+    stale_stable_nodes: u64,
+    chain_splits: u64,
+    stable_version_bumps: u64,
+}
+
 impl KsmScanner {
     /// Creates a scanner with the given tuning parameters.
     #[must_use]
     pub fn new(params: KsmParams) -> KsmScanner {
         KsmScanner {
             params,
-            stable: BTreeMap::new(),
-            unstable: HashMap::new(),
+            threads: 1,
+            shards: (0..SHARD_COUNT).map(|_| Shard::default()).collect(),
             scan_list: Vec::new(),
             cursor_region: 0,
             cursor_page: 0,
@@ -118,7 +315,33 @@ impl KsmScanner {
             stable_version: 0,
             last_recount: None,
             stats: KsmStats::default(),
+            buckets: (0..SHARD_COUNT).map(|_| Vec::new()).collect(),
+            planned_events: Vec::new(),
+            tasks: Vec::new(),
+            seq: 0,
+            last_wake: WakePhases::default(),
         }
+    }
+
+    /// Phase timing of the most recent wake that did any scanning.
+    #[must_use]
+    pub fn last_wake_phases(&self) -> WakePhases {
+        self.last_wake
+    }
+
+    /// Sets the worker count for the resolve phase. The scan is the same
+    /// computation at any thread count — parallelism only changes
+    /// wall-clock time. Zero is clamped to one.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> KsmScanner {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Worker count used by the resolve phase.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     /// Current tuning parameters.
@@ -140,19 +363,34 @@ impl KsmScanner {
         self.stats
     }
 
-    /// Number of stable-tree nodes currently tracked.
+    /// Number of stable-tree nodes currently tracked, over all shards.
     #[must_use]
     pub fn stable_nodes(&self) -> usize {
-        self.stable.len()
+        self.shards.iter().map(|s| s.stable.len()).sum()
     }
 
     /// The stable tree's `(fingerprint, frame)` entries in fingerprint
-    /// order. Entries can be stale between [`recount`](Self::recount)s
+    /// order — the shards are chained in index order, which *is* global
+    /// fingerprint order because the shard projection is monotone.
+    /// Entries can be stale between [`recount`](Self::recount)s
     /// (the tree is validated lazily); consumers such as the
     /// cross-layer auditor must re-validate each node against the frame
     /// table.
     pub fn stable_frames(&self) -> impl Iterator<Item = (Fingerprint, FrameId)> + '_ {
-        self.stable.iter().map(|(&fp, &frame)| (fp, frame))
+        self.shards
+            .iter()
+            .flat_map(|s| s.stable.iter().map(|(&fp, &frame)| (fp, frame)))
+    }
+
+    /// [`stable_frames`](Self::stable_frames) with each node's shard
+    /// index attached, for shard-placement validation by the auditor.
+    pub fn stable_frames_by_shard(
+        &self,
+    ) -> impl Iterator<Item = (usize, Fingerprint, FrameId)> + '_ {
+        self.shards
+            .iter()
+            .enumerate()
+            .flat_map(|(i, s)| s.stable.iter().map(move |(&fp, &frame)| (i, fp, frame)))
     }
 
     /// Advances the scanner by one simulation tick.
@@ -169,20 +407,42 @@ impl KsmScanner {
                 return;
             }
         }
+        // Phase 1: plan this wake's window against the frozen state.
+        self.seq = 0;
+        self.planned_events.clear();
+        for bucket in &mut self.buckets {
+            bucket.clear();
+        }
         let budget = self.params.pages_to_scan();
         let mut scanned = 0;
+        let mut pass_complete = false;
+        let plan_start = std::time::Instant::now();
         while scanned < budget {
-            match self.advance(mm, budget - scanned) {
+            match self.plan(mm, budget - scanned) {
                 Advance::Scanned(n) => scanned += n,
                 Advance::PassComplete => {
-                    self.finish_pass(mm, now);
-                    // At most one pass boundary per wake: real ksmd would
-                    // just keep going, but bounding it keeps a wake's work
-                    // proportional to memory size and avoids re-scanning
-                    // the same pages with a stale volatility horizon.
+                    pass_complete = true;
                     break;
                 }
             }
+        }
+        self.last_wake = WakePhases {
+            plan_nanos: plan_start.elapsed().as_nanos() as u64,
+            ..WakePhases::default()
+        };
+        // Phase 1b: classify the deferred whole-region scan tasks in
+        // parallel and fold their results back in task (= scan) order.
+        self.classify(mm);
+        // Phases 2 and 3: resolve the shards and commit in scan order.
+        self.execute(mm);
+        if pass_complete {
+            // At most one pass boundary per wake: real ksmd would
+            // just keep going, but bounding it keeps a wake's work
+            // proportional to memory size and avoids re-scanning
+            // the same pages with a stale volatility horizon.
+            let boundary_start = std::time::Instant::now();
+            self.finish_pass(mm, now);
+            self.last_wake.commit_nanos += boundary_start.elapsed().as_nanos() as u64;
         }
         self.stats.pages_scanned += scanned as u64;
     }
@@ -202,17 +462,24 @@ impl KsmScanner {
         let phys = mm.phys();
         let mut shared = 0u64;
         let mut sharing = 0u64;
-        let before = self.stable.len();
-        self.stable.retain(|&fp, &mut frame| {
-            let valid =
-                phys.is_live(frame) && phys.is_ksm_shared(frame) && phys.fingerprint(frame) == fp;
-            if valid {
-                shared += 1;
-                sharing += u64::from(phys.refcount(frame).saturating_sub(1));
+        let mut dropped_any = false;
+        for shard in &mut self.shards {
+            let before = shard.stable.len();
+            shard.stable.retain(|&fp, &mut frame| {
+                let valid = phys.is_live(frame)
+                    && phys.is_ksm_shared(frame)
+                    && phys.fingerprint(frame) == fp;
+                if valid {
+                    shared += 1;
+                    sharing += u64::from(phys.refcount(frame).saturating_sub(1));
+                }
+                valid
+            });
+            if shard.stable.len() != before {
+                dropped_any = true;
             }
-            valid
-        });
-        if self.stable.len() != before {
+        }
+        if dropped_any {
             self.stable_version += 1;
         }
         self.stats.pages_shared = shared;
@@ -236,8 +503,7 @@ impl KsmScanner {
         }
         // Drop clean records of regions that no longer exist so the map
         // stays bounded under region churn.
-        let live: std::collections::HashSet<(AsId, u64)> =
-            self.scan_list.iter().map(|r| (r.space, r.id)).collect();
+        let live: HashSet<(AsId, u64)> = self.scan_list.iter().map(|r| (r.space, r.id)).collect();
         self.clean.retain(|key, _| live.contains(key));
         self.cursor_region = 0;
         self.cursor_page = 0;
@@ -248,7 +514,14 @@ impl KsmScanner {
     }
 
     fn finish_pass(&mut self, mm: &HostMm, now: Tick) {
-        self.unstable.clear();
+        for shard in &mut self.shards {
+            shard.unstable_peak = shard.unstable_peak.max(shard.unstable.len());
+            shard.unstable.clear();
+            // Clearing retains capacity; the reserve guards the map to
+            // its high-water mark so the next pass's inserts never
+            // rehash even after external shrinkage.
+            shard.unstable.reserve(shard.unstable_peak);
+        }
         self.stats.full_scans += 1;
         self.first_pass_done = true;
         mm.tracer().emit_with(|| EventKind::PassComplete {
@@ -287,11 +560,16 @@ impl KsmScanner {
         }
     }
 
-    /// One bounded unit of scanning work: a clean-region credit, a
-    /// page-walk batch within the current region (applying at most one
-    /// page-table mutation), or a cursor transition. Always either makes
-    /// cursor progress or reports the pass complete.
-    fn advance(&mut self, mm: &mut HostMm, budget_left: usize) -> Advance {
+    /// One bounded unit of planning work: a clean-region credit, a
+    /// page-walk batch within the current region (collecting candidate
+    /// pages into the shard buckets), or a cursor transition. Always
+    /// either makes cursor progress or reports the pass complete.
+    ///
+    /// Planning is read-only against the memory state, so within one
+    /// wake every page is judged against the same frozen pre-wake
+    /// snapshot; same-wake side effects are reconstructed per shard by
+    /// [`resolve_shard`].
+    fn plan(&mut self, mm: &HostMm, budget_left: usize) -> Advance {
         debug_assert!(budget_left > 0);
         let Some(&ScanRegion {
             space,
@@ -328,14 +606,35 @@ impl KsmScanner {
         }
 
         if self.skipping {
-            return self.advance_skip(mm.tracer(), space, region, len, budget_left);
+            return self.plan_skip(mm.tracer(), space, region, len, budget_left);
+        }
+
+        // Scan-task fast path: a region entered at its first page whose
+        // populated-page count fits the remaining budget consumes exactly
+        // that budget whether walked serially or not — defer the whole
+        // walk to the parallel classify phase. A contiguous sequence
+        // block (one number per page slot) keeps its candidates ordered
+        // against everything planned before and after it.
+        let mapped = region.mapped_pages();
+        if self.cursor_page == 0 && mapped <= budget_left {
+            let seq_base = self.seq;
+            self.seq += u32::try_from(len).expect("region exceeds sequence space");
+            self.tasks.push(ClassifyTask {
+                space,
+                base,
+                id,
+                len,
+                seq_base,
+                generation: region.generation(),
+            });
+            self.next_region();
+            return Advance::Scanned(mapped);
         }
 
         // Page-walk batch: read-only classification against the resolved
-        // region; at most one page needs a page-table mutation, which is
-        // applied after the region borrow ends.
+        // region; unshared pages become plan items in their shard bucket.
+        let phys = mm.phys();
         let mut scanned = 0usize;
-        let mut mutation = None;
         while scanned < budget_left {
             if self.cursor_page >= len {
                 self.finish_region(space, id, region.generation());
@@ -350,21 +649,20 @@ impl KsmScanner {
             };
             self.region_mapped_seen += 1;
             scanned += 1;
-            if mm.phys().is_ksm_shared(frame) {
+            if phys.is_ksm_shared(frame) {
                 // Already a stable node (or a sharer of one).
                 continue;
             }
             self.region_all_stable = false;
-            match self.classify(mm, Mapping { space, vpn }, frame) {
-                None => {}
-                Some(action) => {
-                    mutation = Some(action);
-                    break;
-                }
-            }
-        }
-        if let Some(action) = mutation {
-            self.apply(mm, action);
+            let fp = phys.fingerprint(frame);
+            let seq = self.seq;
+            self.seq += 1;
+            self.buckets[shard_of(fp)].push(PlanItem {
+                seq,
+                mapping: Mapping { space, vpn },
+                frame,
+                fp,
+            });
         }
         Advance::Scanned(scanned)
     }
@@ -372,7 +670,7 @@ impl KsmScanner {
     /// Continues a clean-region skip: consumes the same budget a page
     /// walk would, O(1) per wake. Falls back to a page walk from the
     /// equivalent cursor position if a write lands mid-skip.
-    fn advance_skip(
+    fn plan_skip(
         &mut self,
         tracer: &obs::Tracer,
         space: AsId,
@@ -399,145 +697,124 @@ impl KsmScanner {
         if self.skip_left == 0 {
             // Record stays valid: the generation was unchanged throughout.
             self.stats.clean_region_skips += 1;
-            tracer.emit_with(|| EventKind::CleanRegionCredit {
-                space: space.index() as u32,
-                base: region.base().0,
-                pages: self.skip_total,
-            });
+            if tracer.is_enabled() {
+                let seq = self.seq;
+                self.seq += 1;
+                self.planned_events.push((
+                    seq,
+                    EventKind::CleanRegionCredit {
+                        space: space.index() as u32,
+                        base: region.base().0,
+                        pages: self.skip_total,
+                    },
+                ));
+            }
             self.next_region();
         }
         Advance::Scanned(take as usize)
     }
 
-    /// Classifies one unshared page. Mutates only scanner state (trees,
-    /// counters); a required page-table mutation is returned for the
-    /// caller to apply once the region borrow is released.
-    fn classify(&mut self, mm: &HostMm, mapping: Mapping, frame: FrameId) -> Option<PageAction> {
-        let fp = mm.phys().fingerprint(frame);
-
-        // 1. Stable-tree lookup (with stale-node validation). Nodes
-        // respect the max_page_sharing cap: a saturated chain head stops
-        // accepting duplicates and the page is left for a new node.
-        if let Some(canonical) = self.stable_lookup(mm, fp) {
-            if canonical == frame {
-                return None;
-            }
-            if mm.phys().refcount(canonical) < self.params.max_page_sharing() {
-                return Some(PageAction::MergeStable {
-                    dup: frame,
-                    canonical,
-                    mapping,
-                });
-            }
-            // Chain full: promote this page to a fresh stable node so
-            // later duplicates have somewhere to go.
-            return Some(PageAction::PromoteSplit { frame, fp, mapping });
+    /// Phases 2 and 3 of a wake: resolve every non-empty shard bucket on
+    /// the worker pool, then commit all mutations and trace events in
+    /// global scan order.
+    /// Phase 1b: runs the deferred whole-region scan tasks on the worker
+    /// pool and folds their outcomes back in task order — clean-region
+    /// verdicts into the credit map, candidates into the shard buckets.
+    /// The fold order plus each task's reserved sequence block make the
+    /// buckets indistinguishable from a sequential walk's.
+    fn classify(&mut self, mm: &HostMm) {
+        if self.tasks.is_empty() {
+            return;
         }
-
-        // 2. Volatility filter: content must be stable across a full pass.
-        let horizon = self.volatility_horizon();
-        if mm.phys().last_write(frame) >= horizon && horizon > Tick::ZERO {
-            self.stats.volatile_skips += 1;
-            mm.tracer().emit_with(|| EventKind::VolatileSkip {
-                space: mapping.space.index() as u32,
-                vpn: mapping.vpn.0,
-                frame: frame.index() as u64,
-                last_write: mm.phys().last_write(frame).0,
-            });
-            return None;
-        }
-
-        // 3. Unstable-tree lookup.
-        match self.unstable.get(&fp) {
-            Some(&candidate) => {
-                let Some(other) = mm.frame_at(candidate.space, candidate.vpn) else {
-                    self.unstable.insert(fp, mapping);
-                    return None;
-                };
-                // Re-verify: the unstable tree holds no write protection,
-                // so the candidate may have changed since insertion.
-                if other != frame && mm.phys().fingerprint(other) == fp {
-                    return Some(PageAction::MergeUnstable {
-                        dup: frame,
-                        canonical: other,
-                        fp,
-                        mapping,
-                    });
-                } else if other == frame {
-                    // Same page re-encountered; leave the entry in place.
-                } else {
-                    self.unstable.insert(fp, mapping);
-                }
-            }
-            None => {
-                self.unstable.insert(fp, mapping);
-            }
-        }
-        None
-    }
-
-    fn apply(&mut self, mm: &mut HostMm, action: PageAction) {
-        match action {
-            PageAction::MergeStable {
-                dup,
-                canonical,
-                mapping,
-            } => {
-                mm.merge_frames(dup, canonical);
-                self.stats.merges += 1;
-                mm.tracer().emit_with(|| EventKind::MergeStable {
-                    space: mapping.space.index() as u32,
-                    vpn: mapping.vpn.0,
-                    dup_frame: dup.index() as u64,
-                    stable_frame: canonical.index() as u64,
-                });
-            }
-            PageAction::PromoteSplit { frame, fp, mapping } => {
-                mm.mark_ksm_stable(frame);
-                self.stable.insert(fp, frame);
-                self.stable_version += 1;
-                self.stats.chain_splits += 1;
-                mm.tracer().emit_with(|| EventKind::ChainSplit {
-                    space: mapping.space.index() as u32,
-                    vpn: mapping.vpn.0,
-                    frame: frame.index() as u64,
-                });
-            }
-            PageAction::MergeUnstable {
-                dup,
-                canonical,
-                fp,
-                mapping,
-            } => {
-                mm.merge_frames(dup, canonical);
-                self.stable.insert(fp, canonical);
-                self.stable_version += 1;
-                self.unstable.remove(&fp);
-                self.stats.merges += 1;
-                mm.tracer().emit_with(|| EventKind::MergeUnstable {
-                    space: mapping.space.index() as u32,
-                    vpn: mapping.vpn.0,
-                    dup_frame: dup.index() as u64,
-                    stable_frame: canonical.index() as u64,
-                });
-            }
-        }
-    }
-
-    fn stable_lookup(&mut self, mm: &HostMm, fp: Fingerprint) -> Option<FrameId> {
-        let &frame = self.stable.get(&fp)?;
         let phys = mm.phys();
-        if phys.is_live(frame) && phys.is_ksm_shared(frame) && phys.fingerprint(frame) == fp {
-            Some(frame)
-        } else {
-            self.stable.remove(&fp);
-            self.stable_version += 1;
-            self.stats.stale_stable_nodes += 1;
-            mm.tracer().emit_with(|| EventKind::StaleNodeDrop {
-                frame: frame.index() as u64,
-            });
-            None
+        let spaces = mm.spaces();
+        let mut tasks = std::mem::take(&mut self.tasks);
+        let classify_start = std::time::Instant::now();
+        let outcomes = par::map_sharded(&mut tasks, self.threads, |_, task| {
+            classify_region(task, phys, spaces)
+        });
+        self.last_wake.classify_nanos = classify_start.elapsed().as_nanos() as u64;
+        for (task, outcome) in tasks.iter().zip(outcomes) {
+            if outcome.all_stable {
+                self.clean.insert(
+                    (task.space, task.id),
+                    CleanRegion {
+                        generation: task.generation,
+                        mapped: outcome.mapped,
+                    },
+                );
+            } else {
+                self.clean.remove(&(task.space, task.id));
+            }
+            for item in outcome.items {
+                self.buckets[shard_of(item.fp)].push(item);
+            }
         }
+        tasks.clear();
+        self.tasks = tasks;
+    }
+
+    fn execute(&mut self, mm: &mut HostMm) {
+        if self.buckets.iter().all(Vec::is_empty) {
+            // Converged fast path: the window held no candidates (all
+            // credits and stable skips). Only credit events remain.
+            let tracer = mm.tracer();
+            for (_, event) in self.planned_events.drain(..) {
+                tracer.emit_with(|| event);
+            }
+            return;
+        }
+
+        let tracing = mm.tracer().is_enabled();
+        let horizon = self.volatility_horizon();
+        let max_sharing = self.params.max_page_sharing();
+        let phys = mm.phys();
+        let spaces = mm.spaces();
+        let mut work: Vec<(&mut Shard, &mut Vec<PlanItem>)> = self
+            .shards
+            .iter_mut()
+            .zip(self.buckets.iter_mut())
+            .filter(|(_, items)| !items.is_empty())
+            .collect();
+        let resolve_start = std::time::Instant::now();
+        let outcomes = par::map_sharded(&mut work, self.threads, |_, (shard, items)| {
+            // Classify-task items are appended after the planner's own
+            // serial-walk items, so a mixed wake leaves the bucket out of
+            // scan order; the sequence numbers restore it.
+            items.sort_unstable_by_key(|item| item.seq);
+            resolve_shard(shard, items, phys, spaces, horizon, max_sharing, tracing)
+        });
+        self.last_wake.resolve_nanos = resolve_start.elapsed().as_nanos() as u64;
+        let commit_start = std::time::Instant::now();
+
+        // Commit: fold the per-shard deltas (order-independent sums) and
+        // replay mutations and events in global scan order, so frame
+        // frees, the free-list order, and the trace are those of a
+        // sequential scan.
+        let mut ops: Vec<(u32, CommitOp)> = Vec::new();
+        let mut events: Vec<(u32, EventKind)> = std::mem::take(&mut self.planned_events);
+        for outcome in outcomes {
+            self.stats.merges += outcome.merges;
+            self.stats.volatile_skips += outcome.volatile_skips;
+            self.stats.stale_stable_nodes += outcome.stale_stable_nodes;
+            self.stats.chain_splits += outcome.chain_splits;
+            self.stable_version += outcome.stable_version_bumps;
+            ops.extend(outcome.ops);
+            events.extend(outcome.events);
+        }
+        ops.sort_unstable_by_key(|&(seq, _)| seq);
+        for (_, op) in ops {
+            match op {
+                CommitOp::Merge { dup, canonical } => mm.merge_frames(dup, canonical),
+                CommitOp::Promote { frame } => mm.mark_ksm_stable(frame),
+            }
+        }
+        events.sort_unstable_by_key(|&(seq, _)| seq);
+        let tracer = mm.tracer();
+        for (_, event) in events {
+            tracer.emit_with(|| event);
+        }
+        self.last_wake.commit_nanos = commit_start.elapsed().as_nanos() as u64;
     }
 
     /// The oldest last-write tick a page may carry and still pass the
@@ -556,32 +833,242 @@ impl KsmScanner {
     }
 }
 
+/// Classifies one deferred region against the frozen pre-wake state:
+/// the exact read-only judgement the sequential page walk makes, with
+/// each candidate's sequence number drawn from the task's reserved
+/// block (`seq_base` + page slot index, preserving page order).
+fn classify_region(
+    task: &ClassifyTask,
+    phys: &PhysMemory,
+    spaces: &[AddressSpace],
+) -> ClassifyOutcome {
+    let region = spaces[task.space.index()]
+        .region_at(task.base)
+        .filter(|r| r.id() == task.id)
+        .expect("task region vanished mid-wake");
+    let mut out = ClassifyOutcome {
+        items: Vec::new(),
+        mapped: 0,
+        all_stable: true,
+    };
+    for index in 0..task.len {
+        let Some(frame) = region.frame_at_index(index as usize) else {
+            continue;
+        };
+        out.mapped += 1;
+        if phys.is_ksm_shared(frame) {
+            continue;
+        }
+        out.all_stable = false;
+        out.items.push(PlanItem {
+            seq: task.seq_base + index as u32,
+            mapping: Mapping {
+                space: task.space,
+                vpn: task.base.offset(index),
+            },
+            frame,
+            fp: phys.fingerprint(frame),
+        });
+    }
+    out
+}
+
+/// Runs one shard's merge state machine over its plan items, against the
+/// frozen pre-wake memory state.
+///
+/// The speculative overlay reconstructs exactly the same-wake side
+/// effects a live sequential scan would have observed:
+///
+/// * `alias` maps a frame merged away this wake (a duplicate) to its
+///   canonical — a later item whose mapping still froze the old frame
+///   would, live, have been repointed already and skipped as shared.
+/// * `spec_shared` holds frames that became stable nodes this wake
+///   (merge canonicals and promoted chain heads).
+/// * `spec_ref` holds refcount granted to a canonical by this wake's
+///   merges (each merge adds the duplicate's frozen refcount, which is
+///   exactly the number of users repointed), so the `max_page_sharing`
+///   cap check sees live refcounts.
+///
+/// Cross-shard effects need no tracking: a frame's fingerprint names the
+/// only shard that may merge, promote, or alias it, and merges preserve
+/// content, so a fingerprint read through a stale frame is still exact.
+#[allow(clippy::too_many_lines)]
+fn resolve_shard(
+    shard: &mut Shard,
+    items: &[PlanItem],
+    phys: &PhysMemory,
+    spaces: &[AddressSpace],
+    horizon: Tick,
+    max_sharing: u32,
+    tracing: bool,
+) -> ShardOutcome {
+    let mut out = ShardOutcome::default();
+    let mut alias: HashMap<FrameId, FrameId> = HashMap::new();
+    let mut spec_shared: HashSet<FrameId> = HashSet::new();
+    let mut spec_ref: HashMap<FrameId, u32> = HashMap::new();
+    for &PlanItem {
+        seq,
+        mapping,
+        frame,
+        fp,
+    } in items
+    {
+        // The frame was merged away or became a stable node earlier this
+        // wake: live, the page is already shared and is skipped without
+        // touching the trees or counters.
+        if alias.contains_key(&frame) || spec_shared.contains(&frame) {
+            continue;
+        }
+
+        // 1. Stable-tree lookup (with stale-node validation). Nodes
+        // respect the max_page_sharing cap: a saturated chain head stops
+        // accepting duplicates and the page is left for a new node.
+        let mut stable_hit = None;
+        if let Some(&node) = shard.stable.get(&fp) {
+            let valid = phys.is_live(node)
+                && (phys.is_ksm_shared(node) || spec_shared.contains(&node))
+                && phys.fingerprint(node) == fp;
+            if valid {
+                stable_hit = Some(node);
+            } else {
+                shard.stable.remove(&fp);
+                out.stable_version_bumps += 1;
+                out.stale_stable_nodes += 1;
+                if tracing {
+                    out.events.push((
+                        seq,
+                        EventKind::StaleNodeDrop {
+                            frame: node.index() as u64,
+                        },
+                    ));
+                }
+            }
+        }
+        if let Some(canonical) = stable_hit {
+            if canonical == frame {
+                continue;
+            }
+            let refs = phys.refcount(canonical) + spec_ref.get(&canonical).copied().unwrap_or(0);
+            if refs < max_sharing {
+                alias.insert(frame, canonical);
+                *spec_ref.entry(canonical).or_insert(0) += phys.refcount(frame);
+                spec_shared.insert(canonical);
+                out.merges += 1;
+                out.ops.push((
+                    seq,
+                    CommitOp::Merge {
+                        dup: frame,
+                        canonical,
+                    },
+                ));
+                if tracing {
+                    out.events.push((
+                        seq,
+                        EventKind::MergeStable {
+                            space: mapping.space.index() as u32,
+                            vpn: mapping.vpn.0,
+                            dup_frame: frame.index() as u64,
+                            stable_frame: canonical.index() as u64,
+                        },
+                    ));
+                }
+            } else {
+                // Chain full: promote this page to a fresh stable node so
+                // later duplicates have somewhere to go.
+                shard.stable.insert(fp, frame);
+                out.stable_version_bumps += 1;
+                spec_shared.insert(frame);
+                out.chain_splits += 1;
+                out.ops.push((seq, CommitOp::Promote { frame }));
+                if tracing {
+                    out.events.push((
+                        seq,
+                        EventKind::ChainSplit {
+                            space: mapping.space.index() as u32,
+                            vpn: mapping.vpn.0,
+                            frame: frame.index() as u64,
+                        },
+                    ));
+                }
+            }
+            continue;
+        }
+
+        // 2. Volatility filter: content must be stable across a full pass.
+        if phys.last_write(frame) >= horizon && horizon > Tick::ZERO {
+            out.volatile_skips += 1;
+            if tracing {
+                out.events.push((
+                    seq,
+                    EventKind::VolatileSkip {
+                        space: mapping.space.index() as u32,
+                        vpn: mapping.vpn.0,
+                        frame: frame.index() as u64,
+                        last_write: phys.last_write(frame).0,
+                    },
+                ));
+            }
+            continue;
+        }
+
+        // 3. Unstable-tree lookup.
+        match shard.unstable.get(&fp) {
+            Some(&candidate) => {
+                let Some(other) = spaces[candidate.space.index()].frame_at(candidate.vpn) else {
+                    shard.unstable.insert(fp, mapping);
+                    continue;
+                };
+                // Re-verify: the unstable tree holds no write protection,
+                // so the candidate may have changed since insertion. A
+                // frozen frame merged away this shard resolves through
+                // the alias (same content, so the fingerprint test is
+                // unchanged either way).
+                let other = alias.get(&other).copied().unwrap_or(other);
+                if other != frame && phys.fingerprint(other) == fp {
+                    shard.stable.insert(fp, other);
+                    out.stable_version_bumps += 1;
+                    shard.unstable.remove(&fp);
+                    alias.insert(frame, other);
+                    *spec_ref.entry(other).or_insert(0) += phys.refcount(frame);
+                    spec_shared.insert(other);
+                    out.merges += 1;
+                    out.ops.push((
+                        seq,
+                        CommitOp::Merge {
+                            dup: frame,
+                            canonical: other,
+                        },
+                    ));
+                    if tracing {
+                        out.events.push((
+                            seq,
+                            EventKind::MergeUnstable {
+                                space: mapping.space.index() as u32,
+                                vpn: mapping.vpn.0,
+                                dup_frame: frame.index() as u64,
+                                stable_frame: other.index() as u64,
+                            },
+                        ));
+                    }
+                } else if other == frame {
+                    // Same page re-encountered; leave the entry in place.
+                } else {
+                    shard.unstable.insert(fp, mapping);
+                }
+            }
+            None => {
+                shard.unstable.insert(fp, mapping);
+            }
+        }
+    }
+    out
+}
+
 enum Advance {
     /// Progress was made; `n` budget units were consumed.
     Scanned(usize),
     /// The cursor is past the last region.
     PassComplete,
-}
-
-/// A page-table mutation decided during a read-only batch. Each action
-/// carries the mapping that triggered it, for trace provenance.
-enum PageAction {
-    MergeStable {
-        dup: FrameId,
-        canonical: FrameId,
-        mapping: Mapping,
-    },
-    PromoteSplit {
-        frame: FrameId,
-        fp: Fingerprint,
-        mapping: Mapping,
-    },
-    MergeUnstable {
-        dup: FrameId,
-        canonical: FrameId,
-        fp: Fingerprint,
-        mapping: Mapping,
-    },
 }
 
 #[cfg(test)]
@@ -801,6 +1288,59 @@ mod tests {
         assert_eq!(scanner.stats().pages_sharing, 64);
         mm.assert_consistent();
     }
+
+    /// The scan is the same computation at every thread count: stats,
+    /// stable-tree contents, frame table and PTE state all match a
+    /// 1-thread run exactly, through merges, CoW breaks, and rescans.
+    #[test]
+    fn thread_count_does_not_change_anything() {
+        fn drive(threads: usize) -> (KsmStats, Vec<(Fingerprint, FrameId)>, u64) {
+            let (mut mm, a, ra, b, rb) = two_vm_setup(64);
+            let mut scanner = KsmScanner::new(KsmParams::new(40, 100)).with_threads(threads);
+            let mut t = Tick(0);
+            for round in 0..10u64 {
+                mm.write_page(a, ra.offset(round * 5), fp(3000 + round), Tick(t.0 + 1));
+                mm.write_page(b, rb.offset(round * 5), fp(3000 + round), Tick(t.0 + 1));
+                t = converge(&mut scanner, &mut mm, t, 4);
+            }
+            converge(&mut scanner, &mut mm, t, 32);
+            mm.assert_consistent();
+            let frames_sig = mm
+                .phys()
+                .iter()
+                .map(|(i, f)| (i.index() as u64) ^ u64::from(f.refcount()))
+                .sum();
+            (
+                scanner.stats(),
+                scanner.stable_frames().collect(),
+                frames_sig,
+            )
+        }
+        let baseline = drive(1);
+        for threads in [2, 4, 8] {
+            assert_eq!(drive(threads), baseline, "threads={threads}");
+        }
+    }
+
+    /// Every stable node lives in the shard its fingerprint selects, and
+    /// chaining the shards yields globally fingerprint-sorted nodes.
+    #[test]
+    fn stable_nodes_land_in_their_fingerprint_shard() {
+        let (mut mm, ..) = two_vm_setup(128);
+        let mut scanner = KsmScanner::new(KsmParams::new(1000, 100));
+        converge(&mut scanner, &mut mm, Tick(0), 8);
+        assert_eq!(scanner.stats().pages_shared, 128);
+        let nodes: Vec<(usize, Fingerprint, FrameId)> = scanner.stable_frames_by_shard().collect();
+        assert_eq!(nodes.len(), 128);
+        for &(shard, fp, _) in &nodes {
+            assert_eq!(shard, shard_of(fp));
+        }
+        let fps: Vec<Fingerprint> = nodes.iter().map(|&(_, fp, _)| fp).collect();
+        assert!(fps.windows(2).all(|w| w[0] < w[1]), "not sorted");
+        // 128 distinct fingerprints should spread over many shards.
+        let used: HashSet<usize> = nodes.iter().map(|&(s, ..)| s).collect();
+        assert!(used.len() > 16, "only {} shards used", used.len());
+    }
 }
 
 #[cfg(test)]
@@ -852,5 +1392,28 @@ mod cap_tests {
         }
         assert_eq!(mm.phys().allocated_frames(), 1);
         assert_eq!(scanner.stats().chain_splits, 0);
+    }
+
+    /// The cap holds at every thread count: the speculative refcount
+    /// overlay must see same-wake merges or a chain could overfill.
+    #[test]
+    fn cap_is_respected_under_parallel_resolve() {
+        for threads in [1, 4] {
+            let mut mm = HostMm::new();
+            let s = mm.create_space("vm");
+            let r = mm.map_region(s, 64, MemTag::VmGuestMemory, true);
+            for i in 0..64 {
+                mm.write_page(s, r.offset(i), Fingerprint::of(&[7]), Tick(0));
+            }
+            let mut scanner = KsmScanner::new(KsmParams::new(1000, 100).with_max_page_sharing(4))
+                .with_threads(threads);
+            for t in 1..10 {
+                scanner.run(&mut mm, Tick(t));
+            }
+            for (_, frame) in mm.phys().iter() {
+                assert!(frame.refcount() <= 4, "cap exceeded: {}", frame.refcount());
+            }
+            mm.assert_consistent();
+        }
     }
 }

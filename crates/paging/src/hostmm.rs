@@ -214,9 +214,7 @@ impl HostMm {
     /// unpopulated or outside every region.
     #[must_use]
     pub fn frame_at(&self, space: AsId, vpn: Vpn) -> Option<FrameId> {
-        self.spaces[space.index()]
-            .region_containing(vpn)?
-            .frame_at(vpn)
+        self.spaces[space.index()].frame_at(vpn)
     }
 
     /// Returns the content fingerprint at (`space`, `vpn`), or `None` if

@@ -357,6 +357,19 @@ impl AddressSpace {
         self.regions.get(&base.0)
     }
 
+    /// Resolves a virtual page to the frame backing it, or `None` if the
+    /// page is unpopulated or outside every region.
+    ///
+    /// This is the space-local form of
+    /// [`HostMm::frame_at`](crate::HostMm::frame_at); it exists so code
+    /// holding only a slice of address spaces — e.g. the sharded KSM
+    /// scanner's parallel phase, which cannot touch the (non-`Sync`)
+    /// tracer inside `HostMm` — can still resolve mappings.
+    #[must_use]
+    pub fn frame_at(&self, vpn: Vpn) -> Option<FrameId> {
+        self.region_containing(vpn)?.frame_at(vpn)
+    }
+
     pub(crate) fn region_containing_mut(&mut self, vpn: Vpn) -> Option<&mut Region> {
         let (_, region) = self.regions.range_mut(..=vpn.0).next_back()?;
         (vpn < region.end()).then_some(region)

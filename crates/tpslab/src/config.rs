@@ -127,10 +127,11 @@ pub struct ExperimentConfig {
     /// (CLI/figure-binary `--audit`).
     pub audit: bool,
     /// Worker threads for the attribution walks
-    /// ([`analysis::SnapshotEngine`]). The simulation itself stays
-    /// single-threaded and the report is bit-identical at any value —
-    /// threads only shrink the wall-clock of timeline-attribution
-    /// sampling. `1` (the default) walks on the calling thread.
+    /// ([`analysis::SnapshotEngine`]) and the KSM scanner's sharded
+    /// resolve phase ([`ksm::KsmScanner::with_threads`]). The report is
+    /// bit-identical at any value — threads only shrink the wall-clock
+    /// of timeline-attribution sampling and of each scanner wake. `1`
+    /// (the default) runs everything on the calling thread.
     pub threads: usize,
 }
 
@@ -232,6 +233,60 @@ impl ExperimentConfig {
     #[must_use]
     pub fn scale32(scale: f64) -> ExperimentConfig {
         ExperimentConfig::paper_overcommit_specj(32, scale).with_class_sharing()
+    }
+
+    /// The fleet preset family: `n` over-committed SPECjEnterprise
+    /// guests with class sharing on a host provisioned at the paper's
+    /// Fig. 8 over-commit knee (8 × 1.25 GB nominal on ≈5.6 GB usable,
+    /// about 1.75×), scaled up to `n` guests. This keeps the sharing
+    /// pressure — and therefore the KSM workload per pass — at the
+    /// paper's measured operating point while the guest count grows to
+    /// fleet density.
+    #[must_use]
+    pub fn fleet(n: usize, scale: f64) -> ExperimentConfig {
+        let mut cfg = ExperimentConfig::paper_overcommit_specj(n, scale).with_class_sharing();
+        let nominal_mib: f64 = cfg.guests.iter().map(|g| g.mem_mib).sum();
+        let usable = nominal_mib / 1.75;
+        let reserve = usable * 0.05;
+        cfg.host = HostConfig {
+            ram_mib: usable + reserve,
+            reserve_mib: reserve,
+        };
+        cfg
+    }
+
+    /// The fleet stress preset: 256 over-committed SPECjEnterprise
+    /// guests — the benchmark scenario for the sharded KSM scanner
+    /// (`results/BENCH_fleet.json`). See [`fleet`](Self::fleet).
+    #[must_use]
+    pub fn scale256(scale: f64) -> ExperimentConfig {
+        ExperimentConfig::fleet(256, scale)
+    }
+
+    /// The extreme fleet preset: 1024 over-committed SPECjEnterprise
+    /// guests. A converged idle pass must stay O(#dirty regions) per
+    /// shard here or wakes dominate the run. See [`fleet`](Self::fleet).
+    #[must_use]
+    pub fn scale1024(scale: f64) -> ExperimentConfig {
+        ExperimentConfig::fleet(1024, scale)
+    }
+
+    /// The most over-commit the throughput model tolerates before a run
+    /// stops being meaningful: past ≈4× nominal-to-usable the thrash
+    /// term collapses throughput to noise. The CLI validates `--guests`
+    /// overrides against this ceiling.
+    pub const MAX_OVERCOMMIT: f64 = 4.0;
+
+    /// Greatest guest count this configuration's host can hold within
+    /// the [`MAX_OVERCOMMIT`](Self::MAX_OVERCOMMIT) memory budget,
+    /// assuming every guest is sized like the first.
+    #[must_use]
+    pub fn max_guests_for_budget(&self) -> usize {
+        let per_guest = self.guests.first().map_or(0.0, |g| g.mem_mib);
+        if per_guest <= 0.0 {
+            return usize::MAX;
+        }
+        ((self.host.usable_mib() * Self::MAX_OVERCOMMIT) / per_guest).floor() as usize
     }
 
     /// A miniature configuration for unit tests: `n` guests with the tiny
@@ -458,5 +513,30 @@ mod tests {
             .guests
             .iter()
             .all(|g| g.benchmark.profile.name.contains("SPECj")));
+    }
+
+    #[test]
+    fn fleet_presets_hold_the_overcommit_knee() {
+        for (cfg, n) in [
+            (ExperimentConfig::scale256(512.0), 256),
+            (ExperimentConfig::scale1024(512.0), 1024),
+        ] {
+            assert_eq!(cfg.guests.len(), n);
+            assert!(cfg.class_sharing);
+            let nominal: f64 = cfg.guests.iter().map(|g| g.mem_mib).sum();
+            let ratio = nominal / cfg.host.usable_mib();
+            assert!((ratio - 1.75).abs() < 0.01, "overcommit {ratio}");
+        }
+    }
+
+    #[test]
+    fn memory_budget_bounds_guest_overrides() {
+        let cfg = ExperimentConfig::scale256(512.0);
+        let max = cfg.max_guests_for_budget();
+        // The preset sits at 1.75x of a 4x ceiling: plenty of headroom
+        // to scale up, but not unboundedly.
+        assert!(max > 256 && max < 4096, "max {max}");
+        let paper = ExperimentConfig::paper_overcommit_specj(8, 1.0);
+        assert!(paper.max_guests_for_budget() >= 8);
     }
 }

@@ -31,7 +31,7 @@ impl Experiment {
     #[must_use]
     pub fn build_world(config: &ExperimentConfig) -> (KvmHost, Vec<JavaVm>) {
         let (mut host, mut javas, _) = boot_world(config);
-        let mut scanner = KsmScanner::new(config.ksm.warmup);
+        let mut scanner = KsmScanner::new(config.ksm.warmup).with_threads(config.threads);
         let warmup_end = Tick::from_seconds(config.ksm.warmup_seconds as f64);
         let end = Tick::from_seconds(config.duration_seconds as f64);
         let mut switched = false;
@@ -81,7 +81,7 @@ impl Experiment {
         // runs an experiment also audits it; `--audit` extends the
         // check to release runs.
         let audit_enabled = config.audit || cfg!(debug_assertions);
-        let mut scanner = KsmScanner::new(config.ksm.warmup);
+        let mut scanner = KsmScanner::new(config.ksm.warmup).with_threads(config.threads);
         let warmup_end = Tick::from_seconds(config.ksm.warmup_seconds as f64);
         let end = Tick::from_seconds(config.duration_seconds as f64);
         let mut switched = false;

@@ -8,13 +8,16 @@ use workloads::Benchmark;
 /// Usage text shown on bad input.
 pub const USAGE: &str = "\
 usage:
-  tps-java run     [--guests N] [--benchmark NAME] [--scale S] [--minutes M] [--preload] [--csv] [--audit]
-                   [--trace FILE] [--profile] [--timeline S] [--threads N]
-  tps-java explain [--guests N] [--benchmark NAME] [--scale S] [--minutes M] [--preload] [--top N]
+  tps-java run     [--guests N] [--benchmark NAME] [--preset NAME] [--scale S] [--minutes M] [--preload]
+                   [--csv] [--audit] [--trace FILE] [--profile] [--timeline S] [--threads N]
+  tps-java explain [--guests N] [--benchmark NAME] [--preset NAME] [--scale S] [--minutes M] [--preload] [--top N]
   tps-java sweep   [--from N] [--to N] [--benchmark NAME] [--scale S] [--minutes M] [--audit]
   tps-java powervm [--scale S] [--minutes M]
   tps-java smaps   [--preload]
 benchmarks: daytrader | specjenterprise | tpcw | tuscany
+presets: scale32 | scale256 | scale1024 — fleet SPECjEnterprise
+configurations (preset fixes the benchmark and host; --guests overrides
+the guest count, validated against the preset's memory budget).
 --audit runs the cross-layer conservation audit at the end of each
 experiment (always on in debug builds) and aborts on any violation.
 --trace FILE writes the page-lifecycle event trace as JSONL; --profile
@@ -45,9 +48,11 @@ fn err(msg: impl Into<String>) -> CliError {
 #[derive(Debug, Clone, PartialEq)]
 struct Opts {
     guests: usize,
+    guests_explicit: bool,
     from: usize,
     to: usize,
     benchmark: String,
+    preset: Option<String>,
     scale: f64,
     minutes: f64,
     preload: bool,
@@ -64,9 +69,11 @@ impl Default for Opts {
     fn default() -> Opts {
         Opts {
             guests: 4,
+            guests_explicit: false,
             from: 4,
             to: 9,
             benchmark: "daytrader".into(),
+            preset: None,
             scale: 8.0,
             minutes: 6.0,
             preload: false,
@@ -93,7 +100,8 @@ fn parse_opts(args: &[String]) -> Result<Opts, CliError> {
             "--guests" => {
                 opts.guests = value("--guests")?
                     .parse()
-                    .map_err(|_| err("--guests: not a number"))?
+                    .map_err(|_| err("--guests: not a number"))?;
+                opts.guests_explicit = true;
             }
             "--from" => {
                 opts.from = value("--from")?
@@ -106,6 +114,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, CliError> {
                     .map_err(|_| err("--to: not a number"))?
             }
             "--benchmark" => opts.benchmark = value("--benchmark")?.clone(),
+            "--preset" => opts.preset = Some(value("--preset")?.clone()),
             "--scale" => {
                 opts.scale = value("--scale")?
                     .parse()
@@ -159,6 +168,12 @@ fn parse_opts(args: &[String]) -> Result<Opts, CliError> {
     Ok(opts)
 }
 
+/// What the run header calls the workload: the preset name when one was
+/// chosen (it fixes the benchmark), the `--benchmark` name otherwise.
+fn workload_label(opts: &Opts) -> &str {
+    opts.preset.as_deref().unwrap_or(&opts.benchmark)
+}
+
 fn benchmark_by_name(name: &str, scale: f64) -> Result<Benchmark, CliError> {
     let bench = match name {
         "daytrader" => workloads::daytrader(),
@@ -170,20 +185,51 @@ fn benchmark_by_name(name: &str, scale: f64) -> Result<Benchmark, CliError> {
     Ok(bench.scaled(scale))
 }
 
-fn config_for(opts: &Opts, guests: usize) -> Result<ExperimentConfig, CliError> {
-    let bench = benchmark_by_name(&opts.benchmark, opts.scale)?;
-    let mut cfg = ExperimentConfig::paper_daytrader_4vm(opts.scale);
-    let mem_mib = if opts.benchmark == "specjenterprise" {
-        1280.0 / opts.scale
-    } else {
-        1024.0 / opts.scale
+/// Builds the fleet preset named on the command line, resized to
+/// `guests` when the user overrode the count. An override is validated
+/// against the preset host's memory budget so a typo'd `--guests 100000`
+/// fails fast instead of producing a meaningless thrash-bound run.
+fn preset_config(opts: &Opts, name: &str, guests: usize) -> Result<ExperimentConfig, CliError> {
+    let mut cfg = match name {
+        "scale32" => ExperimentConfig::scale32(opts.scale),
+        "scale256" => ExperimentConfig::scale256(opts.scale),
+        "scale1024" => ExperimentConfig::scale1024(opts.scale),
+        other => return Err(err(format!("unknown preset {other} (see usage)"))),
     };
-    cfg.guests = (0..guests)
-        .map(|_| GuestSpec {
-            benchmark: bench.clone(),
-            mem_mib,
-        })
-        .collect();
+    if opts.guests_explicit || guests != opts.guests {
+        let budget = cfg.max_guests_for_budget();
+        if guests > budget {
+            return Err(err(format!(
+                "--guests {guests} exceeds the {name} preset's memory budget \
+                 (max {budget} guests at {:.0}x over-commit)",
+                ExperimentConfig::MAX_OVERCOMMIT
+            )));
+        }
+        let spec = cfg.guests[0].clone();
+        cfg.guests = (0..guests).map(|_| spec.clone()).collect();
+    }
+    Ok(cfg)
+}
+
+fn config_for(opts: &Opts, guests: usize) -> Result<ExperimentConfig, CliError> {
+    let mut cfg = if let Some(name) = &opts.preset {
+        preset_config(opts, name, guests)?
+    } else {
+        let bench = benchmark_by_name(&opts.benchmark, opts.scale)?;
+        let mut cfg = ExperimentConfig::paper_daytrader_4vm(opts.scale);
+        let mem_mib = if opts.benchmark == "specjenterprise" {
+            1280.0 / opts.scale
+        } else {
+            1024.0 / opts.scale
+        };
+        cfg.guests = (0..guests)
+            .map(|_| GuestSpec {
+                benchmark: bench.clone(),
+                mem_mib,
+            })
+            .collect();
+        cfg
+    };
     let seconds = (opts.minutes * 60.0) as u64;
     cfg = cfg
         .with_duration_seconds(seconds)
@@ -228,6 +274,7 @@ fn cmd_run(opts: &Opts) -> Result<String, CliError> {
     if opts.profile {
         cfg = cfg.with_profile();
     }
+    let n_guests = cfg.guests.len();
     let report = Experiment::run(&cfg);
     let mut out = String::new();
     if let Some(path) = &opts.trace {
@@ -250,7 +297,10 @@ fn cmd_run(opts: &Opts) -> Result<String, CliError> {
     let _ = writeln!(
         out,
         "{} x {} | scale 1/{} | preload: {}",
-        opts.guests, opts.benchmark, opts.scale, opts.preload
+        n_guests,
+        workload_label(opts),
+        opts.scale,
+        opts.preload
     );
     out.push_str(&analysis::render_guest_table(&report.breakdown));
     let _ = writeln!(
@@ -331,6 +381,7 @@ fn render_lifecycles(log: &tpslab::obs::TraceLog, top: usize) -> String {
 
 fn cmd_explain(opts: &Opts) -> Result<String, CliError> {
     let cfg = config_for(opts, opts.guests)?.with_trace().with_diagnose();
+    let n_guests = cfg.guests.len();
     let report = Experiment::run(&cfg);
     let miss = report.merge_miss.as_ref().expect("diagnosis was enabled");
     let log = report.trace.as_ref().expect("tracing was enabled");
@@ -338,7 +389,11 @@ fn cmd_explain(opts: &Opts) -> Result<String, CliError> {
     let _ = writeln!(
         out,
         "{} x {} | scale 1/{} | preload: {} | pages_sharing {}",
-        opts.guests, opts.benchmark, opts.scale, opts.preload, report.ksm.pages_sharing,
+        n_guests,
+        workload_label(opts),
+        opts.scale,
+        opts.preload,
+        report.ksm.pages_sharing,
     );
     out.push_str(&miss.render());
     out.push('\n');
@@ -473,6 +528,37 @@ mod tests {
         for row in ["\n      10 ", "\n      20 ", "\n      30 "] {
             assert!(text.contains(row), "missing timeline row {row:?}");
         }
+    }
+
+    #[test]
+    fn preset_selects_fleet_config_and_guests_override_is_budgeted() {
+        let opts = parse_opts(&argv("--preset scale256 --scale 64")).unwrap();
+        assert_eq!(opts.preset.as_deref(), Some("scale256"));
+        assert!(!opts.guests_explicit);
+        let cfg = config_for(&opts, opts.guests).unwrap();
+        assert_eq!(cfg.guests.len(), 256, "preset keeps its native count");
+
+        let shrunk = parse_opts(&argv("--preset scale256 --scale 64 --guests 3")).unwrap();
+        assert!(shrunk.guests_explicit);
+        let cfg = config_for(&shrunk, shrunk.guests).unwrap();
+        assert_eq!(cfg.guests.len(), 3, "--guests overrides the preset count");
+
+        let bloated = parse_opts(&argv("--preset scale256 --scale 64 --guests 99999")).unwrap();
+        let e = config_for(&bloated, bloated.guests).unwrap_err();
+        assert!(e.to_string().contains("memory budget"), "got: {e}");
+
+        let bad = parse_opts(&argv("--preset scale9000")).unwrap();
+        assert!(config_for(&bad, bad.guests).is_err());
+    }
+
+    #[test]
+    fn run_with_preset_prints_preset_header() {
+        let text = dispatch(&argv(
+            "run --preset scale32 --guests 2 --scale 64 --minutes 0.5",
+        ))
+        .unwrap();
+        assert!(text.starts_with("2 x scale32"), "got: {text}");
+        assert!(text.contains("class metadata eliminated"));
     }
 
     #[test]

@@ -155,6 +155,22 @@ fn overcommit_collapses_throughput_and_preloading_delays_it() {
     assert!(base.total_throughput() <= cds.total_throughput());
 }
 
+/// Fleet-scale smoke: the scale256 preset — 256 over-committed
+/// SPECjEnterprise guests on a host at the paper's over-commit knee —
+/// runs end to end through the sharded scanner, with the conservation
+/// audit active (debug build). Run with `cargo test -- --ignored`.
+#[test]
+#[ignore = "fleet-scale config; CI runs it with -- --ignored"]
+fn scale256_preset_smoke() {
+    let cfg = ExperimentConfig::scale256(256.0).with_duration_seconds(20);
+    let report = Experiment::run(&cfg);
+    assert_eq!(report.breakdown.guests.len(), 256);
+    assert_eq!(report.throughput.len(), 256);
+    assert!(report.ksm.pages_sharing > 0, "fleet never merged a page");
+    assert!(report.ksm.full_scans > 0, "scanner never completed a pass");
+    assert!(report.resident_mib <= report.usable_mib * 1.01);
+}
+
 /// The original full-size (120 simulated seconds) configs, kept as a
 /// slow regression net. Run with `cargo test -- --ignored` (CI does).
 #[test]

@@ -15,7 +15,7 @@
 //!
 //! then review and commit the updated `tests/golden/*.txt`.
 
-use bench::{figures, RunOpts};
+use bench::{figures, fleet, RunOpts};
 use std::fs;
 use std::path::PathBuf;
 
@@ -82,6 +82,30 @@ fn fig8_matches_golden_master() {
 #[test]
 fn tables_match_golden_master() {
     assert_golden("tables.txt", &figures::tables_text());
+}
+
+#[test]
+fn fleet_matches_golden_master() {
+    // The committed file was generated with --threads 1; rendering at 4
+    // threads here asserts the sharded scanner's core guarantee — the
+    // fleet report is byte-identical at any thread count.
+    assert_golden(
+        "fleet.txt",
+        &fleet::report_text(&fleet::FleetSpec::golden(), 4, 5),
+    );
+}
+
+#[test]
+fn fleet_report_is_identical_at_one_and_many_threads() {
+    let spec = fleet::FleetSpec::golden();
+    let one = fleet::report_text(&spec, 1, 5);
+    for threads in [2, 8] {
+        assert_eq!(
+            one,
+            fleet::report_text(&spec, threads, 5),
+            "fleet report diverged at {threads} threads"
+        );
+    }
 }
 
 #[test]
