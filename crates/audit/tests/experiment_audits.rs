@@ -26,8 +26,8 @@ fn scaled(cfg: ExperimentConfig) -> ExperimentConfig {
 #[test]
 fn fig2_baseline_and_preloaded_audit_clean() {
     let cfg = scaled(ExperimentConfig::paper_daytrader_4vm(SCALE));
-    let _ = Experiment::run(&cfg);
-    let _ = Experiment::run(&cfg.with_class_sharing());
+    let _ = Experiment::run(&cfg).unwrap();
+    let _ = Experiment::run(&cfg.with_class_sharing()).unwrap();
 }
 
 #[test]
@@ -35,16 +35,16 @@ fn fig7_overcommit_daytrader_audits_clean() {
     // The two interesting points: comfortable fit and over-commit.
     for n in [2, 8] {
         let cfg = scaled(ExperimentConfig::paper_overcommit_daytrader(n, SCALE));
-        let _ = Experiment::run(&cfg);
-        let _ = Experiment::run(&cfg.with_class_sharing());
+        let _ = Experiment::run(&cfg).unwrap();
+        let _ = Experiment::run(&cfg.with_class_sharing()).unwrap();
     }
 }
 
 #[test]
 fn fig8_overcommit_specj_audits_clean() {
     let cfg = scaled(ExperimentConfig::paper_overcommit_specj(6, SCALE));
-    let _ = Experiment::run(&cfg);
-    let _ = Experiment::run(&cfg.with_class_sharing());
+    let _ = Experiment::run(&cfg).unwrap();
+    let _ = Experiment::run(&cfg.with_class_sharing()).unwrap();
 }
 
 #[test]
@@ -63,7 +63,7 @@ fn ablation_scan_rates_audit_clean() {
                 warmup_seconds: 0,
             })
             .with_audit();
-        let _ = Experiment::run(&cfg);
+        let _ = Experiment::run(&cfg).unwrap();
     }
 }
 
@@ -75,5 +75,5 @@ fn ablation_cache_capacity_audits_clean() {
     for guest in &mut cfg.guests {
         guest.benchmark.cache_mib = 30.0 / SCALE;
     }
-    let _ = Experiment::run(&cfg);
+    let _ = Experiment::run(&cfg).unwrap();
 }

@@ -11,7 +11,7 @@ fn bench_tiny_experiment(c: &mut Criterion) {
     for (name, sharing) in [("baseline", false), ("class_sharing", true)] {
         group.bench_function(format!("tiny_3vm_{name}"), |b| {
             let cfg = ExperimentConfig::tiny_test(3, sharing).with_duration_seconds(30);
-            b.iter(|| black_box(Experiment::run(&cfg)));
+            b.iter(|| black_box(Experiment::run(&cfg).unwrap()));
         });
     }
     group.finish();
@@ -28,7 +28,7 @@ fn bench_scan_rate_ablation(c: &mut Criterion) {
                 steady: ksm::KsmParams::new(pages, 100),
                 warmup_seconds: 0,
             };
-            b.iter(|| black_box(Experiment::run(&cfg)));
+            b.iter(|| black_box(Experiment::run(&cfg).unwrap()));
         });
     }
     group.finish();
@@ -43,7 +43,7 @@ fn bench_cache_size_ablation(c: &mut Criterion) {
             for guest in &mut cfg.guests {
                 guest.benchmark.cache_mib = cache_mib as f64;
             }
-            b.iter(|| black_box(Experiment::run(&cfg)));
+            b.iter(|| black_box(Experiment::run(&cfg).unwrap()));
         });
     }
     group.finish();

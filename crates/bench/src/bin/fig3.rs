@@ -19,7 +19,8 @@ fn main() {
         "per-JVM breakdown, 4 x DayTrader/WAS, baseline",
         &opts,
     );
-    let report = Experiment::run(&opts.apply(ExperimentConfig::paper_daytrader_4vm(opts.scale)));
+    let report =
+        Experiment::run(&opts.apply(ExperimentConfig::paper_daytrader_4vm(opts.scale))).unwrap();
     print_java_figure(&report, opts.unscale());
 
     banner(
@@ -27,10 +28,12 @@ fn main() {
         "DayTrader / SPECjEnterprise / TPC-W in the same WAS, baseline",
         &opts,
     );
-    let report = Experiment::run(&opts.apply(ExperimentConfig::paper_mixed_was(opts.scale)));
+    let report =
+        Experiment::run(&opts.apply(ExperimentConfig::paper_mixed_was(opts.scale))).unwrap();
     print_java_figure(&report, opts.unscale());
 
     banner("Fig. 3(c)", "3 x Tuscany bigbank, baseline", &opts);
-    let report = Experiment::run(&opts.apply(ExperimentConfig::paper_tuscany_3vm(opts.scale)));
+    let report =
+        Experiment::run(&opts.apply(ExperimentConfig::paper_tuscany_3vm(opts.scale))).unwrap();
     print_java_figure(&report, opts.unscale());
 }

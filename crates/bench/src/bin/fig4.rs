@@ -18,7 +18,7 @@ fn main() {
     let cfg = opts
         .apply(ExperimentConfig::paper_daytrader_4vm(opts.scale))
         .with_class_sharing();
-    let report = Experiment::run(&cfg);
+    let report = Experiment::run(&cfg).unwrap();
     print_guest_figure(&report, opts.unscale());
     for (name, classes, used) in &report.caches {
         println!(

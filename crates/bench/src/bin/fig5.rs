@@ -18,7 +18,8 @@ fn main() {
         &opts
             .apply(ExperimentConfig::paper_daytrader_4vm(opts.scale))
             .with_class_sharing(),
-    );
+    )
+    .unwrap();
     print_java_figure(&report, opts.unscale());
 
     banner(
@@ -30,7 +31,8 @@ fn main() {
         &opts
             .apply(ExperimentConfig::paper_mixed_was(opts.scale))
             .with_class_sharing(),
-    );
+    )
+    .unwrap();
     print_java_figure(&report, opts.unscale());
 
     banner("Fig. 5(c)", "3 x Tuscany bigbank, preloaded", &opts);
@@ -38,6 +40,7 @@ fn main() {
         &opts
             .apply(ExperimentConfig::paper_tuscany_3vm(opts.scale))
             .with_class_sharing(),
-    );
+    )
+    .unwrap();
     print_java_figure(&report, opts.unscale());
 }

@@ -24,7 +24,7 @@ fn main() {
             GUESTS, opts.scale,
         ))
         .with_profile();
-    let report = Experiment::run(&cfg);
+    let report = Experiment::run(&cfg).unwrap();
     let phases = report.phases.expect("profiling was enabled");
     println!(
         "{{\"preset\":\"fig7 {GUESTS}x DayTrader over-commit\",\

@@ -16,7 +16,7 @@ fn main() {
         .apply(ExperimentConfig::paper_daytrader_4vm(opts.scale))
         .with_class_sharing()
         .with_timeline(15);
-    let report = Experiment::run(&cfg);
+    let report = Experiment::run(&cfg).unwrap();
     println!(
         "{:>10} {:>16} {:>16} {:>16}",
         "t (s)", "resident (MiB)", "pages sharing", "stable frames"

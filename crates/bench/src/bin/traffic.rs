@@ -1,0 +1,36 @@
+//! Request-driven traffic engine benchmark (see [`bench::traffic`]).
+//!
+//! Two modes:
+//!
+//! * default — renders the deterministic three-scenario traffic report
+//!   (the text pinned at `tests/golden/traffic.txt`; byte-identical at
+//!   any thread count):
+//!
+//!   ```text
+//!   cargo run --release -p bench --bin traffic
+//!   ```
+//!
+//! * `--json` — times every scenario plus the idle-path comparison
+//!   against the old tick loop and prints the record committed as
+//!   `results/BENCH_traffic.json`:
+//!
+//!   ```text
+//!   cargo run --release -p bench --bin traffic -- --json > results/BENCH_traffic.json
+//!   ```
+
+use bench::traffic;
+
+fn main() {
+    let mut json = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--json" => json = true,
+            other => panic!("unknown argument {other} (try --json)"),
+        }
+    }
+    if json {
+        print!("{}", traffic::bench_json());
+    } else {
+        print!("{}", traffic::golden_text());
+    }
+}

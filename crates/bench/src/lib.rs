@@ -25,6 +25,7 @@
 #![forbid(unsafe_code)]
 
 pub mod fleet;
+pub mod traffic;
 
 use std::fmt::Write as _;
 
@@ -164,7 +165,8 @@ impl RunOpts {
     /// stdout stay byte-identical across thread counts.
     pub fn run_sweep(&self, configs: &[ExperimentConfig]) -> Vec<tpslab::ExperimentReport> {
         let start = std::time::Instant::now();
-        let timed = tpslab::sweep::run_all_timed(configs, self.threads);
+        let timed = tpslab::sweep::run_all_timed(configs, self.threads)
+            .expect("bench sweep configs are valid");
         for (i, run) in timed.iter().enumerate() {
             eprintln!(
                 "[sweep] run {}/{}: {:.2} s",
@@ -348,7 +350,7 @@ pub mod figures {
             opts,
         );
         let cfg = opts.apply(ExperimentConfig::paper_daytrader_4vm(opts.scale));
-        let report = Experiment::run(&cfg);
+        let report = Experiment::run(&cfg).unwrap();
         out.push_str(&guest_figure_text(&report, opts.unscale()));
         out
     }
@@ -460,7 +462,7 @@ pub mod figures {
             .apply(ExperimentConfig::scale32(opts.scale))
             .with_timeline(every)
             .with_timeline_attribution();
-        let report = Experiment::run(&cfg);
+        let report = Experiment::run(&cfg).unwrap();
         let _ = writeln!(
             out,
             "{:>8} {:>14} {:>14} {:>16}",
@@ -542,8 +544,8 @@ pub mod figures {
             let p = &bench.profile;
             let _ = writeln!(
                 out,
-                "  {:<22} heap {:>6.0} MiB | cache {:>5.0} MiB | {:>6} classes | driver {:?}",
-                p.name, p.heap.heap_mib, bench.cache_mib, p.class_count, bench.driver
+                "  {:<22} heap {:>6.0} MiB | cache {:>5.0} MiB | {:>6} classes | drive {:?}",
+                p.name, p.heap.heap_mib, bench.cache_mib, p.class_count, bench.drive
             );
         }
 

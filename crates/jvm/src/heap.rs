@@ -238,13 +238,48 @@ impl HeapSim {
         warmup_fraction: f64,
         now: Tick,
     ) {
+        self.warm(mm, guest, pid, salt, warmup_fraction, now);
+        self.serve(
+            mm,
+            guest,
+            pid,
+            salt,
+            mem::mib_to_pages(self.profile.alloc_mib_per_sec) as f64 / mem::TICKS_PER_SECOND as f64,
+            now,
+        );
+    }
+
+    /// Populates the live set up to `warmup_fraction` (start-up only;
+    /// already-written pages are never rewritten).
+    pub(crate) fn warm(
+        &mut self,
+        mm: &mut HostMm,
+        guest: &mut GuestOs,
+        pid: Pid,
+        salt: u64,
+        warmup_fraction: f64,
+        now: Tick,
+    ) {
         self.nursery
             .warmup(mm, guest, pid, salt, warmup_fraction, now);
         if let Some(tenured) = &mut self.tenured {
             tenured.warmup(mm, guest, pid, salt ^ 0x7e4, warmup_fraction, now);
         }
-        self.alloc_carry +=
-            mem::mib_to_pages(self.profile.alloc_mib_per_sec) as f64 / mem::TICKS_PER_SECOND as f64;
+    }
+
+    /// Allocates `pages` (fractional amounts carry over), collecting and
+    /// promoting survivors as spaces fill — the request-driven GC
+    /// pressure path.
+    pub(crate) fn serve(
+        &mut self,
+        mm: &mut HostMm,
+        guest: &mut GuestOs,
+        pid: Pid,
+        salt: u64,
+        pages: f64,
+        now: Tick,
+    ) {
+        self.alloc_carry += pages;
         let count = self.alloc_carry as usize;
         self.alloc_carry -= count as f64;
         let minor_gcs = self.nursery.allocate(mm, guest, pid, salt, count, now);

@@ -83,9 +83,37 @@ impl JitSim {
         warmup_fraction: f64,
         now: Tick,
     ) {
-        // Code cache grows as methods get hot.
+        self.emit_code(mm, guest, pid, salt, warmup_fraction, now);
+        // Scratch churn: heavy while compiling, a trickle afterwards.
+        let rate = if warmup_fraction < 1.0 {
+            profile.jit_churn_mib_per_sec
+        } else {
+            profile.jit_churn_mib_per_sec * 0.05
+        };
+        self.scratch(
+            mm,
+            guest,
+            pid,
+            salt,
+            mem::mib_to_pages(rate) as f64 / mem::TICKS_PER_SECOND as f64,
+            now,
+        );
+    }
+
+    /// Grows the code cache up to `warm_fraction` — methods get hot by
+    /// being called, so under the traffic engine this fraction tracks
+    /// requests served rather than elapsed time.
+    pub(crate) fn emit_code(
+        &mut self,
+        mm: &mut HostMm,
+        guest: &mut GuestOs,
+        pid: Pid,
+        salt: u64,
+        warm_fraction: f64,
+        now: Tick,
+    ) {
         let mut emitted = 0u64;
-        for i in self.code_fill.advance(warmup_fraction) {
+        for i in self.code_fill.advance(warm_fraction) {
             let fp = Fingerprint::of(&[JIT_CODE_TOKEN, salt, i as u64]);
             guest.write_page(mm, pid, self.code_base.offset(i as u64), fp, now);
             emitted += 1;
@@ -96,13 +124,19 @@ impl JitSim {
                 pages: emitted,
             });
         }
-        // Scratch churn: heavy while compiling, a trickle afterwards.
-        let rate = if warmup_fraction < 1.0 {
-            profile.jit_churn_mib_per_sec
-        } else {
-            profile.jit_churn_mib_per_sec * 0.05
-        };
-        self.churn_carry += mem::mib_to_pages(rate) as f64 / mem::TICKS_PER_SECOND as f64;
+    }
+
+    /// Rewrites `pages` of compilation scratch (fractions carry over).
+    pub(crate) fn scratch(
+        &mut self,
+        mm: &mut HostMm,
+        guest: &mut GuestOs,
+        pid: Pid,
+        salt: u64,
+        pages: f64,
+        now: Tick,
+    ) {
+        self.churn_carry += pages;
         let mut writes = self.churn_carry as usize;
         self.churn_carry -= writes as f64;
         while writes > 0 && self.scratch_pages > 0 {

@@ -53,6 +53,7 @@ mod fill;
 mod heap;
 mod jit;
 mod profile;
+mod request;
 mod stack;
 mod vm;
 mod workarea;
@@ -61,4 +62,5 @@ pub use category::MemoryCategory;
 pub use classes::{ClassSet, ClassSpec};
 pub use classloader::ClassLoader;
 pub use profile::{AppProfile, GcPolicy, HeapProfile};
+pub use request::RequestCost;
 pub use vm::{JavaVm, JvmConfig};

@@ -1,0 +1,136 @@
+//! Per-request work: what serving one client request costs a JVM.
+//!
+//! The tick-scripted model drove allocation, JIT warm-up and page
+//! dirtying on fixed per-second rates. Under the request-driven traffic
+//! engine those same rates are re-expressed *per request*, so memory
+//! behaviour — and therefore the sharing KSM can find — becomes a
+//! function of offered load: an idle JVM stops churning (its volatile
+//! pages settle and merge), a flash crowd multiplies the churn (merged
+//! pages divide), and JIT code-cache growth tracks traffic warm-up
+//! rather than wall-clock time.
+
+use crate::profile::AppProfile;
+
+/// The memory side effects of serving one request, in pages (fractional
+/// values accumulate across requests and are applied whole).
+///
+/// Derived from an [`AppProfile`]'s per-second rates at the workload's
+/// healthy request rate, so a JVM serving exactly its healthy load
+/// reproduces the tick model's churn; anything else scales with traffic.
+///
+/// # Example
+///
+/// ```
+/// use jvm::{AppProfile, RequestCost};
+///
+/// let cost = RequestCost::for_profile(&AppProfile::tiny_test(), 4.0);
+/// assert!(cost.heap_alloc_pages > 0.0);
+/// assert!(cost.jit_warm_delta > 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RequestCost {
+    /// Java-heap pages allocated (young-generation pressure; triggers
+    /// collections when the space fills).
+    pub heap_alloc_pages: f64,
+    /// Progress toward full JIT code-cache population contributed by
+    /// this request (methods get hot by being called, not by waiting).
+    pub jit_warm_delta: f64,
+    /// JIT scratch pages rewritten (compilation work rides on traffic).
+    pub jit_scratch_pages: f64,
+    /// JVM work-area pages rewritten (string tables, monitors, …).
+    pub work_dirty_pages: f64,
+    /// Progress toward filling the NIO buffers with request/response
+    /// bytes (workload-determined content, identical across VMs).
+    pub nio_delta: f64,
+    /// Stack pages rewritten by the request's call chain.
+    pub stack_dirty_pages: f64,
+}
+
+/// Requests after which the JIT code cache is fully warm — calibrated so
+/// a JVM at its healthy rate warms in roughly the profile's
+/// `jit_warmup_seconds`, matching the tick model's wall-clock schedule.
+fn warmup_requests(healthy_rps: f64, warmup_seconds: f64) -> f64 {
+    healthy_rps * warmup_seconds
+}
+
+impl RequestCost {
+    /// Derives the per-request cost from `profile`'s per-second rates at
+    /// a healthy rate of `healthy_rps` requests per second.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `healthy_rps` is not strictly positive.
+    #[must_use]
+    pub fn for_profile(profile: &AppProfile, healthy_rps: f64) -> RequestCost {
+        assert!(
+            healthy_rps > 0.0,
+            "healthy request rate must be positive, got {healthy_rps}"
+        );
+        let per_req = |mib_per_sec: f64| mem::mib_to_pages(mib_per_sec) as f64 / healthy_rps;
+        let warm = warmup_requests(healthy_rps, profile.jit_warmup_seconds);
+        RequestCost {
+            heap_alloc_pages: per_req(profile.heap.alloc_mib_per_sec),
+            jit_warm_delta: if warm > 0.0 { 1.0 / warm } else { 1.0 },
+            jit_scratch_pages: per_req(profile.jit_churn_mib_per_sec),
+            work_dirty_pages: per_req(profile.work_churn_mib_per_sec),
+            nio_delta: 1.0 / (healthy_rps * 30.0).max(1.0),
+            stack_dirty_pages: profile.stack_churn_per_sec
+                * mem::mib_to_pages(profile.stack_mib) as f64
+                / healthy_rps,
+        }
+    }
+
+    /// A copy of the cost scaled by `factor` (noisy-neighbor scenarios
+    /// inflate one guest's per-request work).
+    #[must_use]
+    pub fn scaled(&self, factor: f64) -> RequestCost {
+        RequestCost {
+            heap_alloc_pages: self.heap_alloc_pages * factor,
+            jit_warm_delta: self.jit_warm_delta,
+            jit_scratch_pages: self.jit_scratch_pages * factor,
+            work_dirty_pages: self.work_dirty_pages * factor,
+            nio_delta: self.nio_delta,
+            stack_dirty_pages: self.stack_dirty_pages * factor,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::AppProfile;
+
+    #[test]
+    fn healthy_rate_reproduces_tick_model_rates() {
+        let p = AppProfile::tiny_test();
+        let cost = RequestCost::for_profile(&p, 8.0);
+        // 8 requests/s x pages/request == pages/s of the tick model.
+        let heap_pages_per_sec = cost.heap_alloc_pages * 8.0;
+        assert!(
+            (heap_pages_per_sec - mem::mib_to_pages(p.heap.alloc_mib_per_sec) as f64).abs() < 1e-9
+        );
+    }
+
+    #[test]
+    fn warmup_progress_sums_to_one_over_the_warmup_window() {
+        let p = AppProfile::tiny_test();
+        let rps = 5.0;
+        let cost = RequestCost::for_profile(&p, rps);
+        let requests_to_warm = rps * p.jit_warmup_seconds;
+        assert!((cost.jit_warm_delta * requests_to_warm - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scaling_inflates_churn_but_not_warmup() {
+        let cost = RequestCost::for_profile(&AppProfile::tiny_test(), 4.0);
+        let hot = cost.scaled(3.0);
+        assert!((hot.heap_alloc_pages - 3.0 * cost.heap_alloc_pages).abs() < 1e-12);
+        assert_eq!(hot.jit_warm_delta, cost.jit_warm_delta);
+    }
+
+    #[test]
+    #[should_panic(expected = "healthy request rate")]
+    fn zero_rate_rejected() {
+        let _ = RequestCost::for_profile(&AppProfile::tiny_test(), 0.0);
+    }
+}

@@ -45,12 +45,45 @@ impl StackSim {
         startup_fraction: f64,
         now: Tick,
     ) {
+        self.fill(mm, guest, pid, salt, startup_fraction, now);
+        self.churn(
+            mm,
+            guest,
+            pid,
+            salt,
+            profile.stack_churn_per_sec * self.pages as f64 / mem::TICKS_PER_SECOND as f64,
+            now,
+        );
+    }
+
+    /// Writes the stack area with process-salted content up to
+    /// `startup_fraction` of the thread population.
+    pub(crate) fn fill(
+        &mut self,
+        mm: &mut HostMm,
+        guest: &mut GuestOs,
+        pid: Pid,
+        salt: u64,
+        startup_fraction: f64,
+        now: Tick,
+    ) {
         for i in self.fill.advance(startup_fraction) {
             let fp = Fingerprint::of(&[STACK_TOKEN, salt, i as u64]);
             guest.write_page(mm, pid, self.base.offset(i as u64), fp, now);
         }
-        self.churn_carry +=
-            profile.stack_churn_per_sec * self.pages as f64 / mem::TICKS_PER_SECOND as f64;
+    }
+
+    /// Rewrites `pages` of active top frames (fractions carry over).
+    pub(crate) fn churn(
+        &mut self,
+        mm: &mut HostMm,
+        guest: &mut GuestOs,
+        pid: Pid,
+        salt: u64,
+        pages: f64,
+        now: Tick,
+    ) {
+        self.churn_carry += pages;
         let mut writes = self.churn_carry as usize;
         self.churn_carry -= writes as f64;
         while writes > 0 {

@@ -7,6 +7,7 @@ use crate::fill::phase_fraction;
 use crate::heap::HeapSim;
 use crate::jit::JitSim;
 use crate::profile::AppProfile;
+use crate::request::RequestCost;
 use crate::stack::StackSim;
 use crate::workarea::WorkArea;
 use cds::SharedClassCache;
@@ -81,6 +82,12 @@ pub struct JavaVm {
     jit: JitSim,
     work: WorkArea,
     stack: StackSim,
+    /// Request-driven JIT warm-up progress (0..=1); only the traffic
+    /// engine advances this — the tick path uses wall-clock fractions.
+    traffic_jit: f64,
+    /// Request-driven NIO buffer-fill progress (0..=1).
+    traffic_nio: f64,
+    requests_served: u64,
 }
 
 impl JavaVm {
@@ -118,6 +125,9 @@ impl JavaVm {
             jit,
             work,
             stack,
+            traffic_jit: 0.0,
+            traffic_nio: 0.0,
+            requests_served: 0,
         }
     }
 
@@ -159,6 +169,104 @@ impl JavaVm {
         );
         self.stack
             .tick(mm, guest, self.pid, &self.profile, self.salt, load_f, now);
+    }
+
+    /// Advances only the *wall-clock* start-up phases: code mapping,
+    /// class loading, heap warm-up, work-area materialisation, stack
+    /// fill. JIT warm-up and NIO fill are *not* advanced — under the
+    /// traffic engine those track requests served (via
+    /// [`serve_requests`](Self::serve_requests)), not elapsed time.
+    ///
+    /// The traffic engine calls this on a sparse schedule (once per
+    /// simulated second until [`startup_done`](Self::startup_done)), so
+    /// an idle-but-booted JVM costs nothing per tick.
+    pub fn advance_startup(&mut self, mm: &mut HostMm, guest: &mut GuestOs, now: Tick) {
+        let elapsed_s = (now - self.start) as f64 / mem::TICKS_PER_SECOND as f64;
+        let load_f = phase_fraction(elapsed_s, self.profile.class_load_seconds);
+        self.code.tick(mm, guest, self.pid, self.salt, load_f, now);
+        self.loader.tick(mm, guest, self.pid, load_f, now);
+        self.heap.warm(mm, guest, self.pid, self.salt, load_f, now);
+        self.work
+            .startup(mm, guest, self.pid, self.salt, load_f, now);
+        self.stack.fill(mm, guest, self.pid, self.salt, load_f, now);
+    }
+
+    /// `true` once the wall-clock start-up phases have nothing left to
+    /// write (class loading finished).
+    #[must_use]
+    pub fn startup_done(&self, now: Tick) -> bool {
+        let elapsed_s = (now - self.start) as f64 / mem::TICKS_PER_SECOND as f64;
+        elapsed_s >= self.profile.class_load_seconds
+    }
+
+    /// Serves `count` requests at `cost` each: heap allocation (young-gen
+    /// pressure and collections), JIT warm-up progress and scratch churn,
+    /// work-area and stack dirtying, NIO fill — all batched so a burst of
+    /// requests costs one pass per subsystem, not one per request.
+    pub fn serve_requests(
+        &mut self,
+        mm: &mut HostMm,
+        guest: &mut GuestOs,
+        cost: &RequestCost,
+        count: u64,
+        now: Tick,
+    ) {
+        if count == 0 {
+            return;
+        }
+        let n = count as f64;
+        self.traffic_jit = (self.traffic_jit + cost.jit_warm_delta * n).min(1.0);
+        self.traffic_nio = (self.traffic_nio + cost.nio_delta * n).min(1.0);
+        self.heap.serve(
+            mm,
+            guest,
+            self.pid,
+            self.salt,
+            cost.heap_alloc_pages * n,
+            now,
+        );
+        self.jit
+            .emit_code(mm, guest, self.pid, self.salt, self.traffic_jit, now);
+        self.jit.scratch(
+            mm,
+            guest,
+            self.pid,
+            self.salt,
+            cost.jit_scratch_pages * n,
+            now,
+        );
+        self.work
+            .fill_nio(mm, guest, self.pid, &self.profile, self.traffic_nio, now);
+        self.work.churn(
+            mm,
+            guest,
+            self.pid,
+            self.salt,
+            cost.work_dirty_pages * n,
+            now,
+        );
+        self.stack.churn(
+            mm,
+            guest,
+            self.pid,
+            self.salt,
+            cost.stack_dirty_pages * n,
+            now,
+        );
+        self.requests_served += count;
+    }
+
+    /// Requests served via [`serve_requests`](Self::serve_requests).
+    #[must_use]
+    pub fn requests_served(&self) -> u64 {
+        self.requests_served
+    }
+
+    /// Request-driven JIT warm-up progress in `0..=1` (1.0 = code cache
+    /// fully populated by traffic).
+    #[must_use]
+    pub fn traffic_warmth(&self) -> f64 {
+        self.traffic_jit
     }
 
     /// `true` once all start-up phases are over.

@@ -118,8 +118,29 @@ impl WorkArea {
         nio_fraction: f64,
         now: Tick,
     ) {
-        // Private structures materialise during start-up: a stream of
-        // salted malloc calls packed into the arena block.
+        self.startup(mm, guest, pid, salt, startup_fraction, now);
+        self.fill_nio(mm, guest, pid, profile, nio_fraction, now);
+        self.churn(
+            mm,
+            guest,
+            pid,
+            salt,
+            mem::mib_to_pages(profile.work_churn_mib_per_sec) as f64 / mem::TICKS_PER_SECOND as f64,
+            now,
+        );
+    }
+
+    /// Private structures materialise during start-up: a stream of
+    /// salted malloc calls packed into the arena block.
+    pub(crate) fn startup(
+        &mut self,
+        mm: &mut HostMm,
+        guest: &mut GuestOs,
+        pid: Pid,
+        salt: u64,
+        startup_fraction: f64,
+        now: Tick,
+    ) {
         let target_remaining =
             ((1.0 - startup_fraction.clamp(0.0, 1.0)) * self.bytes_total as f64) as usize;
         while self.bytes_remaining > target_remaining {
@@ -137,16 +158,37 @@ impl WorkArea {
             self.arena.malloc(&mut sink, token, len, now);
             self.bytes_remaining -= len;
         }
-        // NIO buffers fill with the first requests; contents derive from
-        // the workload (identical across VMs), not the process.
+    }
+
+    /// NIO buffers fill with the first requests; contents derive from
+    /// the workload (identical across VMs), not the process.
+    pub(crate) fn fill_nio(
+        &mut self,
+        mm: &mut HostMm,
+        guest: &mut GuestOs,
+        pid: Pid,
+        profile: &AppProfile,
+        nio_fraction: f64,
+        now: Tick,
+    ) {
         for i in self.nio_fill.advance(nio_fraction) {
             let fp = Fingerprint::of(&[NIO_TOKEN, profile.workload_id, i as u64]);
             guest.write_page(mm, pid, self.nio_base.offset(i as u64), fp, now);
         }
-        // A slice of the private structures is rewritten continuously
-        // (string tables, monitor tables, …).
-        self.churn_carry +=
-            mem::mib_to_pages(profile.work_churn_mib_per_sec) as f64 / mem::TICKS_PER_SECOND as f64;
+    }
+
+    /// Rewrites `pages` of the hot slice of the private structures
+    /// (string tables, monitor tables, …); fractions carry over.
+    pub(crate) fn churn(
+        &mut self,
+        mm: &mut HostMm,
+        guest: &mut GuestOs,
+        pid: Pid,
+        salt: u64,
+        pages: f64,
+        now: Tick,
+    ) {
+        self.churn_carry += pages;
         let mut writes = self.churn_carry as usize;
         self.churn_carry -= writes as f64;
         // Only the first quarter of the data area is hot.

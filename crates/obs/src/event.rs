@@ -215,6 +215,25 @@ pub enum EventKind {
         /// Pages returned.
         pages: u64,
     },
+    /// The traffic engine delivered a batch of requests to a guest JVM.
+    RequestServe {
+        /// Guest process id of the JVM.
+        pid: u32,
+        /// Requests served in this batch.
+        served: u64,
+        /// Requests shed because the guest was over capacity.
+        dropped: u64,
+    },
+    /// The traffic engine entered a new load phase (warm-up plateau,
+    /// diurnal peak, flash-crowd spike, deploy wave, …), letting
+    /// `explain` attribute merge misses to the phase they happened in.
+    TrafficPhase {
+        /// Ordinal of the phase within the scenario (0-based).
+        phase: u32,
+        /// Offered load for the phase in requests/sec across the fleet,
+        /// rounded to the nearest integer.
+        offered_rps: u64,
+    },
 }
 
 impl EventKind {
@@ -242,6 +261,8 @@ impl EventKind {
             EventKind::MemslotCreate { .. } => "memslot_create",
             EventKind::BalloonInflate { .. } => "balloon_inflate",
             EventKind::BalloonDeflate { .. } => "balloon_deflate",
+            EventKind::RequestServe { .. } => "request_serve",
+            EventKind::TrafficPhase { .. } => "traffic_phase",
         }
     }
 
@@ -397,6 +418,19 @@ impl TraceEvent {
             | EventKind::BalloonDeflate { space, pages } => {
                 field("space", u64::from(space));
                 field("pages", pages);
+            }
+            EventKind::RequestServe {
+                pid,
+                served,
+                dropped,
+            } => {
+                field("pid", u64::from(pid));
+                field("served", served);
+                field("dropped", dropped);
+            }
+            EventKind::TrafficPhase { phase, offered_rps } => {
+                field("phase", u64::from(phase));
+                field("offered_rps", offered_rps);
             }
         }
         s.push('}');

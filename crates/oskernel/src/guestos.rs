@@ -301,11 +301,23 @@ impl GuestOs {
     /// dynamic data is rewritten, keeping it volatile under the KSM
     /// checksum filter, exactly like real slab/page-table churn.
     pub fn tick(&mut self, mm: &mut HostMm, now: Tick) {
+        self.tick_many(mm, now, 1);
+    }
+
+    /// Batches `ticks` ticks of kernel background churn into one call —
+    /// the same pages get rewritten as `ticks` sequential [`tick`]s, all
+    /// stamped at `now`. The traffic engine's sparse schedule uses this
+    /// to charge a whole second of kernel activity per event instead of
+    /// walking every guest every tick.
+    ///
+    /// [`tick`]: Self::tick
+    pub fn tick_many(&mut self, mm: &mut HostMm, now: Tick, ticks: u32) {
         if self.kernel_data_pages == 0 || self.image.kernel_churn_per_second == 0.0 {
             return;
         }
-        self.churn_carry += self.image.kernel_churn_per_second * self.kernel_data_pages as f64
-            / mem::Tick::from_seconds(1.0).0 as f64;
+        self.churn_carry +=
+            f64::from(ticks) * self.image.kernel_churn_per_second * self.kernel_data_pages as f64
+                / mem::Tick::from_seconds(1.0).0 as f64;
         let mut to_write = self.churn_carry as usize;
         self.churn_carry -= to_write as f64;
         let (id, salt) = (self.image.image_id, self.boot_salt);

@@ -10,7 +10,7 @@ fn main() {
             if cds {
                 cfg = cfg.with_class_sharing();
             }
-            let r = Experiment::run(&cfg);
+            let r = Experiment::run(&cfg).expect("paper preset is valid");
             println!(
                 "n={n} cds={cds}: resident={:.0} usable={:.0} overflow={:.0} (paper-scale: {:.0})",
                 r.resident_mib,

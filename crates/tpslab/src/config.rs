@@ -1,5 +1,6 @@
 //! Experiment configuration.
 
+use crate::Error;
 use hypervisor::HostConfig;
 use ksm::KsmParams;
 use oskernel::OsImage;
@@ -295,7 +296,7 @@ impl ExperimentConfig {
     pub fn tiny_test(n: usize, class_sharing: bool) -> ExperimentConfig {
         let bench = Benchmark {
             profile: jvm::AppProfile::tiny_test(),
-            driver: workloads::ClientDriver::threads(4, 1.0),
+            drive: workloads::DriveModel::closed_loop(4, 1.0),
             cache_mib: 4.0,
         };
         ExperimentConfig {
@@ -423,6 +424,118 @@ impl ExperimentConfig {
     pub fn with_threads(mut self, threads: usize) -> ExperimentConfig {
         self.threads = threads.max(1);
         self
+    }
+
+    /// Checks that this configuration describes a runnable experiment:
+    /// at least one guest and a non-zero duration.
+    ///
+    /// Every entry point ([`Experiment::run`](crate::Experiment::run),
+    /// [`Experiment::run_traffic`](crate::Experiment::run_traffic), the
+    /// [`preset`](Self::preset) builder) calls this, so invalid configs
+    /// surface as a typed [`Error`] instead of a panic mid-run.
+    ///
+    /// Deliberately *not* checked here: the memory budget. Over-commit
+    /// far beyond [`MAX_OVERCOMMIT`](Self::MAX_OVERCOMMIT) is the
+    /// paper's subject (the named presets themselves exceed it), so the
+    /// budget cap only guards explicit guest-count overrides — see
+    /// [`ExperimentBuilder::guests`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated constraint.
+    pub fn validate(&self) -> Result<(), Error> {
+        if self.guests.is_empty() {
+            return Err(Error::NoGuests);
+        }
+        if self.duration_seconds == 0 {
+            return Err(Error::ZeroDuration);
+        }
+        Ok(())
+    }
+
+    /// Starts a validated builder from a named fleet preset — the
+    /// entry point the CLI routes `--preset`/`--guests` through:
+    ///
+    /// ```
+    /// use tpslab::ExperimentConfig;
+    ///
+    /// let cfg = ExperimentConfig::preset("scale32")
+    ///     .scale(64.0)
+    ///     .guests(4)
+    ///     .build()
+    ///     .unwrap();
+    /// assert_eq!(cfg.guests.len(), 4);
+    /// assert!(ExperimentConfig::preset("scale9000").build().is_err());
+    /// ```
+    #[must_use]
+    pub fn preset(name: &str) -> ExperimentBuilder {
+        ExperimentBuilder {
+            preset: name.to_string(),
+            scale: 8.0,
+            guests: None,
+        }
+    }
+}
+
+/// Builds an [`ExperimentConfig`] from a named preset, centralising the
+/// guest-budget validation that used to live in CLI argument parsing.
+/// Construct with [`ExperimentConfig::preset`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentBuilder {
+    preset: String,
+    scale: f64,
+    guests: Option<usize>,
+}
+
+impl ExperimentBuilder {
+    /// Sets the size divisor (1 = paper scale).
+    #[must_use]
+    pub fn scale(mut self, scale: f64) -> ExperimentBuilder {
+        self.scale = scale;
+        self
+    }
+
+    /// Overrides the preset's native guest count. Unlike the preset's
+    /// own fleet size, an override is validated against the host's
+    /// [`MAX_OVERCOMMIT`](ExperimentConfig::MAX_OVERCOMMIT) budget at
+    /// [`build`](Self::build), so a typo'd `--guests 100000` fails fast
+    /// instead of producing a meaningless thrash-bound run.
+    #[must_use]
+    pub fn guests(mut self, n: usize) -> ExperimentBuilder {
+        self.guests = Some(n);
+        self
+    }
+
+    /// Resolves the preset and validates the result.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::UnknownPreset`] for an unrecognised name;
+    /// [`Error::BudgetExceeded`] when a [`guests`](Self::guests)
+    /// override pushes the fleet past the host's memory budget;
+    /// whatever [`ExperimentConfig::validate`] finds otherwise.
+    pub fn build(self) -> Result<ExperimentConfig, Error> {
+        let mut cfg = match self.preset.as_str() {
+            "scale32" => ExperimentConfig::scale32(self.scale),
+            "scale256" => ExperimentConfig::scale256(self.scale),
+            "scale1024" => ExperimentConfig::scale1024(self.scale),
+            other => return Err(Error::UnknownPreset(other.to_string())),
+        };
+        if let Some(n) = self.guests {
+            let spec = cfg.guests.first().cloned().ok_or(Error::NoGuests)?;
+            let budget = cfg.max_guests_for_budget();
+            if n > budget {
+                return Err(Error::BudgetExceeded {
+                    guests: n,
+                    nominal_mib: spec.mem_mib * n as f64,
+                    usable_mib: cfg.host.usable_mib(),
+                    max_guests: budget,
+                });
+            }
+            cfg.guests = (0..n).map(|_| spec.clone()).collect();
+        }
+        cfg.validate()?;
+        Ok(cfg)
     }
 }
 

@@ -1,0 +1,92 @@
+//! Typed experiment errors.
+//!
+//! Invalid configurations used to die inside the run loop as panics or
+//! `expect`s; every entry point now validates up front and returns an
+//! [`Error`] the CLI renders as a one-line diagnostic instead of a
+//! backtrace.
+
+use std::fmt;
+
+/// Why an experiment could not run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// The configuration describes no guests at all.
+    NoGuests,
+    /// The configured run length is zero seconds.
+    ZeroDuration,
+    /// The guests' nominal memory exceeds the host's budget: past
+    /// [`MAX_OVERCOMMIT`](crate::ExperimentConfig::MAX_OVERCOMMIT) ×
+    /// usable RAM the throughput model collapses to noise.
+    BudgetExceeded {
+        /// Guests requested.
+        guests: usize,
+        /// Their summed nominal memory, MiB.
+        nominal_mib: f64,
+        /// The host's usable memory, MiB.
+        usable_mib: f64,
+        /// Largest guest count the budget admits (first-guest sizing).
+        max_guests: usize,
+    },
+    /// No experiment preset has this name.
+    UnknownPreset(String),
+    /// No traffic scenario has this name.
+    UnknownScenario(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::NoGuests => write!(f, "the configuration has no guests"),
+            Error::ZeroDuration => write!(f, "the run duration is zero seconds"),
+            Error::BudgetExceeded {
+                guests,
+                nominal_mib,
+                usable_mib,
+                max_guests,
+            } => write!(
+                f,
+                "{guests} guests need {nominal_mib:.0} MiB nominal but the host's \
+                 {usable_mib:.0} MiB usable caps the fleet at {max_guests} guests \
+                 ({:.0}x over-commit)",
+                crate::ExperimentConfig::MAX_OVERCOMMIT
+            ),
+            Error::UnknownPreset(name) => write!(
+                f,
+                "unknown preset {name:?} (expected scale32 | scale256 | scale1024)"
+            ),
+            Error::UnknownScenario(name) => write!(
+                f,
+                "unknown traffic scenario {name:?} (expected one of: {})",
+                traffic::Scenario::NAMES.join(" | ")
+            ),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_render_one_line_diagnostics() {
+        let e = Error::BudgetExceeded {
+            guests: 99,
+            nominal_mib: 9900.0,
+            usable_mib: 1000.0,
+            max_guests: 40,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("99 guests"), "got: {msg}");
+        assert!(msg.contains("caps the fleet at 40"), "got: {msg}");
+        assert!(!msg.contains('\n'));
+
+        assert!(Error::UnknownPreset("wat".into())
+            .to_string()
+            .contains("scale256"));
+        assert!(Error::UnknownScenario("wat".into())
+            .to_string()
+            .contains("flash-crowd"));
+    }
+}

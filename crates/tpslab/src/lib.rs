@@ -16,7 +16,13 @@
 //!   returns an [`ExperimentReport`] with the per-guest and
 //!   per-Java-process breakdowns of Figs. 2–5, KSM statistics, and the
 //!   over-commit throughput estimates of Figs. 7–8.
+//! * [`Experiment::run_traffic`] drives the same fleet with the
+//!   discrete-event request engine ([`traffic`]) instead of the scripted
+//!   tick loop, reporting sharing stability and throughput versus
+//!   offered load under scenarios like rolling deploys and flash crowds.
 //! * [`PowerVmExperiment`] reproduces the Fig. 6 PowerVM/AIX comparison.
+//!
+//! Invalid configurations surface as a typed [`Error`], not a panic.
 //!
 //! # Quick start
 //!
@@ -25,9 +31,9 @@
 //!
 //! // A miniature two-guest experiment (unit-test sized).
 //! let baseline = ExperimentConfig::tiny_test(2, false);
-//! let report = Experiment::run(&baseline);
+//! let report = Experiment::run(&baseline).unwrap();
 //! let shared = ExperimentConfig::tiny_test(2, true);
-//! let report_cds = Experiment::run(&shared);
+//! let report_cds = Experiment::run(&shared).unwrap();
 //!
 //! // Class sharing raises cross-VM page sharing.
 //! let saving = |r: &tpslab::ExperimentReport| {
@@ -40,15 +46,19 @@
 #![warn(missing_docs)]
 
 mod config;
+mod error;
 mod powervm;
 mod report;
 mod run;
 pub mod sweep;
+mod traffic_run;
 
-pub use config::{ExperimentConfig, GuestSpec, KsmSchedule, TimelineConfig};
+pub use config::{ExperimentBuilder, ExperimentConfig, GuestSpec, KsmSchedule, TimelineConfig};
+pub use error::Error;
 pub use powervm::{PowerVmExperiment, PowerVmFigure};
 pub use report::{ExperimentReport, TimelinePoint, VmThroughput};
 pub use run::Experiment;
+pub use traffic_run::{TrafficReport, TrafficSample};
 
 // Re-export the component crates for downstream users.
 pub use analysis;
@@ -60,4 +70,5 @@ pub use ksm;
 pub use obs;
 pub use oskernel;
 pub use paging;
+pub use traffic;
 pub use workloads;

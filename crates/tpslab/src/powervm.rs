@@ -67,7 +67,7 @@ impl PowerVmExperiment {
             lpar_mem_mib: 96.0,
             benchmark: Benchmark {
                 profile: jvm::AppProfile::tiny_test(),
-                driver: workloads::ClientDriver::threads(4, 1.0),
+                drive: workloads::DriveModel::closed_loop(4, 1.0),
                 cache_mib: 4.0,
             },
             image: OsImage::tiny_test(),

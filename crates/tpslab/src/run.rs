@@ -9,10 +9,10 @@ use ksm::{KsmScanner, KsmStats};
 use mem::{Fingerprint, Tick};
 use obs::Profiler;
 use std::collections::HashMap;
-use workloads::{ClientDriver, SlaModel, SlaOutcome};
+use workloads::Workload;
 
 /// The JVM build used throughout the paper: IBM J9, Java 6 SR9.
-const JVM_VERSION: u64 = 0x0659;
+pub(crate) const JVM_VERSION: u64 = 0x0659;
 
 /// Runs experiments described by [`ExperimentConfig`].
 #[derive(Debug)]
@@ -60,8 +60,14 @@ impl Experiment {
 
     /// Simulates the configured system and reports the paper's
     /// measurement quantities. Deterministic in `config.seed`.
-    #[must_use]
-    pub fn run(config: &ExperimentConfig) -> ExperimentReport {
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`Error`](crate::Error) when the configuration is
+    /// not runnable (no guests, zero duration, fleet beyond the host's
+    /// memory budget) — see [`ExperimentConfig::validate`].
+    pub fn run(config: &ExperimentConfig) -> Result<ExperimentReport, crate::Error> {
+        config.validate()?;
         let mut prof = if config.profile {
             Profiler::enabled()
         } else {
@@ -225,28 +231,18 @@ impl Experiment {
             config.host.reserve_mib,
             cold_mib,
         );
-        let sla = SlaModel::specj();
         let throughput = config
             .guests
             .iter()
             .enumerate()
             .map(|(i, spec)| VmThroughput {
                 name: format!("vm{}", i + 1),
-                throughput: spec.benchmark.driver.throughput(slowdown),
-                sla: match spec.benchmark.driver {
-                    ClientDriver::InjectionRate { .. } => sla.check(slowdown),
-                    ClientDriver::Threads { .. } => {
-                        if slowdown > 0.5 {
-                            SlaOutcome::Met
-                        } else {
-                            SlaOutcome::Violated
-                        }
-                    }
-                },
+                throughput: spec.benchmark.drive.throughput(slowdown),
+                sla: spec.benchmark.drive.sla(slowdown),
             })
             .collect();
 
-        ExperimentReport {
+        Ok(ExperimentReport {
             breakdown,
             ksm: scanner.stats(),
             resident_mib,
@@ -267,13 +263,15 @@ impl Experiment {
             merge_miss,
             phases,
             trace,
-        }
+        })
     }
 }
 
 /// Boots the host, its guests and their JVMs as configured, returning
 /// the per-workload master caches alongside for reporting.
-fn boot_world(config: &ExperimentConfig) -> (KvmHost, Vec<JavaVm>, HashMap<u64, SharedClassCache>) {
+pub(crate) fn boot_world(
+    config: &ExperimentConfig,
+) -> (KvmHost, Vec<JavaVm>, HashMap<u64, SharedClassCache>) {
     let mut host = KvmHost::new(config.host);
     if config.trace {
         host.mm_mut().tracer_mut().enable(None);
@@ -325,7 +323,7 @@ fn boot_world(config: &ExperimentConfig) -> (KvmHost, Vec<JavaVm>, HashMap<u64, 
 /// Runs the cross-layer conservation audit against the current host
 /// state, panicking with the structured violation on failure. The
 /// scanner's counters must be freshly recounted.
-fn audit_world(host: &KvmHost, javas: &[JavaVm], scanner: &KsmScanner) {
+pub(crate) fn audit_world(host: &KvmHost, javas: &[JavaVm], scanner: &KsmScanner) {
     let views: Vec<GuestView<'_>> = host
         .guests()
         .iter()
@@ -367,7 +365,7 @@ fn build_caches(config: &ExperimentConfig) -> HashMap<u64, SharedClassCache> {
 /// Under the generational policy at a light injection rate, the nursery's
 /// free space cycles slowly (a minor collection every tens of seconds),
 /// so a slice of it is also harmlessly swappable between collections.
-fn cold_estimate_mib(config: &ExperimentConfig, guest: &crate::GuestSpec) -> f64 {
+pub(crate) fn cold_estimate_mib(config: &ExperimentConfig, guest: &crate::GuestSpec) -> f64 {
     let heap = &guest.benchmark.profile.heap;
     let nursery_cold = match heap.policy {
         jvm::GcPolicy::Generational { nursery_mib, .. } => 0.3 * nursery_mib,
@@ -379,7 +377,7 @@ fn cold_estimate_mib(config: &ExperimentConfig, guest: &crate::GuestSpec) -> f64
         + nursery_cold
 }
 
-fn mix(seed: u64, tag: u64, idx: u64) -> u64 {
+pub(crate) fn mix(seed: u64, tag: u64, idx: u64) -> u64 {
     Fingerprint::of(&[seed, tag, idx]).as_u128() as u64
 }
 
@@ -390,7 +388,7 @@ mod tests {
 
     #[test]
     fn tiny_experiment_runs_and_reports() {
-        let report = Experiment::run(&ExperimentConfig::tiny_test(2, false));
+        let report = Experiment::run(&ExperimentConfig::tiny_test(2, false)).unwrap();
         assert_eq!(report.breakdown.guests.len(), 2);
         assert_eq!(report.breakdown.javas.len(), 2);
         assert!(report.resident_mib > 0.0);
@@ -403,8 +401,8 @@ mod tests {
 
     #[test]
     fn class_sharing_increases_sharing_and_reduces_usage() {
-        let base = Experiment::run(&ExperimentConfig::tiny_test(3, false));
-        let cds = Experiment::run(&ExperimentConfig::tiny_test(3, true));
+        let base = Experiment::run(&ExperimentConfig::tiny_test(3, false)).unwrap();
+        let cds = Experiment::run(&ExperimentConfig::tiny_test(3, true)).unwrap();
         assert!(cds.total_tps_saving_mib() > base.total_tps_saving_mib());
         assert!(cds.breakdown.total_owned_mib < base.breakdown.total_owned_mib);
         assert_eq!(cds.caches.len(), 1);
@@ -419,10 +417,10 @@ mod tests {
     #[test]
     fn runs_are_deterministic_in_the_seed() {
         let cfg = ExperimentConfig::tiny_test(2, true);
-        let a = Experiment::run(&cfg);
-        let b = Experiment::run(&cfg);
+        let a = Experiment::run(&cfg).unwrap();
+        let b = Experiment::run(&cfg).unwrap();
         assert_eq!(a.breakdown, b.breakdown);
-        let c = Experiment::run(&cfg.clone().with_seed(12345));
+        let c = Experiment::run(&cfg.clone().with_seed(12345)).unwrap();
         // A different seed perturbs layouts (resident sizes move a bit).
         assert_ne!(a.breakdown, c.breakdown);
     }
@@ -438,7 +436,7 @@ mod timeline_tests {
         let cfg = ExperimentConfig::tiny_test(2, true)
             .with_duration_seconds(60)
             .with_timeline(10);
-        let report = Experiment::run(&cfg);
+        let report = Experiment::run(&cfg).unwrap();
         assert_eq!(report.timeline.len(), 6);
         assert!((report.timeline[0].seconds - 10.0).abs() < 1e-9);
         // Sharing is monotone-ish during warm-up: the last sample has at
@@ -456,8 +454,8 @@ mod timeline_tests {
             .with_duration_seconds(40)
             .with_timeline(10)
             .with_timeline_attribution();
-        let serial = Experiment::run(&cfg);
-        let parallel = Experiment::run(&cfg.clone().with_threads(4));
+        let serial = Experiment::run(&cfg).unwrap();
+        let parallel = Experiment::run(&cfg.clone().with_threads(4)).unwrap();
         assert_eq!(serial.breakdown, parallel.breakdown);
         assert_eq!(serial.timeline.len(), parallel.timeline.len());
         for (a, b) in serial.timeline.iter().zip(&parallel.timeline) {
@@ -470,7 +468,8 @@ mod timeline_tests {
     #[test]
     fn no_timeline_by_default() {
         let report =
-            Experiment::run(&ExperimentConfig::tiny_test(1, false).with_duration_seconds(30));
+            Experiment::run(&ExperimentConfig::tiny_test(1, false).with_duration_seconds(30))
+                .unwrap();
         assert!(report.timeline.is_empty());
     }
 }

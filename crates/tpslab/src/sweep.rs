@@ -21,11 +21,11 @@
 //!     ExperimentConfig::tiny_test(1, false),
 //!     ExperimentConfig::tiny_test(1, true),
 //! ];
-//! let reports = sweep::run_all(&configs, 2);
+//! let reports = sweep::run_all(&configs, 2).unwrap();
 //! assert_eq!(reports.len(), 2);
 //! ```
 
-use crate::{Experiment, ExperimentConfig, ExperimentReport};
+use crate::{Error, Experiment, ExperimentConfig, ExperimentReport};
 pub use par::{default_threads, map_parallel, map_parallel_timed, Timed};
 
 /// Runs every config and returns the reports in input order.
@@ -33,15 +33,39 @@ pub use par::{default_threads, map_parallel, map_parallel_timed, Timed};
 /// With `threads <= 1` the sweep runs serially on the calling thread;
 /// either way the reports are identical — parallelism only changes
 /// wall-clock time.
-#[must_use]
-pub fn run_all(configs: &[ExperimentConfig], threads: usize) -> Vec<ExperimentReport> {
-    map_parallel(configs, threads, Experiment::run)
+///
+/// # Errors
+///
+/// Validates every config up front and returns the first violation
+/// before any experiment runs, so a bad sweep point cannot waste the
+/// rest of the sweep's work.
+pub fn run_all(
+    configs: &[ExperimentConfig],
+    threads: usize,
+) -> Result<Vec<ExperimentReport>, Error> {
+    for config in configs {
+        config.validate()?;
+    }
+    Ok(map_parallel(configs, threads, |config| {
+        Experiment::run(config).expect("config was validated before the sweep started")
+    }))
 }
 
 /// [`run_all`], with per-run wall-clock timing attached.
-#[must_use]
-pub fn run_all_timed(configs: &[ExperimentConfig], threads: usize) -> Vec<Timed<ExperimentReport>> {
-    map_parallel_timed(configs, threads, Experiment::run)
+///
+/// # Errors
+///
+/// Same up-front validation as [`run_all`].
+pub fn run_all_timed(
+    configs: &[ExperimentConfig],
+    threads: usize,
+) -> Result<Vec<Timed<ExperimentReport>>, Error> {
+    for config in configs {
+        config.validate()?;
+    }
+    Ok(map_parallel_timed(configs, threads, |config| {
+        Experiment::run(config).expect("config was validated before the sweep started")
+    }))
 }
 
 #[cfg(test)]
@@ -66,8 +90,8 @@ mod tests {
             ExperimentConfig::tiny_test(2, false).with_seed(77),
             ExperimentConfig::tiny_test(3, true).with_seed(99),
         ];
-        let serial = run_all(&configs, 1);
-        let parallel = run_all(&configs, 4);
+        let serial = run_all(&configs, 1).unwrap();
+        let parallel = run_all(&configs, 4).unwrap();
         assert_eq!(serial.len(), parallel.len());
         for (a, b) in serial.iter().zip(&parallel) {
             assert_eq!(a.breakdown, b.breakdown);
@@ -78,9 +102,21 @@ mod tests {
     }
 
     #[test]
+    fn sweeps_reject_invalid_configs_up_front() {
+        let mut bad = ExperimentConfig::tiny_test(1, false);
+        bad.duration_seconds = 0;
+        let configs = vec![ExperimentConfig::tiny_test(1, false), bad];
+        assert_eq!(
+            run_all(&configs, 2).unwrap_err(),
+            crate::Error::ZeroDuration
+        );
+        assert!(run_all_timed(&configs, 2).is_err());
+    }
+
+    #[test]
     fn timed_runs_record_nonzero_wall_clock() {
         let configs = vec![ExperimentConfig::tiny_test(1, false)];
-        let timed = run_all_timed(&configs, 2);
+        let timed = run_all_timed(&configs, 2).unwrap();
         assert_eq!(timed.len(), 1);
         assert!(timed[0].wall > Duration::ZERO);
         assert!(timed[0].value.resident_mib > 0.0);

@@ -1,0 +1,584 @@
+//! The request-driven traffic experiment runner.
+//!
+//! [`Experiment::run_traffic`] replaces the tick-scripted workload side
+//! of [`Experiment::run`] with the discrete-event engine from the
+//! [`traffic`] crate: seeded request arrivals on a scenario's offered-
+//! load curve drive allocation, GC pressure, JIT warm-up and page
+//! dirtying in the guest JVMs, while fleet-churn events (rolling-deploy
+//! restarts, autoscale add/remove) reshape the fleet mid-run. The KSM
+//! scanner runs exactly as in the tick model — the experiment measures
+//! how stable its sharing stays under realistic traffic.
+//!
+//! Costs follow the engine's invariant: a guest only pays when an event
+//! addresses it. Kernel background churn is batched — each guest
+//! remembers the last tick it was advanced to and catches up in one
+//! [`tick_many`](oskernel::GuestOs::tick_many) call at its next event —
+//! so a fleet that is mostly idle costs O(pending events), not
+//! O(guests), per tick. Reports are byte-identical at any `threads`
+//! setting and across platforms (see DESIGN.md §11).
+
+use crate::run::{boot_world, cold_estimate_mib, mix, JVM_VERSION};
+use crate::{Error, Experiment, ExperimentConfig};
+use analysis::GuestView;
+use cds::SharedClassCache;
+use hypervisor::{KvmHost, PagingModel};
+use jvm::{JavaVm, JvmConfig, RequestCost};
+use ksm::{KsmScanner, KsmStats};
+use mem::Tick;
+use obs::EventKind;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use traffic::{Scenario, TrafficEngine, TrafficSpec};
+use workloads::{Workload, WorkloadEvent};
+
+/// Seconds between sharing samples in a traffic run.
+const SAMPLE_SECONDS: u64 = 10;
+
+/// One sharing/throughput sample of a traffic run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrafficSample {
+    /// Simulated seconds since the start of the run.
+    pub seconds: f64,
+    /// Guests running a JVM at the sample point.
+    pub active_guests: usize,
+    /// Requests offered fleet-wide since the previous sample.
+    pub offered: u64,
+    /// Requests served fleet-wide since the previous sample.
+    pub served: u64,
+    /// `pages_sharing` at the sample point (freshly recounted).
+    pub pages_sharing: u64,
+}
+
+/// What a traffic run reports: throughput under over-commit versus the
+/// offered load, fleet churn counts, and how stable KSM's sharing stayed
+/// while traffic reshaped guest memory.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrafficReport {
+    /// Scenario name ([`Scenario::name`]).
+    pub scenario: String,
+    /// Initial fleet size.
+    pub guests: usize,
+    /// Run length, seconds.
+    pub duration_seconds: u64,
+    /// Requests offered fleet-wide over the whole run.
+    pub offered: u64,
+    /// Requests served fleet-wide over the whole run.
+    pub served: u64,
+    /// Requests shed (offered while over capacity or with no JVM).
+    pub dropped: u64,
+    /// Rolling-deploy JVM restarts performed.
+    pub restarts: u64,
+    /// Autoscale guest additions performed.
+    pub scale_ups: u64,
+    /// Autoscale guest drains performed.
+    pub scale_downs: u64,
+    /// Mean served throughput, requests/sec over the run.
+    pub throughput_rps: f64,
+    /// Sharing stability over the second half of the run:
+    /// `1 − mean |Δ pages_sharing| / mean pages_sharing` across samples,
+    /// clamped to `[0, 1]`. `1.0` means sharing held perfectly steady
+    /// under the traffic; rolling deploys and flash crowds push it down.
+    pub sharing_stability: f64,
+    /// Final host-resident memory, MiB.
+    pub resident_mib: f64,
+    /// Final KSM counters (freshly recounted).
+    pub ksm: KsmStats,
+    /// Per-interval samples, every [`SAMPLE_SECONDS`].
+    pub samples: Vec<TrafficSample>,
+}
+
+impl TrafficReport {
+    /// Renders the report as the deterministic text table pinned by
+    /// `tests/golden/traffic.txt`.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "traffic {} | {} guests | {} s",
+            self.scenario, self.guests, self.duration_seconds
+        );
+        let _ = writeln!(
+            out,
+            "offered {} | served {} | shed {} | throughput {:.2} r/s",
+            self.offered, self.served, self.dropped, self.throughput_rps
+        );
+        let _ = writeln!(
+            out,
+            "restarts {} | scale-ups {} | scale-downs {}",
+            self.restarts, self.scale_ups, self.scale_downs
+        );
+        let _ = writeln!(
+            out,
+            "sharing stability {:.3} | final pages_sharing {} | resident {:.1} MiB",
+            self.sharing_stability, self.ksm.pages_sharing, self.resident_mib
+        );
+        let _ = writeln!(
+            out,
+            "{:>8} {:>7} {:>8} {:>7} {:>8}",
+            "seconds", "active", "offered", "served", "sharing"
+        );
+        for s in &self.samples {
+            let _ = writeln!(
+                out,
+                "{:>8.0} {:>7} {:>8} {:>7} {:>8}",
+                s.seconds, s.active_guests, s.offered, s.served, s.pages_sharing
+            );
+        }
+        out
+    }
+}
+
+/// Mutable per-guest traffic state the event sink maintains.
+struct GuestSlot {
+    /// The JVM currently running in this guest, if any.
+    java: Option<JavaVm>,
+    /// JVM launch generation (bumps the process salt on restart).
+    generation: u64,
+    /// Last tick this guest's kernel background churn was advanced to.
+    churned_to: u64,
+    /// Per-request memory cost for this guest's workload.
+    cost: RequestCost,
+}
+
+impl Experiment {
+    /// Runs `config`'s fleet under `scenario`'s request traffic instead
+    /// of the tick-scripted workload. Deterministic in `config.seed` and
+    /// byte-identical at any `config.threads`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`Error`] when the configuration is not runnable
+    /// (see [`ExperimentConfig::validate`]).
+    pub fn run_traffic(
+        config: &ExperimentConfig,
+        scenario: &Scenario,
+    ) -> Result<TrafficReport, Error> {
+        config.validate()?;
+        let healthy_rps = config.guests[0].benchmark.drive.healthy_rps();
+        let startup_seconds = config
+            .guests
+            .iter()
+            .map(|g| g.benchmark.profile.class_load_seconds)
+            .fold(0.0_f64, f64::max)
+            .ceil() as u64;
+        let mut engine = TrafficEngine::new(TrafficSpec {
+            scenario: *scenario,
+            guests: config.guests.len(),
+            healthy_rps,
+            startup_seconds: startup_seconds.max(1),
+            duration_seconds: config.duration_seconds,
+            seed: config.seed,
+        });
+
+        let (mut host, javas, caches) = boot_world(config);
+        // Keep the serialized cache images around: deploy restarts and
+        // autoscale relaunches hand each fresh JVM its own byte-identical
+        // copy, re-creating the CDS merge opportunity the paper measures.
+        let cache_images: HashMap<u64, Vec<u8>> =
+            caches.iter().map(|(&id, c)| (id, c.to_bytes())).collect();
+        let mut slots: Vec<GuestSlot> = javas
+            .into_iter()
+            .enumerate()
+            .map(|(i, java)| {
+                let bench = &config.guests[i].benchmark;
+                let mut cost = bench.drive.request_cost(&bench.profile);
+                if i == 0 {
+                    if let Some(factor) = scenario.noisy_factor {
+                        cost = cost.scaled(factor);
+                    }
+                }
+                GuestSlot {
+                    java: Some(java),
+                    generation: 0,
+                    churned_to: 0,
+                    cost,
+                }
+            })
+            .collect();
+        let cold_per_guest: Vec<f64> = config
+            .guests
+            .iter()
+            .map(|g| cold_estimate_mib(config, g))
+            .collect();
+
+        let audit_enabled = config.audit || cfg!(debug_assertions);
+        let mut scanner = KsmScanner::new(config.ksm.warmup).with_threads(config.threads);
+        let warmup_end = Tick::from_seconds(config.ksm.warmup_seconds as f64);
+        let end = Tick::from_seconds(config.duration_seconds as f64);
+        let sample_ticks = SAMPLE_SECONDS * u64::from(mem::TICKS_PER_SECOND as u32);
+        let mut switched = false;
+
+        // The per-second capacity model: memory pressure inflates service
+        // times, shrinking how many of the offered requests a guest can
+        // serve. Recomputed lazily once per second (`resident_mib` walks
+        // frame counters, not pages, so this is cheap but not free).
+        let mut slowdown_cache: (u64, f64) = (u64::MAX, 1.0);
+
+        let mut report = TrafficReport {
+            scenario: scenario.name.to_string(),
+            guests: config.guests.len(),
+            duration_seconds: config.duration_seconds,
+            offered: 0,
+            served: 0,
+            dropped: 0,
+            restarts: 0,
+            scale_ups: 0,
+            scale_downs: 0,
+            throughput_rps: 0.0,
+            sharing_stability: 0.0,
+            resident_mib: 0.0,
+            ksm: KsmStats::default(),
+            samples: Vec::new(),
+        };
+        let (mut window_offered, mut window_served) = (0u64, 0u64);
+
+        for t in 1..=end.0 {
+            let now = Tick(t);
+            for (at, event) in engine.events_until(now) {
+                apply_event(
+                    config,
+                    &cache_images,
+                    &mut host,
+                    &mut slots,
+                    &cold_per_guest,
+                    &mut slowdown_cache,
+                    healthy_rps,
+                    at,
+                    event,
+                    &mut report,
+                    &mut window_offered,
+                    &mut window_served,
+                );
+            }
+            if !switched && now >= warmup_end {
+                scanner.set_params(config.ksm.steady);
+                switched = true;
+            }
+            scanner.run(host.mm_mut(), now);
+            if t % sample_ticks == 0 || t == end.0 {
+                scanner.recount(host.mm());
+                if audit_enabled {
+                    audit_traffic(&host, &slots, &scanner);
+                }
+                report.samples.push(TrafficSample {
+                    seconds: now.as_seconds(),
+                    active_guests: slots.iter().filter(|s| s.java.is_some()).count(),
+                    offered: window_offered,
+                    served: window_served,
+                    pages_sharing: scanner.stats().pages_sharing,
+                });
+                (window_offered, window_served) = (0, 0);
+                if t == end.0 {
+                    break;
+                }
+            }
+        }
+
+        // Settle kernel churn for every still-active guest so the final
+        // accounting does not depend on who happened to get the last
+        // request (one batched call per guest, once per run).
+        for (guest, slot) in slots.iter_mut().enumerate() {
+            if slot.java.is_some() {
+                catch_up_kernel(&mut host, slot, guest, end);
+            }
+        }
+        scanner.recount(host.mm());
+        if audit_enabled {
+            audit_traffic(&host, &slots, &scanner);
+        }
+
+        report.ksm = scanner.stats();
+        report.resident_mib = host.resident_mib();
+        report.throughput_rps = report.served as f64 / config.duration_seconds as f64;
+        report.sharing_stability = stability(&report.samples);
+        Ok(report)
+    }
+}
+
+/// Applies one workload event to the world, updating the report tallies.
+#[allow(clippy::too_many_arguments)]
+fn apply_event(
+    config: &ExperimentConfig,
+    cache_images: &HashMap<u64, Vec<u8>>,
+    host: &mut KvmHost,
+    slots: &mut [GuestSlot],
+    cold_per_guest: &[f64],
+    slowdown_cache: &mut (u64, f64),
+    healthy_rps: f64,
+    at: Tick,
+    event: WorkloadEvent,
+    report: &mut TrafficReport,
+    window_offered: &mut u64,
+    window_served: &mut u64,
+) {
+    match event {
+        WorkloadEvent::StartupTick { guest } => {
+            let Some(mut java) = slots[guest].java.take() else {
+                return;
+            };
+            catch_up_kernel(host, &mut slots[guest], guest, at);
+            let (mm, g) = host.mm_and_guest_mut(guest);
+            java.advance_startup(mm, &mut g.os, at);
+            slots[guest].java = Some(java);
+        }
+        WorkloadEvent::Requests { guest, offered } => {
+            report.offered += offered;
+            *window_offered += offered;
+            let Some(mut java) = slots[guest].java.take() else {
+                // A drained guest sheds everything still routed to it
+                // in the hand-off second.
+                report.dropped += offered;
+                return;
+            };
+            let second = (at.0 - 1) / u64::from(mem::TICKS_PER_SECOND as u32);
+            if slowdown_cache.0 != second {
+                let cold: f64 = slots
+                    .iter()
+                    .zip(cold_per_guest)
+                    .filter(|(s, _)| s.java.is_some())
+                    .map(|(_, c)| c)
+                    .sum::<f64>()
+                    + cold_per_guest[guest];
+                *slowdown_cache = (
+                    second,
+                    PagingModel::default().slowdown(
+                        host.resident_mib(),
+                        config.host.ram_mib,
+                        config.host.reserve_mib,
+                        cold,
+                    ),
+                );
+            }
+            // Capacity: one healthy second of service, inflated by the
+            // memory-pressure slowdown. Offered load past it is shed.
+            let capacity = (healthy_rps * slowdown_cache.1).ceil().max(1.0) as u64;
+            let served = offered.min(capacity);
+            let dropped = offered - served;
+            catch_up_kernel(host, &mut slots[guest], guest, at);
+            let (mm, g) = host.mm_and_guest_mut(guest);
+            java.serve_requests(mm, &mut g.os, &slots[guest].cost, served, at);
+            mm.tracer().set_now(at.0);
+            mm.tracer().emit_with(|| EventKind::RequestServe {
+                pid: java.pid().0,
+                served,
+                dropped,
+            });
+            slots[guest].java = Some(java);
+            report.served += served;
+            report.dropped += dropped;
+            *window_served += served;
+        }
+        WorkloadEvent::RestartGuest { guest } => {
+            report.restarts += 1;
+            relaunch(config, cache_images, host, slots, guest, at);
+        }
+        WorkloadEvent::AddGuest { guest } => {
+            report.scale_ups += 1;
+            if slots[guest].java.is_none() {
+                // Skip the idle gap: a drained guest's kernel was
+                // quiesced, not accruing churn debt.
+                slots[guest].churned_to = at.0;
+                relaunch(config, cache_images, host, slots, guest, at);
+            }
+        }
+        WorkloadEvent::RemoveGuest { guest } => {
+            report.scale_downs += 1;
+            if let Some(java) = slots[guest].java.take() {
+                catch_up_kernel(host, &mut slots[guest], guest, at);
+                let (mm, g) = host.mm_and_guest_mut(guest);
+                g.os.kill(mm, java.pid());
+            }
+        }
+        WorkloadEvent::Phase { phase, offered_rps } => {
+            let tracer = host.mm().tracer();
+            tracer.set_now(at.0);
+            tracer.emit_with(|| EventKind::TrafficPhase {
+                phase,
+                offered_rps: offered_rps.round() as u64,
+            });
+        }
+    }
+}
+
+/// Kills the guest's current JVM (if any) and launches a fresh one with
+/// a new process salt and its own copy of the shared class cache.
+fn relaunch(
+    config: &ExperimentConfig,
+    cache_images: &HashMap<u64, Vec<u8>>,
+    host: &mut KvmHost,
+    slots: &mut [GuestSlot],
+    guest: usize,
+    at: Tick,
+) {
+    catch_up_kernel(host, &mut slots[guest], guest, at);
+    let spec = &config.guests[guest];
+    let slot = &mut slots[guest];
+    slot.generation += 1;
+    let (mm, g) = host.mm_and_guest_mut(guest);
+    if let Some(java) = slot.java.take() {
+        g.os.kill(mm, java.pid());
+    }
+    let mut cfg = JvmConfig::new(
+        JVM_VERSION,
+        mix(config.seed, 0x9a17 ^ (slot.generation << 16), guest as u64),
+    );
+    // The fresh process re-reads its guest's cache file: a byte-identical
+    // copy decoded from the same master image the boot used.
+    if let Some(bytes) = cache_images.get(&spec.benchmark.profile.workload_id) {
+        let copy = SharedClassCache::from_bytes(bytes).expect("cache image decodes");
+        cfg = cfg.with_shared_cache(copy);
+    }
+    slot.java = Some(JavaVm::launch(
+        mm,
+        &mut g.os,
+        cfg,
+        spec.benchmark.profile.clone(),
+        at,
+    ));
+}
+
+/// Advances a guest's kernel background churn from wherever it last ran
+/// to `at`, in one batched call.
+fn catch_up_kernel(host: &mut KvmHost, slot: &mut GuestSlot, guest: usize, at: Tick) {
+    let ticks = at.0.saturating_sub(slot.churned_to);
+    if ticks == 0 {
+        return;
+    }
+    let (mm, g) = host.mm_and_guest_mut(guest);
+    g.os.tick_many(mm, at, ticks as u32);
+    slot.churned_to = at.0;
+}
+
+/// The cross-layer conservation audit over a traffic-run world, where
+/// drained guests have no JVM process.
+fn audit_traffic(host: &KvmHost, slots: &[GuestSlot], scanner: &KsmScanner) {
+    let views: Vec<GuestView<'_>> = host
+        .guests()
+        .iter()
+        .zip(slots)
+        .map(|(g, slot)| {
+            let pids = slot.java.as_ref().map(|j| j.pid()).into_iter().collect();
+            GuestView::new(&g.name, &g.os, pids)
+        })
+        .collect();
+    let world = audit::World {
+        mm: host.mm(),
+        guests: views,
+        scanner: Some(scanner),
+    };
+    if let Err(violation) = audit::check_world(&world) {
+        panic!("memory-accounting audit failed under traffic: {violation}");
+    }
+}
+
+/// Sharing stability over the second half of the samples: how little
+/// `pages_sharing` moved between consecutive samples once the fleet
+/// warmed up, as `1 − mean |Δ| / mean level`, clamped to `[0, 1]`.
+fn stability(samples: &[TrafficSample]) -> f64 {
+    let tail = &samples[samples.len() / 2..];
+    if tail.len() < 2 {
+        return 1.0;
+    }
+    let mean = tail.iter().map(|s| s.pages_sharing as f64).sum::<f64>() / tail.len() as f64;
+    if mean <= 0.0 {
+        return 1.0;
+    }
+    let mean_delta = tail
+        .windows(2)
+        .map(|w| (w[1].pages_sharing as f64 - w[0].pages_sharing as f64).abs())
+        .sum::<f64>()
+        / (tail.len() - 1) as f64;
+    (1.0 - mean_delta / mean).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(n: usize, seconds: u64) -> ExperimentConfig {
+        ExperimentConfig::tiny_test(n, true).with_duration_seconds(seconds)
+    }
+
+    #[test]
+    fn constant_traffic_serves_most_of_the_offered_load() {
+        let report = Experiment::run_traffic(&cfg(2, 60), &Scenario::constant()).unwrap();
+        assert!(report.offered > 0);
+        assert!(report.served > 0);
+        assert!(
+            report.served as f64 >= 0.5 * report.offered as f64,
+            "served {} of {}",
+            report.served,
+            report.offered
+        );
+        assert_eq!(report.offered, report.served + report.dropped);
+        assert!(report.ksm.pages_sharing > 0);
+        assert_eq!(report.samples.len(), 6);
+    }
+
+    #[test]
+    fn traffic_runs_are_deterministic_and_thread_independent() {
+        let base = cfg(2, 60);
+        let scenario = Scenario::flash_crowd(60);
+        let a = Experiment::run_traffic(&base, &scenario).unwrap();
+        let b = Experiment::run_traffic(&base, &scenario).unwrap();
+        assert_eq!(a, b);
+        let threaded = Experiment::run_traffic(&base.clone().with_threads(4), &scenario).unwrap();
+        assert_eq!(a.render(), threaded.render());
+        assert_eq!(a, threaded);
+    }
+
+    #[test]
+    fn rolling_deploy_restarts_and_recovers_sharing() {
+        let scenario = Scenario::rolling_deploy(90, 3);
+        let report = Experiment::run_traffic(&cfg(3, 90), &scenario).unwrap();
+        assert_eq!(report.restarts, 3);
+        assert!(
+            report.ksm.pages_sharing > 0,
+            "sharing re-merged after waves"
+        );
+    }
+
+    #[test]
+    fn autoscale_changes_the_active_fleet() {
+        let scenario = Scenario::autoscale(90, 4);
+        let report = Experiment::run_traffic(&cfg(4, 90), &scenario).unwrap();
+        assert!(report.scale_downs > 0);
+        assert!(report.scale_ups > 0);
+        let active: Vec<usize> = report.samples.iter().map(|s| s.active_guests).collect();
+        assert!(
+            active.iter().any(|&a| a < 4),
+            "active never dipped: {active:?}"
+        );
+    }
+
+    #[test]
+    fn noisy_neighbor_serves_with_scaled_cost() {
+        let report = Experiment::run_traffic(&cfg(2, 60), &Scenario::noisy_neighbor()).unwrap();
+        assert!(report.served > 0);
+    }
+
+    #[test]
+    fn invalid_configs_yield_typed_errors() {
+        let mut empty = cfg(2, 60);
+        empty.guests.clear();
+        assert_eq!(
+            Experiment::run_traffic(&empty, &Scenario::constant()).unwrap_err(),
+            Error::NoGuests
+        );
+        let zero = cfg(2, 0);
+        assert_eq!(
+            Experiment::run_traffic(&zero, &Scenario::constant()).unwrap_err(),
+            Error::ZeroDuration
+        );
+    }
+
+    #[test]
+    fn report_renders_golden_shaped_text() {
+        let report = Experiment::run_traffic(&cfg(1, 30), &Scenario::constant()).unwrap();
+        let text = report.render();
+        assert!(text.starts_with("traffic constant | 1 guests | 30 s\n"));
+        assert!(text.contains("sharing stability"));
+        assert!(text.lines().count() >= 7, "got:\n{text}");
+    }
+}

@@ -1,0 +1,182 @@
+//! Deterministic offered-load curves.
+
+use mem::Fingerprint;
+
+/// An offered-load curve: the fleet's demand over time, expressed as a
+/// *load factor* — a multiple of one guest's healthy request rate, per
+/// active guest. A factor of `1.0` offers every guest exactly the load
+/// its closed-loop clients would in the tick model; `0.0` is idle.
+///
+/// All shapes are piecewise linear (the diurnal wave is a triangle, not
+/// a sinusoid) so every rate is exact in binary floating point and the
+/// engine's arrival counts are bit-identical across platforms — no libm
+/// transcendentals whose last-ulp behaviour could differ.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalCurve {
+    /// Steady offered load.
+    Constant {
+        /// Load factor for the whole run.
+        factor: f64,
+    },
+    /// A day/night cycle: the factor climbs linearly from `trough` to
+    /// `peak` over the first half of each period and back down over the
+    /// second half.
+    Diurnal {
+        /// Load factor at the bottom of the cycle.
+        trough: f64,
+        /// Load factor at the top of the cycle.
+        peak: f64,
+        /// Full cycle length, seconds.
+        period_seconds: u64,
+    },
+    /// Steady load with one sudden spike: `base` everywhere except
+    /// `[spike_start, spike_start + spike_seconds)`, where the factor
+    /// jumps to `spike`.
+    FlashCrowd {
+        /// Load factor outside the spike.
+        base: f64,
+        /// Load factor during the spike.
+        spike: f64,
+        /// Second the spike begins.
+        spike_start: u64,
+        /// Spike length, seconds.
+        spike_seconds: u64,
+    },
+}
+
+impl ArrivalCurve {
+    /// The load factor during second `second` (constant within the
+    /// second; the engine batches arrivals at one-second granularity).
+    #[must_use]
+    pub fn factor_at(&self, second: u64) -> f64 {
+        match *self {
+            ArrivalCurve::Constant { factor } => factor,
+            ArrivalCurve::Diurnal {
+                trough,
+                peak,
+                period_seconds,
+            } => {
+                let period = period_seconds.max(2);
+                let pos = second % period;
+                let half = period / 2;
+                // Rising edge then falling edge: a triangle wave.
+                let frac = if pos < half {
+                    pos as f64 / half as f64
+                } else {
+                    (period - pos) as f64 / (period - half) as f64
+                };
+                trough + (peak - trough) * frac
+            }
+            ArrivalCurve::FlashCrowd {
+                base,
+                spike,
+                spike_start,
+                spike_seconds,
+            } => {
+                if (spike_start..spike_start + spike_seconds).contains(&second) {
+                    spike
+                } else {
+                    base
+                }
+            }
+        }
+    }
+
+    /// The phase ordinal second `second` falls in — constant curves have
+    /// one phase, a flash crowd three (before / spike / after), a
+    /// diurnal wave two per period (rising / falling). Phase changes
+    /// are emitted to the trace so `explain` can attribute merge misses
+    /// to the traffic phase they happened in.
+    #[must_use]
+    pub fn phase_at(&self, second: u64) -> u32 {
+        match *self {
+            ArrivalCurve::Constant { .. } => 0,
+            ArrivalCurve::Diurnal { period_seconds, .. } => {
+                let period = period_seconds.max(2);
+                let cycle = (second / period) as u32;
+                let rising = u32::from(second % period >= period / 2);
+                cycle * 2 + rising
+            }
+            ArrivalCurve::FlashCrowd {
+                spike_start,
+                spike_seconds,
+                ..
+            } => {
+                if second < spike_start {
+                    0
+                } else if second < spike_start + spike_seconds {
+                    1
+                } else {
+                    2
+                }
+            }
+        }
+    }
+}
+
+/// Deterministic per-guest arrival jitter for second `second`: a factor
+/// in `[0.9, 1.1)` derived from the seed, so equal-load guests do not
+/// receive byte-identical request streams yet every run with the same
+/// seed reproduces exactly.
+#[must_use]
+pub fn jitter(seed: u64, guest: usize, second: u64) -> f64 {
+    let h = Fingerprint::of(&[0x7a_ff1c, seed, guest as u64, second]).as_u128() as u64;
+    0.9 + (h % 1000) as f64 / 5000.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_is_flat() {
+        let c = ArrivalCurve::Constant { factor: 0.7 };
+        assert_eq!(c.factor_at(0), 0.7);
+        assert_eq!(c.factor_at(10_000), 0.7);
+        assert_eq!(c.phase_at(10_000), 0);
+    }
+
+    #[test]
+    fn diurnal_triangle_peaks_mid_period() {
+        let c = ArrivalCurve::Diurnal {
+            trough: 0.2,
+            peak: 1.0,
+            period_seconds: 100,
+        };
+        assert_eq!(c.factor_at(0), 0.2);
+        assert_eq!(c.factor_at(50), 1.0);
+        assert!((c.factor_at(25) - 0.6).abs() < 1e-12);
+        // Second period repeats the first.
+        assert_eq!(c.factor_at(125), c.factor_at(25));
+        // Rising vs falling halves are distinct phases.
+        assert_ne!(c.phase_at(25), c.phase_at(75));
+        assert_eq!(c.phase_at(25) + 2, c.phase_at(125));
+    }
+
+    #[test]
+    fn flash_crowd_spikes_exactly_in_window() {
+        let c = ArrivalCurve::FlashCrowd {
+            base: 0.5,
+            spike: 3.0,
+            spike_start: 60,
+            spike_seconds: 30,
+        };
+        assert_eq!(c.factor_at(59), 0.5);
+        assert_eq!(c.factor_at(60), 3.0);
+        assert_eq!(c.factor_at(89), 3.0);
+        assert_eq!(c.factor_at(90), 0.5);
+        assert_eq!((c.phase_at(0), c.phase_at(70), c.phase_at(90)), (0, 1, 2));
+    }
+
+    #[test]
+    fn jitter_is_seeded_and_bounded() {
+        for g in 0..8 {
+            for s in 0..50 {
+                let j = jitter(42, g, s);
+                assert!((0.9..1.1).contains(&j), "jitter {j}");
+                assert_eq!(j, jitter(42, g, s));
+            }
+        }
+        assert_ne!(jitter(42, 0, 1), jitter(43, 0, 1));
+    }
+}

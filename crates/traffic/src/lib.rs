@@ -1,0 +1,48 @@
+//! The discrete-event request traffic engine.
+//!
+//! The paper's subject is a Java web application whose page-sharing
+//! opportunity is continuously created and destroyed by real traffic.
+//! This crate replaces the old tick-scripted workload side with a
+//! deterministic discrete-event engine: seeded request arrivals on
+//! diurnal / flash-crowd / constant curves, fleet-churn scenarios
+//! (rolling deploys, noisy neighbor, autoscaling), all expanded into
+//! typed [`WorkloadEvent`](workloads::WorkloadEvent)s that the
+//! experiment layer applies to guest JVMs.
+//!
+//! Design invariants (DESIGN.md §11):
+//!
+//! * **Deterministic.** No RNG state, no transcendental math; arrivals
+//!   derive from piecewise-linear curves plus fingerprint-hash jitter.
+//!   The same [`TrafficSpec`] yields the same event stream, byte for
+//!   byte, on every platform and at every thread count.
+//! * **Idle is free.** Cost is O(pending events): idle guests have no
+//!   queue entries, a zero-load tail schedules nothing at all.
+//!
+//! # Example
+//!
+//! ```
+//! use traffic::{Scenario, TrafficEngine, TrafficSpec};
+//! use mem::Tick;
+//!
+//! let mut engine = TrafficEngine::new(TrafficSpec {
+//!     scenario: Scenario::flash_crowd(120),
+//!     guests: 2,
+//!     healthy_rps: 10.0,
+//!     startup_seconds: 5,
+//!     duration_seconds: 120,
+//!     seed: 42,
+//! });
+//! let events = engine.events_until(Tick::from_seconds(120.0));
+//! assert!(!events.is_empty());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod curve;
+mod engine;
+mod scenario;
+
+pub use curve::ArrivalCurve;
+pub use engine::{TrafficEngine, TrafficSpec};
+pub use scenario::{AutoscalePolicy, DeploySchedule, Scenario};

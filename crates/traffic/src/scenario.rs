@@ -1,0 +1,196 @@
+//! First-class fleet traffic scenarios.
+
+use crate::curve::ArrivalCurve;
+
+/// A rolling-deploy schedule: the fleet restarts in waves, each wave
+/// killing and relaunching `wave_size` guests' JVMs. Fresh processes
+/// re-map the shared class cache, re-creating the CDS merge opportunity
+/// the paper measures — the scenario exercises how fast KSM re-merges it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeploySchedule {
+    /// Second of the first wave.
+    pub start_seconds: u64,
+    /// Seconds between wave starts.
+    pub wave_interval_seconds: u64,
+    /// Guests restarted per wave.
+    pub wave_size: usize,
+}
+
+/// An autoscaling policy: the active guest count tracks offered load,
+/// one scale decision per second.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AutoscalePolicy {
+    /// Never drain below this many guests.
+    pub min_guests: usize,
+    /// Never boot beyond this many guests.
+    pub max_guests: usize,
+}
+
+/// A complete traffic scenario: the offered-load curve plus optional
+/// fleet-churn behaviours layered on top.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Scenario {
+    /// Name used in reports, goldens and the CLI `--scenario` flag.
+    pub name: &'static str,
+    /// The offered-load curve.
+    pub curve: ArrivalCurve,
+    /// Rolling-deploy restart waves, if any.
+    pub deploy: Option<DeploySchedule>,
+    /// Noisy neighbor: guest 0's per-request memory work is scaled by
+    /// this factor (its churn inflates, dividing merged pages faster).
+    pub noisy_factor: Option<f64>,
+    /// Autoscaling guest churn, if any.
+    pub autoscale: Option<AutoscalePolicy>,
+}
+
+impl Scenario {
+    /// Steady healthy load — the closest analogue of the old tick model.
+    #[must_use]
+    pub fn constant() -> Scenario {
+        Scenario {
+            name: "constant",
+            curve: ArrivalCurve::Constant { factor: 1.0 },
+            deploy: None,
+            noisy_factor: None,
+            autoscale: None,
+        }
+    }
+
+    /// A day/night cycle fitted to the run: two full periods over
+    /// `duration_seconds`, trough at 20 % of healthy load, peak at 125 %.
+    #[must_use]
+    pub fn diurnal(duration_seconds: u64) -> Scenario {
+        Scenario {
+            name: "diurnal",
+            curve: ArrivalCurve::Diurnal {
+                trough: 0.2,
+                peak: 1.25,
+                period_seconds: (duration_seconds / 2).max(2),
+            },
+            deploy: None,
+            noisy_factor: None,
+            autoscale: None,
+        }
+    }
+
+    /// Quiet load with a 2.5× spike through the middle sixth of the run.
+    #[must_use]
+    pub fn flash_crowd(duration_seconds: u64) -> Scenario {
+        Scenario {
+            name: "flash-crowd",
+            curve: ArrivalCurve::FlashCrowd {
+                base: 0.4,
+                spike: 2.5,
+                spike_start: duration_seconds / 3,
+                spike_seconds: (duration_seconds / 6).max(1),
+            },
+            deploy: None,
+            noisy_factor: None,
+            autoscale: None,
+        }
+    }
+
+    /// Steady load while the fleet restarts in four waves across the
+    /// middle half of the run.
+    #[must_use]
+    pub fn rolling_deploy(duration_seconds: u64, fleet: usize) -> Scenario {
+        Scenario {
+            name: "rolling-deploy",
+            curve: ArrivalCurve::Constant { factor: 0.8 },
+            deploy: Some(DeploySchedule {
+                start_seconds: duration_seconds / 4,
+                wave_interval_seconds: (duration_seconds / 8).max(1),
+                wave_size: fleet.div_ceil(4).max(1),
+            }),
+            noisy_factor: None,
+            autoscale: None,
+        }
+    }
+
+    /// Healthy load with guest 0 doing 4× the per-request memory work.
+    #[must_use]
+    pub fn noisy_neighbor() -> Scenario {
+        Scenario {
+            name: "noisy-neighbor",
+            curve: ArrivalCurve::Constant { factor: 1.0 },
+            deploy: None,
+            noisy_factor: Some(4.0),
+            autoscale: None,
+        }
+    }
+
+    /// A diurnal cycle with the fleet autoscaling between one guest and
+    /// the full fleet as load moves.
+    #[must_use]
+    pub fn autoscale(duration_seconds: u64, fleet: usize) -> Scenario {
+        Scenario {
+            name: "autoscale",
+            curve: ArrivalCurve::Diurnal {
+                trough: 0.15,
+                peak: 1.25,
+                period_seconds: (duration_seconds / 2).max(2),
+            },
+            deploy: None,
+            noisy_factor: None,
+            autoscale: Some(AutoscalePolicy {
+                min_guests: 1,
+                max_guests: fleet,
+            }),
+        }
+    }
+
+    /// Looks a scenario up by its CLI name.
+    #[must_use]
+    pub fn by_name(name: &str, duration_seconds: u64, fleet: usize) -> Option<Scenario> {
+        match name {
+            "constant" => Some(Scenario::constant()),
+            "diurnal" => Some(Scenario::diurnal(duration_seconds)),
+            "flash-crowd" => Some(Scenario::flash_crowd(duration_seconds)),
+            "rolling-deploy" => Some(Scenario::rolling_deploy(duration_seconds, fleet)),
+            "noisy-neighbor" => Some(Scenario::noisy_neighbor()),
+            "autoscale" => Some(Scenario::autoscale(duration_seconds, fleet)),
+            _ => None,
+        }
+    }
+
+    /// Every scenario name [`by_name`](Self::by_name) accepts.
+    pub const NAMES: [&'static str; 6] = [
+        "constant",
+        "diurnal",
+        "flash-crowd",
+        "rolling-deploy",
+        "noisy-neighbor",
+        "autoscale",
+    ];
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_name_resolves_and_round_trips() {
+        for name in Scenario::NAMES {
+            let s = Scenario::by_name(name, 120, 4).expect(name);
+            assert_eq!(s.name, name);
+        }
+        assert!(Scenario::by_name("bogus", 120, 4).is_none());
+    }
+
+    #[test]
+    fn rolling_deploy_covers_the_fleet() {
+        let s = Scenario::rolling_deploy(400, 10);
+        let d = s.deploy.unwrap();
+        assert_eq!(d.wave_size, 3);
+        assert_eq!(d.start_seconds, 100);
+        // Four waves of 3 cover all 10 guests.
+        assert!(d.wave_size * 4 >= 10);
+    }
+
+    #[test]
+    fn autoscale_bounds_are_sane() {
+        let s = Scenario::autoscale(200, 8);
+        let a = s.autoscale.unwrap();
+        assert_eq!((a.min_guests, a.max_guests), (1, 8));
+    }
+}

@@ -16,27 +16,34 @@
 //! with ≈110 MB of class metadata of which ≈100 MB is read-only and
 //! cache-eligible).
 //!
-//! [`ClientDriver`] and [`SlaModel`] turn the hypervisor's memory-pressure
-//! slowdown factor into the throughput numbers of Figs. 7–8.
+//! The [`Workload`] trait turns the hypervisor's memory-pressure slowdown
+//! factor into the throughput numbers of Figs. 7–8 (its [`DriveModel`]
+//! implementation covers the paper's closed-loop and injection-rate
+//! drivers), derives the per-request memory cost the traffic engine
+//! charges a JVM, and applies the [`SlaModel`]. Typed [`WorkloadEvent`]s
+//! carry request batches and guest-churn operations from the traffic
+//! engine to the experiment's world.
 //!
 //! # Example
 //!
 //! ```
-//! use workloads::{daytrader, Benchmark};
+//! use workloads::{daytrader, Benchmark, Workload};
 //!
-//! let profile = daytrader().profile;
-//! assert!((profile.heap.heap_mib - 530.0).abs() < 1.0);
-//! assert!(profile.footprint_mib() > 700.0);
+//! let b = daytrader();
+//! assert!((b.profile.heap.heap_mib - 530.0).abs() < 1.0);
+//! assert!(b.profile.footprint_mib() > 700.0);
+//! // 12 client threads on a 0.65 s cycle ⇒ ≈18.5 requests/s healthy.
+//! assert!((b.drive.healthy_rps() - 18.46).abs() < 0.01);
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-mod driver;
 mod presets;
+mod workload;
 
-pub use driver::{ClientDriver, SlaModel, SlaOutcome};
 pub use presets::{
     daytrader, daytrader_power, specjenterprise, specjenterprise_generational, tpcw, tuscany,
     Benchmark,
 };
+pub use workload::{DriveModel, SlaModel, SlaOutcome, Workload, WorkloadEvent};

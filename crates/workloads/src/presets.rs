@@ -1,16 +1,16 @@
 //! Table III presets.
 
-use crate::driver::ClientDriver;
+use crate::workload::DriveModel;
 use jvm::{AppProfile, GcPolicy, HeapProfile};
 
-/// A benchmark: the JVM-side profile plus its client driver and the
+/// A benchmark: the JVM-side profile plus its client drive model and the
 /// shared-class-cache size the paper configured for it.
 #[derive(Debug, Clone)]
 pub struct Benchmark {
     /// JVM/workload profile (class population, area sizes, heap).
     pub profile: AppProfile,
-    /// Client driver configuration.
-    pub driver: ClientDriver,
+    /// How the benchmark's clients drive it.
+    pub drive: DriveModel,
     /// `-Xshareclasses` cache size, MiB (Table III).
     pub cache_mib: f64,
 }
@@ -22,7 +22,7 @@ impl Benchmark {
     pub fn scaled(&self, divisor: f64) -> Benchmark {
         Benchmark {
             profile: self.profile.scaled(divisor),
-            driver: self.driver,
+            drive: self.drive,
             cache_mib: self.cache_mib / divisor,
         }
     }
@@ -82,7 +82,7 @@ pub fn daytrader() -> Benchmark {
                 untouched_fraction: 0.008,
             },
         ),
-        driver: ClientDriver::threads(12, 0.65),
+        drive: DriveModel::closed_loop(12, 0.65),
         cache_mib: 120.0,
     }
 }
@@ -95,7 +95,7 @@ pub fn daytrader_power() -> Benchmark {
     b.profile.name = "DayTrader/POWER".into();
     b.profile.heap.heap_mib = 1024.0;
     b.profile.heap.alloc_mib_per_sec = 40.0;
-    b.driver = ClientDriver::threads(25, 0.65);
+    b.drive = DriveModel::closed_loop(25, 0.65);
     b
 }
 
@@ -115,7 +115,7 @@ pub fn specjenterprise() -> Benchmark {
                 untouched_fraction: 0.008,
             },
         ),
-        driver: ClientDriver::injection_rate(15, 1.6),
+        drive: DriveModel::open_loop(15, 1.6),
         cache_mib: 120.0,
     }
 }
@@ -157,7 +157,7 @@ pub fn tpcw() -> Benchmark {
                 untouched_fraction: 0.008,
             },
         ),
-        driver: ClientDriver::threads(10, 1.9),
+        drive: DriveModel::closed_loop(10, 1.9),
         cache_mib: 120.0,
     }
 }
@@ -197,7 +197,7 @@ pub fn tuscany() -> Benchmark {
                 untouched_fraction: 0.012,
             },
         },
-        driver: ClientDriver::threads(7, 2.4),
+        drive: DriveModel::closed_loop(7, 2.4),
         cache_mib: 25.0,
     }
 }

@@ -24,8 +24,8 @@ fn main() {
         let cfg = ExperimentConfig::paper_overcommit_daytrader(n, scale)
             .with_duration_seconds(seconds)
             .with_ksm(KsmSchedule::compressed(scale, seconds));
-        let default = Experiment::run(&cfg);
-        let preload = Experiment::run(&cfg.clone().with_class_sharing());
+        let default = Experiment::run(&cfg).unwrap();
+        let preload = Experiment::run(&cfg.clone().with_class_sharing()).unwrap();
         let marker = |slowdown: f64| if slowdown < 0.5 { " <- collapsed" } else { "" };
         println!(
             "{:>4} {:>18.1}{:<4} {:>18.1}{:<4}",

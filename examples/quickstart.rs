@@ -14,9 +14,9 @@ fn main() {
     let preloaded = baseline.clone().with_class_sharing();
 
     println!("simulating 3 guests, baseline (no class sharing)…");
-    let base_report = Experiment::run(&baseline);
+    let base_report = Experiment::run(&baseline).unwrap();
     println!("simulating 3 guests, shared class cache copied to all…");
-    let cds_report = Experiment::run(&preloaded);
+    let cds_report = Experiment::run(&preloaded).unwrap();
 
     for (name, report) in [("baseline", &base_report), ("preloaded", &cds_report)] {
         println!("\n== {name} ==");

@@ -2,6 +2,7 @@
 //! execution, testable without spawning a process.
 
 use std::fmt::Write as _;
+use tpslab::traffic::Scenario;
 use tpslab::{Experiment, ExperimentConfig, GuestSpec, KsmSchedule, PowerVmExperiment};
 use workloads::Benchmark;
 
@@ -10,6 +11,8 @@ pub const USAGE: &str = "\
 usage:
   tps-java run     [--guests N] [--benchmark NAME] [--preset NAME] [--scale S] [--minutes M] [--preload]
                    [--csv] [--audit] [--trace FILE] [--profile] [--timeline S] [--threads N]
+  tps-java traffic [--scenario NAME] [--guests N] [--benchmark NAME] [--preset NAME] [--scale S]
+                   [--minutes M] [--preload] [--audit] [--threads N]
   tps-java explain [--guests N] [--benchmark NAME] [--preset NAME] [--scale S] [--minutes M] [--preload] [--top N]
   tps-java sweep   [--from N] [--to N] [--benchmark NAME] [--scale S] [--minutes M] [--audit]
   tps-java powervm [--scale S] [--minutes M]
@@ -18,6 +21,10 @@ benchmarks: daytrader | specjenterprise | tpcw | tuscany
 presets: scale32 | scale256 | scale1024 — fleet SPECjEnterprise
 configurations (preset fixes the benchmark and host; --guests overrides
 the guest count, validated against the preset's memory budget).
+scenarios: constant | diurnal | flash-crowd | rolling-deploy |
+noisy-neighbor | autoscale — `traffic` replaces the scripted tick
+workload with the discrete-event request engine and reports sharing
+stability and throughput versus offered load.
 --audit runs the cross-layer conservation audit at the end of each
 experiment (always on in debug builds) and aborts on any violation.
 --trace FILE writes the page-lifecycle event trace as JSONL; --profile
@@ -63,6 +70,7 @@ struct Opts {
     top: usize,
     timeline: Option<u64>,
     threads: usize,
+    scenario: String,
 }
 
 impl Default for Opts {
@@ -84,6 +92,7 @@ impl Default for Opts {
             top: 3,
             timeline: None,
             threads: 1,
+            scenario: "constant".into(),
         }
     }
 }
@@ -147,6 +156,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, CliError> {
                     .parse()
                     .map_err(|_| err("--threads: not a number"))?
             }
+            "--scenario" => opts.scenario = value("--scenario")?.clone(),
             other => return Err(err(format!("unknown option {other}"))),
         }
     }
@@ -185,30 +195,16 @@ fn benchmark_by_name(name: &str, scale: f64) -> Result<Benchmark, CliError> {
     Ok(bench.scaled(scale))
 }
 
-/// Builds the fleet preset named on the command line, resized to
-/// `guests` when the user overrode the count. An override is validated
-/// against the preset host's memory budget so a typo'd `--guests 100000`
-/// fails fast instead of producing a meaningless thrash-bound run.
+/// Builds the fleet preset named on the command line through the
+/// [`ExperimentConfig::preset`] builder, which owns the validation a
+/// typo'd `--preset` or an over-budget `--guests 100000` used to get
+/// from ad-hoc checks here: its typed error renders as the diagnostic.
 fn preset_config(opts: &Opts, name: &str, guests: usize) -> Result<ExperimentConfig, CliError> {
-    let mut cfg = match name {
-        "scale32" => ExperimentConfig::scale32(opts.scale),
-        "scale256" => ExperimentConfig::scale256(opts.scale),
-        "scale1024" => ExperimentConfig::scale1024(opts.scale),
-        other => return Err(err(format!("unknown preset {other} (see usage)"))),
-    };
+    let mut builder = ExperimentConfig::preset(name).scale(opts.scale);
     if opts.guests_explicit || guests != opts.guests {
-        let budget = cfg.max_guests_for_budget();
-        if guests > budget {
-            return Err(err(format!(
-                "--guests {guests} exceeds the {name} preset's memory budget \
-                 (max {budget} guests at {:.0}x over-commit)",
-                ExperimentConfig::MAX_OVERCOMMIT
-            )));
-        }
-        let spec = cfg.guests[0].clone();
-        cfg.guests = (0..guests).map(|_| spec.clone()).collect();
+        builder = builder.guests(guests);
     }
-    Ok(cfg)
+    builder.build().map_err(|e| err(e.to_string()))
 }
 
 fn config_for(opts: &Opts, guests: usize) -> Result<ExperimentConfig, CliError> {
@@ -258,6 +254,7 @@ pub fn dispatch(args: &[String]) -> Result<String, CliError> {
         .ok_or_else(|| err("missing subcommand"))?;
     match cmd.as_str() {
         "run" => cmd_run(&parse_opts(rest)?),
+        "traffic" => cmd_traffic(&parse_opts(rest)?),
         "explain" => cmd_explain(&parse_opts(rest)?),
         "sweep" => cmd_sweep(&parse_opts(rest)?),
         "powervm" => cmd_powervm(&parse_opts(rest)?),
@@ -275,7 +272,7 @@ fn cmd_run(opts: &Opts) -> Result<String, CliError> {
         cfg = cfg.with_profile();
     }
     let n_guests = cfg.guests.len();
-    let report = Experiment::run(&cfg);
+    let report = Experiment::run(&cfg).map_err(|e| err(e.to_string()))?;
     let mut out = String::new();
     if let Some(path) = &opts.trace {
         let log = report.trace.as_ref().expect("tracing was enabled");
@@ -335,6 +332,25 @@ fn cmd_run(opts: &Opts) -> Result<String, CliError> {
     Ok(out)
 }
 
+fn cmd_traffic(opts: &Opts) -> Result<String, CliError> {
+    let cfg = config_for(opts, opts.guests)?;
+    let scenario = Scenario::by_name(&opts.scenario, cfg.duration_seconds, cfg.guests.len())
+        .ok_or_else(|| err(tpslab::Error::UnknownScenario(opts.scenario.clone()).to_string()))?;
+    let n_guests = cfg.guests.len();
+    let report = Experiment::run_traffic(&cfg, &scenario).map_err(|e| err(e.to_string()))?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{} x {} | scale 1/{} | scenario {}",
+        n_guests,
+        workload_label(opts),
+        opts.scale,
+        scenario.name,
+    );
+    out.push_str(&report.render());
+    Ok(out)
+}
+
 /// Renders the `--top N` busiest page lifecycles from a trace: the
 /// per-mapping event chains with the most recorded events.
 fn render_lifecycles(log: &tpslab::obs::TraceLog, top: usize) -> String {
@@ -382,7 +398,7 @@ fn render_lifecycles(log: &tpslab::obs::TraceLog, top: usize) -> String {
 fn cmd_explain(opts: &Opts) -> Result<String, CliError> {
     let cfg = config_for(opts, opts.guests)?.with_trace().with_diagnose();
     let n_guests = cfg.guests.len();
-    let report = Experiment::run(&cfg);
+    let report = Experiment::run(&cfg).map_err(|e| err(e.to_string()))?;
     let miss = report.merge_miss.as_ref().expect("diagnosis was enabled");
     let log = report.trace.as_ref().expect("tracing was enabled");
     let mut out = String::new();
@@ -417,8 +433,9 @@ fn cmd_sweep(opts: &Opts) -> Result<String, CliError> {
     );
     for n in opts.from..=opts.to {
         let cfg = config_for(opts, n)?;
-        let default = Experiment::run(&cfg);
-        let preload = Experiment::run(&cfg.clone().with_class_sharing());
+        let default = Experiment::run(&cfg).map_err(|e| err(e.to_string()))?;
+        let preload =
+            Experiment::run(&cfg.clone().with_class_sharing()).map_err(|e| err(e.to_string()))?;
         let _ = writeln!(
             out,
             "{:>4} {:>18.1} {:>18.1}",
@@ -457,7 +474,7 @@ fn cmd_smaps(opts: &Opts) -> Result<String, CliError> {
     // A one-guest demo of the §II.A smaps/PSS view.
     let mut cfg = ExperimentConfig::small_test(2, opts.preload);
     cfg.timeline = None;
-    let report = Experiment::run(&cfg);
+    let report = Experiment::run(&cfg).map_err(|e| err(e.to_string()))?;
     let mut out = String::from("per-JVM PSS view (distribution-oriented accounting):\n");
     for java in &report.breakdown.javas {
         let _ = writeln!(out, "  {}", analysis::summarize_java(java));
@@ -545,7 +562,7 @@ mod tests {
 
         let bloated = parse_opts(&argv("--preset scale256 --scale 64 --guests 99999")).unwrap();
         let e = config_for(&bloated, bloated.guests).unwrap_err();
-        assert!(e.to_string().contains("memory budget"), "got: {e}");
+        assert!(e.to_string().contains("caps the fleet"), "got: {e}");
 
         let bad = parse_opts(&argv("--preset scale9000")).unwrap();
         assert!(config_for(&bad, bad.guests).is_err());

@@ -21,13 +21,13 @@ fn baseline() -> ExperimentConfig {
 /// The baseline report, computed once for the whole suite.
 fn base_report() -> &'static ExperimentReport {
     static REPORT: OnceLock<ExperimentReport> = OnceLock::new();
-    REPORT.get_or_init(|| Experiment::run(&baseline()))
+    REPORT.get_or_init(|| Experiment::run(&baseline()).unwrap())
 }
 
 /// The class-sharing report, computed once for the whole suite.
 fn cds_report() -> &'static ExperimentReport {
     static REPORT: OnceLock<ExperimentReport> = OnceLock::new();
-    REPORT.get_or_init(|| Experiment::run(&baseline().with_class_sharing()))
+    REPORT.get_or_init(|| Experiment::run(&baseline().with_class_sharing()).unwrap())
 }
 
 #[test]
@@ -119,7 +119,7 @@ fn owner_oriented_usage_sums_to_unique_frames() {
 
 #[test]
 fn experiments_are_deterministic() {
-    let rerun = Experiment::run(&baseline().with_class_sharing());
+    let rerun = Experiment::run(&baseline().with_class_sharing()).unwrap();
     let first = cds_report();
     assert_eq!(first.breakdown, rerun.breakdown);
     assert_eq!(first.ksm, rerun.ksm);
@@ -144,8 +144,8 @@ fn overcommit_config() -> ExperimentConfig {
 #[test]
 fn overcommit_collapses_throughput_and_preloading_delays_it() {
     let cfg = overcommit_config();
-    let base = Experiment::run(&cfg);
-    let cds = Experiment::run(&cfg.clone().with_class_sharing());
+    let base = Experiment::run(&cfg).unwrap();
+    let cds = Experiment::run(&cfg.clone().with_class_sharing()).unwrap();
     assert!(
         base.slowdown <= cds.slowdown,
         "preloading should never make memory pressure worse ({} vs {})",
@@ -163,7 +163,7 @@ fn overcommit_collapses_throughput_and_preloading_delays_it() {
 #[ignore = "fleet-scale config; CI runs it with -- --ignored"]
 fn scale256_preset_smoke() {
     let cfg = ExperimentConfig::scale256(256.0).with_duration_seconds(20);
-    let report = Experiment::run(&cfg);
+    let report = Experiment::run(&cfg).unwrap();
     assert_eq!(report.breakdown.guests.len(), 256);
     assert_eq!(report.throughput.len(), 256);
     assert!(report.ksm.pages_sharing > 0, "fleet never merged a page");
@@ -177,8 +177,8 @@ fn scale256_preset_smoke() {
 #[ignore = "full-size configs; CI runs them with -- --ignored"]
 fn full_size_suite() {
     let full = ExperimentConfig::tiny_test(3, false).with_duration_seconds(120);
-    let base = Experiment::run(&full);
-    let cds = Experiment::run(&full.clone().with_class_sharing());
+    let base = Experiment::run(&full).unwrap();
+    let cds = Experiment::run(&full.clone().with_class_sharing()).unwrap();
     assert!(cds.breakdown.total_owned_mib < base.breakdown.total_owned_mib);
     assert!(cds.mean_nonprimary_class_saving_fraction() > 0.6);
     for java in &base.breakdown.javas {
@@ -189,8 +189,8 @@ fn full_size_suite() {
     let mut over = ExperimentConfig::tiny_test(4, false).with_duration_seconds(120);
     over.host.ram_mib = 300.0;
     over.host.reserve_mib = 20.0;
-    let over_base = Experiment::run(&over);
-    let over_cds = Experiment::run(&over.clone().with_class_sharing());
+    let over_base = Experiment::run(&over).unwrap();
+    let over_cds = Experiment::run(&over.clone().with_class_sharing()).unwrap();
     assert!(over_base.slowdown <= over_cds.slowdown);
     assert!(over_base.total_throughput() <= over_cds.total_throughput());
 }

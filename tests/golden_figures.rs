@@ -15,7 +15,7 @@
 //!
 //! then review and commit the updated `tests/golden/*.txt`.
 
-use bench::{figures, fleet, RunOpts};
+use bench::{figures, fleet, traffic, RunOpts};
 use std::fs;
 use std::path::PathBuf;
 
@@ -106,6 +106,15 @@ fn fleet_report_is_identical_at_one_and_many_threads() {
             "fleet report diverged at {threads} threads"
         );
     }
+}
+
+#[test]
+fn traffic_matches_golden_master() {
+    // Three request-driven scenarios on the same miniature fleet. The
+    // traffic engine is deterministic by construction (DESIGN.md §11),
+    // so this text is byte-identical at any thread count and any diff
+    // is a real behaviour change in the engine or the report.
+    assert_golden("traffic.txt", &traffic::golden_text());
 }
 
 #[test]

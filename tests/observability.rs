@@ -11,8 +11,8 @@ fn small() -> ExperimentConfig {
 
 #[test]
 fn trace_jsonl_is_byte_identical_across_same_seed_runs() {
-    let a = Experiment::run(&small().with_trace());
-    let b = Experiment::run(&small().with_trace());
+    let a = Experiment::run(&small().with_trace()).unwrap();
+    let b = Experiment::run(&small().with_trace()).unwrap();
     let ja = a.trace.expect("trace on").to_jsonl();
     let jb = b.trace.expect("trace on").to_jsonl();
     assert!(!ja.is_empty());
@@ -23,8 +23,8 @@ fn trace_jsonl_is_byte_identical_across_same_seed_runs() {
 #[test]
 fn tracing_leaves_the_report_bit_identical() {
     let cfg = small().with_timeline(10);
-    let plain = Experiment::run(&cfg);
-    let traced = Experiment::run(&cfg.clone().with_trace());
+    let plain = Experiment::run(&cfg).unwrap();
+    let traced = Experiment::run(&cfg.clone().with_trace()).unwrap();
     assert!(plain.trace.is_none());
     assert!(traced.trace.is_some());
     assert_eq!(plain.breakdown, traced.breakdown);
@@ -36,7 +36,7 @@ fn tracing_leaves_the_report_bit_identical() {
 #[test]
 fn timeline_deltas_telescope_and_attribution_is_gated() {
     let cfg = small().with_timeline(10);
-    let plain = Experiment::run(&cfg);
+    let plain = Experiment::run(&cfg).unwrap();
     assert!(!plain.timeline.is_empty());
     assert!(plain.timeline.iter().all(|p| p.tps_saving_mib.is_none()));
     // Per-interval deltas of a cumulative counter telescope back to the
@@ -44,7 +44,7 @@ fn timeline_deltas_telescope_and_attribution_is_gated() {
     let summed: u64 = plain.timeline.iter().map(|p| p.delta.full_scans).sum();
     assert_eq!(summed, plain.timeline.last().unwrap().full_scans);
 
-    let attr = Experiment::run(&cfg.clone().with_timeline_attribution());
+    let attr = Experiment::run(&cfg.clone().with_timeline_attribution()).unwrap();
     assert!(attr.timeline.iter().all(|p| p.tps_saving_mib.is_some()));
     // The attribution walk is read-only: every other sampled quantity
     // matches the ungated run exactly.
@@ -68,7 +68,7 @@ fn timeline_deltas_telescope_and_attribution_is_gated() {
 
 #[test]
 fn profiling_reports_every_phase() {
-    let report = Experiment::run(&small().with_profile().with_timeline(10));
+    let report = Experiment::run(&small().with_profile().with_timeline(10)).unwrap();
     let phases = report.phases.expect("profiling on");
     let names: Vec<_> = phases.phases.iter().map(|p| p.name).collect();
     for expect in [
@@ -89,12 +89,12 @@ fn profiling_reports_every_phase() {
     // 40 simulated seconds at 10 ticks/s.
     assert_eq!(tick.ticks, 400);
     assert!(tick.pages > 0);
-    assert!(Experiment::run(&small()).phases.is_none());
+    assert!(Experiment::run(&small()).unwrap().phases.is_none());
 }
 
 #[test]
 fn merge_miss_report_conserves_and_covers_pages_sharing() {
-    let report = Experiment::run(&small().with_trace().with_diagnose());
+    let report = Experiment::run(&small().with_trace().with_diagnose()).unwrap();
     let miss = report.merge_miss.expect("diagnosis on");
     // Exact conservation: achieved + missed == potential (page counts).
     assert_eq!(

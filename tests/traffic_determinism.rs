@@ -1,0 +1,89 @@
+//! Determinism property test for the request-driven traffic engine.
+//!
+//! The tentpole guarantee of DESIGN.md §11: a traffic run's report is a
+//! pure function of `(config, scenario)` — byte-identical at any
+//! `--threads` value and across repeated runs. This harness samples
+//! random arrival curves (constant / diurnal / flash-crowd, with random
+//! deploy waves and autoscale policies layered on) crossed with random
+//! KSM scan budgets, and asserts the rendered report from a
+//! single-threaded run matches a 4-worker run exactly.
+
+use proptest::prelude::*;
+use tpslab::ksm::KsmParams;
+use tpslab::traffic::{ArrivalCurve, AutoscalePolicy, DeploySchedule, Scenario};
+use tpslab::{Experiment, ExperimentConfig, KsmSchedule};
+
+const DURATION_SECONDS: u64 = 30;
+const GUESTS: usize = 2;
+
+fn curve_strategy() -> impl Strategy<Value = ArrivalCurve> {
+    prop_oneof![
+        (0..25u64).prop_map(|f| ArrivalCurve::Constant {
+            factor: f as f64 / 10.0,
+        }),
+        ((1..9u64), (10..25u64), (4..DURATION_SECONDS)).prop_map(|(trough, peak, period)| {
+            ArrivalCurve::Diurnal {
+                trough: trough as f64 / 10.0,
+                peak: peak as f64 / 10.0,
+                period_seconds: period,
+            }
+        }),
+        ((0..10u64), (10..40u64), (0..20u64), (1..15u64)).prop_map(|(base, spike, start, len)| {
+            ArrivalCurve::FlashCrowd {
+                base: base as f64 / 10.0,
+                spike: spike as f64 / 10.0,
+                spike_start: start,
+                spike_seconds: len,
+            }
+        }),
+    ]
+}
+
+fn scenario_strategy() -> impl Strategy<Value = Scenario> {
+    (curve_strategy(), 0..3u8, (5..15u64), (1..8u64)).prop_map(|(curve, churn, start, every)| {
+        Scenario {
+            name: "proptest",
+            curve,
+            deploy: (churn == 1).then_some(DeploySchedule {
+                start_seconds: start,
+                wave_interval_seconds: every,
+                wave_size: 1,
+            }),
+            noisy_factor: None,
+            autoscale: (churn == 2).then_some(AutoscalePolicy {
+                min_guests: 1,
+                max_guests: GUESTS,
+            }),
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Random curve × random scan budget: the report is byte-identical
+    /// between 1 and 4 attribution/scan worker threads, and reproducible.
+    #[test]
+    fn traffic_reports_are_thread_invariant(
+        scenario in scenario_strategy(),
+        scan_pages in 50..2000usize,
+        seed in 0..u64::MAX,
+    ) {
+        let cfg = ExperimentConfig::tiny_test(GUESTS, true)
+            .with_duration_seconds(DURATION_SECONDS)
+            .with_seed(seed)
+            .with_ksm(KsmSchedule {
+                warmup: KsmParams::new(scan_pages, 100),
+                steady: KsmParams::new(scan_pages.max(100) / 2, 100),
+                warmup_seconds: DURATION_SECONDS / 2,
+            });
+        let serial = Experiment::run_traffic(&cfg, &scenario).unwrap();
+        let parallel =
+            Experiment::run_traffic(&cfg.clone().with_threads(4), &scenario).unwrap();
+        prop_assert_eq!(&serial, &parallel);
+        prop_assert_eq!(serial.render(), parallel.render());
+        // And a rerun of the exact same spec reproduces byte-for-byte.
+        let again = Experiment::run_traffic(&cfg, &scenario).unwrap();
+        prop_assert_eq!(serial.render(), again.render());
+    }
+}
