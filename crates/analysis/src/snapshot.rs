@@ -206,6 +206,40 @@ impl FrameTable {
     }
 }
 
+/// One 2 MiB huge mapping, attributed as a single segment: the frames
+/// under it belong to one owner by construction (collapse requires
+/// refcount-1, unshared subframes), so the huge view never splits a
+/// block across users the way the per-PTE walk can for 4 KiB pages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HugeSegment {
+    /// Host address space holding the mapping.
+    pub space: paging::AsId,
+    /// First virtual page of the 2 MiB-aligned block.
+    pub base: Vpn,
+    /// Pages spanned — always [`mem::HUGE_PAGE_SPAN`].
+    pub pages: usize,
+}
+
+/// Every live huge mapping in the host, one segment per 2 MiB block, in
+/// deterministic walk order (space order, region base order, block
+/// order). Empty under `ThpPolicy::Never`.
+#[must_use]
+pub fn huge_segments(mm: &HostMm) -> Vec<HugeSegment> {
+    let mut out = Vec::new();
+    for space in mm.spaces() {
+        for region in space.regions() {
+            for block in region.huge_block_indices() {
+                out.push(HugeSegment {
+                    space: space.id(),
+                    base: region.base().offset((block * mem::HUGE_PAGE_SPAN) as u64),
+                    pages: mem::HUGE_PAGE_SPAN,
+                });
+            }
+        }
+    }
+    out
+}
+
 /// A full attribution of host physical memory at one instant.
 ///
 /// Equality is field-identical: two snapshots compare equal only if they
@@ -462,6 +496,33 @@ mod tests {
             .filter(|u| u.tag == MemTag::OtherProcess)
             .count();
         assert_eq!(other, 4);
+    }
+
+    #[test]
+    fn huge_blocks_attribute_as_single_segments() {
+        use mem::HUGE_PAGE_SPAN;
+        let mut mm = HostMm::new();
+        let s = mm.create_space("direct");
+        let r = mm.map_region(s, 2 * HUGE_PAGE_SPAN, MemTag::VmGuestMemory, true);
+        for i in 0..(2 * HUGE_PAGE_SPAN) as u64 {
+            mm.write_page(s, r.offset(i), Fingerprint::of(&[900 + i]), Tick(1));
+        }
+        assert!(huge_segments(&mm).is_empty());
+        assert!(mm.try_collapse(s, r, 1));
+        let segments = huge_segments(&mm);
+        assert_eq!(
+            segments,
+            vec![HugeSegment {
+                space: s,
+                base: r.offset(HUGE_PAGE_SPAN as u64),
+                pages: HUGE_PAGE_SPAN,
+            }]
+        );
+        // The per-frame attribution is unchanged: hugeness is a mapping
+        // property, not an ownership change.
+        let snap = MemorySnapshot::collect(&mm, &[]);
+        assert_eq!(snap.frame_count(), mm.phys().allocated_frames());
+        assert_eq!(snap.pte_count(), snap.frame_count());
     }
 
     #[test]

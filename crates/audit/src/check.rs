@@ -31,7 +31,7 @@
 
 use analysis::{GuestView, MemorySnapshot};
 use ksm::KsmScanner;
-use mem::{pages_to_mib, Fingerprint, FrameId};
+use mem::{pages_to_mib, Fingerprint, FrameId, HUGE_PAGE_SPAN};
 use oskernel::Pid;
 use paging::{AsId, HostMm, Vpn};
 use std::collections::HashMap;
@@ -111,6 +111,32 @@ pub enum Violation {
         frame: FrameId,
         /// Its refcount (> 1).
         refcount: u32,
+    },
+    /// A live 2 MiB huge frame is torn: fewer than
+    /// [`HUGE_PAGE_SPAN`] of its subframe slots are populated with live
+    /// frames. Every huge block must be conservation-complete — a
+    /// split must demote the block before any subframe is unmapped or
+    /// freed.
+    HugeFrameTorn {
+        /// Space holding the huge block.
+        space: AsId,
+        /// Base of the region containing it.
+        base: Vpn,
+        /// Region-relative block index.
+        block: usize,
+        /// Live, populated subframe slots found (must be 512).
+        populated: usize,
+    },
+    /// A page inside a live huge frame is merged (KSM-shared or
+    /// multi-referenced): KSM must split a huge page before any of its
+    /// subpages can share a frame.
+    HugeMergedSubframe {
+        /// Space holding the huge block.
+        space: AsId,
+        /// The offending subpage.
+        vpn: Vpn,
+        /// Its shared frame.
+        frame: FrameId,
     },
     /// A guest PTE maps a gpfn at or above the allocation watermark.
     GpfnOutOfRange {
@@ -237,7 +263,9 @@ impl Violation {
             Violation::DanglingPte { .. }
             | Violation::RefcountMismatch { .. }
             | Violation::LeakedFrame { .. }
-            | Violation::AnonymousSharing { .. } => Layer::Host,
+            | Violation::AnonymousSharing { .. }
+            | Violation::HugeFrameTorn { .. }
+            | Violation::HugeMergedSubframe { .. } => Layer::Host,
             Violation::GpfnOutOfRange { .. }
             | Violation::GpfnAliased { .. }
             | Violation::FreedGpfnMapped { .. }
@@ -275,6 +303,19 @@ impl std::fmt::Display for Violation {
             Violation::AnonymousSharing { frame, refcount } => write!(
                 f,
                 "frame {frame:?} has refcount {refcount} without being KSM-shared (missed CoW break)"
+            ),
+            Violation::HugeFrameTorn {
+                space,
+                base,
+                block,
+                populated,
+            } => write!(
+                f,
+                "huge block {block} of region {space:?}:{base:?} is torn: {populated}/{HUGE_PAGE_SPAN} live subframes"
+            ),
+            Violation::HugeMergedSubframe { space, vpn, frame } => write!(
+                f,
+                "page {space:?}:{vpn:?} inside a live huge frame shares frame {frame:?}"
             ),
             Violation::GpfnOutOfRange {
                 guest,
@@ -383,6 +424,8 @@ pub struct AuditReport {
     pub empty_gpfns: usize,
     /// Valid stable-tree nodes verified (0 when no scanner was given).
     pub stable_nodes: usize,
+    /// Live 2 MiB huge blocks verified complete and unshared.
+    pub huge_blocks: usize,
     /// MiB attributed by the breakdown (equals the frame pool's size).
     pub attributed_mib: f64,
 }
@@ -415,6 +458,44 @@ pub fn check_world(world: &World<'_>) -> Result<AuditReport, Violation> {
 /// per-frame fan-in with the frame pool's refcounts.
 fn check_host_layer(mm: &HostMm, report: &mut AuditReport) -> Result<(), Violation> {
     let phys = mm.phys();
+    // Huge-frame conservation first, so a torn 2 MiB block reports as
+    // the huge-page invariant it is rather than as the dangling PTE or
+    // refcount noise it causes downstream.
+    for space in mm.spaces() {
+        for region in space.regions() {
+            for block in region.huge_block_indices() {
+                let start = block * HUGE_PAGE_SPAN;
+                let live = (0..HUGE_PAGE_SPAN)
+                    .filter(|&i| {
+                        region
+                            .frame_at_index(start + i)
+                            .is_some_and(|f| phys.is_live(f))
+                    })
+                    .count();
+                if live != HUGE_PAGE_SPAN {
+                    return Err(Violation::HugeFrameTorn {
+                        space: space.id(),
+                        base: region.base(),
+                        block,
+                        populated: live,
+                    });
+                }
+                for i in 0..HUGE_PAGE_SPAN {
+                    let frame = region
+                        .frame_at_index(start + i)
+                        .expect("slot verified populated above");
+                    if phys.is_ksm_shared(frame) || phys.refcount(frame) > 1 {
+                        return Err(Violation::HugeMergedSubframe {
+                            space: space.id(),
+                            vpn: region.base().offset((start + i) as u64),
+                            frame,
+                        });
+                    }
+                }
+                report.huge_blocks += 1;
+            }
+        }
+    }
     let mut fan_in: HashMap<FrameId, u32> = HashMap::new();
     for space in mm.spaces() {
         for region in space.regions() {

@@ -15,8 +15,8 @@
 //! always zero here; [`stats_equivalent`] compares everything else.
 
 use ksm::{KsmParams, KsmStats};
-use mem::{Fingerprint, FrameId, Tick};
-use paging::{AsId, HostMm, Mapping, Vpn};
+use mem::{Fingerprint, FrameId, Tick, HUGE_PAGE_SPAN};
+use paging::{AsId, HostMm, Mapping, SplitReason, Vpn};
 use std::collections::{BTreeMap, HashMap};
 
 /// One mergeable region snapshotted into the pass scan list.
@@ -42,6 +42,10 @@ pub struct NaiveScanner {
     pass_start: Tick,
     prev_pass_start: Tick,
     first_pass_done: bool,
+    /// Huge-page split requests collected during the wake's page walk
+    /// and applied at the end of the wake, mirroring the incremental
+    /// scanner's deferred commit. Idempotent per block.
+    pending_splits: Vec<(AsId, Vpn, usize)>,
     stats: KsmStats,
 }
 
@@ -81,6 +85,7 @@ impl NaiveScanner {
             pass_start: Tick::ZERO,
             prev_pass_start: Tick::ZERO,
             first_pass_done: false,
+            pending_splits: Vec::new(),
             stats: KsmStats::default(),
         }
     }
@@ -121,6 +126,13 @@ impl NaiveScanner {
                     self.finish_pass(mm, now);
                     break;
                 }
+            }
+        }
+        // Apply the wake's huge-page splits after the walk, exactly where
+        // the incremental scanner's commit phase applies its split ops.
+        for (space, base, block) in std::mem::take(&mut self.pending_splits) {
+            if mm.split_block(space, base, block, SplitReason::Ksm) {
+                self.stats.thp_splits += 1;
             }
         }
         self.stats.pages_scanned += scanned as u64;
@@ -194,17 +206,27 @@ impl NaiveScanner {
         self.cursor_page += 1;
         // Re-resolve the region on every page: it may have been unmapped
         // (or replaced) mid-pass.
-        let frame = {
+        let (frame, in_huge_block) = {
             let Some(region) = mm.space(space).region_at(base).filter(|r| r.id() == id) else {
                 self.cursor_region += 1;
                 self.cursor_page = 0;
                 return Advance::Scanned(0);
             };
-            region.frame_at_index(index)
+            (
+                region.frame_at_index(index),
+                region.is_huge_block(index / HUGE_PAGE_SPAN),
+            )
         };
         let Some(frame) = frame else {
             return Advance::Scanned(0);
         };
+        if in_huge_block {
+            // Split-before-merge: a page under a 2 MiB mapping is not a
+            // candidate; queue the split and move on.
+            self.pending_splits
+                .push((space, base, index / HUGE_PAGE_SPAN));
+            return Advance::Scanned(1);
+        }
         if mm.phys().is_ksm_shared(frame) {
             return Advance::Scanned(1);
         }
@@ -245,6 +267,17 @@ impl NaiveScanner {
 
         match self.unstable.get(&fp) {
             Some(&candidate) => {
+                // A candidate collapsed into a huge page since insertion
+                // is no longer a merge target (same rule as the
+                // incremental scanner's resolve phase).
+                if mm
+                    .space(candidate.space)
+                    .region_containing(candidate.vpn)
+                    .is_some_and(|r| r.is_huge_page(candidate.vpn))
+                {
+                    self.unstable.insert(fp, mapping);
+                    return None;
+                }
                 let Some(other) = mm.frame_at(candidate.space, candidate.vpn) else {
                     self.unstable.insert(fp, mapping);
                     return None;
@@ -334,6 +367,7 @@ pub fn stats_equivalent(incremental: KsmStats, naive: KsmStats) -> Result<(), St
             naive.stale_stable_nodes,
         ),
         ("chain_splits", incremental.chain_splits, naive.chain_splits),
+        ("thp_splits", incremental.thp_splits, naive.thp_splits),
     ];
     for (name, a, b) in fields {
         if a != b {

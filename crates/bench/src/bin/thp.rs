@@ -1,0 +1,35 @@
+//! THP × KSM ablation binary (see [`bench::thp`]).
+//!
+//! Two modes, both of which assert the sharing-versus-TLB-reach
+//! frontier is non-degenerate before printing anything:
+//!
+//! * default — renders the deterministic sweep table (the text pinned
+//!   at `tests/golden/thp.txt`):
+//!
+//!   ```text
+//!   cargo run --release -p bench --bin thp
+//!   ```
+//!
+//! * `--json` — times every cell and prints the record committed as
+//!   `results/BENCH_thp.json`:
+//!
+//!   ```text
+//!   cargo run --release -p bench --bin thp -- --json > results/BENCH_thp.json
+//!   ```
+
+use bench::thp;
+
+fn main() {
+    let mut json = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--json" => json = true,
+            other => panic!("unknown argument {other} (try --json)"),
+        }
+    }
+    if json {
+        print!("{}", thp::bench_json());
+    } else {
+        print!("{}", thp::golden_text());
+    }
+}

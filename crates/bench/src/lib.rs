@@ -25,6 +25,7 @@
 #![forbid(unsafe_code)]
 
 pub mod fleet;
+pub mod thp;
 pub mod traffic;
 
 use std::fmt::Write as _;

@@ -2,7 +2,7 @@
 
 use mem::{Fingerprint, Tick};
 use oskernel::{GuestOs, OsImage, Pid};
-use paging::{HostMm, MemTag, Vpn};
+use paging::{HostMm, MemTag, ThpPolicy, Vpn};
 
 /// VM-process overhead outside guest memory (QEMU device state, runtime
 /// heap) — "the pages used by the guest VM itself", which §II.D found to
@@ -87,6 +87,8 @@ pub struct KvmHost {
     mm: HostMm,
     config: HostConfig,
     guests: Vec<KvmGuest>,
+    thp_host: ThpPolicy,
+    thp_guest: ThpPolicy,
 }
 
 impl KvmHost {
@@ -97,7 +99,22 @@ impl KvmHost {
             mm: HostMm::new(),
             config,
             guests: Vec::new(),
+            thp_host: ThpPolicy::Never,
+            thp_guest: ThpPolicy::Never,
         }
+    }
+
+    /// Sets the host-side khugepaged policy and the THP policy handed
+    /// to every *subsequently created* guest kernel.
+    pub fn set_thp_policies(&mut self, host: ThpPolicy, guest: ThpPolicy) {
+        self.thp_host = host;
+        self.thp_guest = guest;
+    }
+
+    /// The host-side khugepaged policy.
+    #[must_use]
+    pub fn thp_host(&self) -> ThpPolicy {
+        self.thp_host
     }
 
     /// Host configuration.
@@ -170,6 +187,7 @@ impl KvmHost {
             boot_salt,
             now,
         );
+        os.set_thp_policy(self.thp_guest);
         // VM-process overhead: private, outside guest memory, not
         // madvise(MERGEABLE) (QEMU only advises the guest RAM block).
         let overhead_pages = mem::mib_to_pages(VM_OVERHEAD_MIB_PER_GIB * mem_mib / 1024.0).max(1);
@@ -218,6 +236,63 @@ impl KvmHost {
         }
     }
 
+    /// One khugepaged pass: scans every guest memslot for collapsible
+    /// 2 MiB blocks under the host THP policy — every block when
+    /// `always`, only guest-hinted blocks when `madvise`, nothing when
+    /// `never`. [`HostMm::try_collapse`] re-verifies eligibility
+    /// (fully populated, exclusively owned, not KSM-latched) per block.
+    pub fn thp_scan(&mut self, _now: Tick) {
+        if self.thp_host == ThpPolicy::Never {
+            return;
+        }
+        for idx in 0..self.guests.len() {
+            let space = self.guests[idx].os.vm_space();
+            let base = self.guests[idx].os.host_vpn(0);
+            let candidates: Vec<usize> = match self.thp_host {
+                ThpPolicy::Never => unreachable!("early return above"),
+                ThpPolicy::Always => {
+                    let Some(region) = self.mm.space(space).region_at(base) else {
+                        continue;
+                    };
+                    (0..region.block_count())
+                        .filter(|&b| !region.is_huge_block(b) && !region.ksm_split_latched(b))
+                        .collect()
+                }
+                ThpPolicy::Madvise => self.guests[idx]
+                    .os
+                    .huge_hint_blocks()
+                    .map(|b| b as usize)
+                    .collect(),
+            };
+            for block in candidates {
+                self.mm.try_collapse(space, base, block);
+            }
+        }
+    }
+
+    /// Host pages currently mapped through 2 MiB translations across
+    /// every guest memslot.
+    #[must_use]
+    pub fn huge_pages(&self) -> usize {
+        self.guests
+            .iter()
+            .map(|g| {
+                let space = g.os.vm_space();
+                self.mm
+                    .space(space)
+                    .region_at(g.os.host_vpn(0))
+                    .map_or(0, paging::Region::huge_pages)
+            })
+            .sum()
+    }
+
+    /// Memory reached through 2 MiB translations, MiB — the TLB-reach
+    /// numerator of the THP × KSM frontier.
+    #[must_use]
+    pub fn huge_mib(&self) -> f64 {
+        mem::pages_to_mib(self.huge_pages())
+    }
+
     /// Host physical memory currently allocated, MiB.
     #[must_use]
     pub fn resident_mib(&self) -> f64 {
@@ -234,6 +309,7 @@ impl KvmHost {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mem::HUGE_PAGE_SPAN;
 
     fn host_with_two_guests() -> KvmHost {
         let mut host = KvmHost::new(HostConfig::paper_intel().scaled(16.0));
@@ -295,6 +371,69 @@ mod tests {
         guest
             .os
             .write_page(mm, pid, r, Fingerprint::of(&[1]), Tick(1));
+        host.mm().assert_consistent();
+    }
+
+    #[test]
+    fn thp_scan_collapses_under_always_policy() {
+        let mut host = KvmHost::new(HostConfig::paper_intel().scaled(16.0));
+        host.set_thp_policies(ThpPolicy::Always, ThpPolicy::Never);
+        host.create_guest("vm1", 16.0, &OsImage::tiny_test(), 1, Tick(0));
+        // Gpfns allocate densely from zero; filling past the boot
+        // footprint completes the first memslot blocks even though the
+        // guest itself faults 4 KiB at a time.
+        let (mm, guest) = host.mm_and_guest_mut(0);
+        let pid = guest.os.spawn("filler");
+        let r = guest
+            .os
+            .add_region(pid, 2 * HUGE_PAGE_SPAN, MemTag::OtherProcess);
+        for i in 0..(2 * HUGE_PAGE_SPAN) as u64 {
+            guest
+                .os
+                .write_page(mm, pid, r.offset(i), Fingerprint::of(&[0xf1, i]), Tick(1));
+        }
+        host.thp_scan(Tick(1));
+        assert!(host.huge_pages() >= HUGE_PAGE_SPAN, "{}", host.huge_pages());
+        assert!(host.huge_mib() >= 2.0);
+        host.mm().assert_consistent();
+    }
+
+    #[test]
+    fn thp_scan_honors_policy_sides() {
+        // Host `never`: nothing collapses no matter what guests hint.
+        let mut host = KvmHost::new(HostConfig::paper_intel().scaled(16.0));
+        host.set_thp_policies(ThpPolicy::Never, ThpPolicy::Always);
+        host.create_guest("vm1", 16.0, &OsImage::tiny_test(), 1, Tick(0));
+        host.thp_scan(Tick(1));
+        assert_eq!(host.huge_pages(), 0);
+
+        // Host `madvise` + guest `never`: no hints, so no collapses.
+        let mut host = KvmHost::new(HostConfig::paper_intel().scaled(16.0));
+        host.set_thp_policies(ThpPolicy::Madvise, ThpPolicy::Never);
+        host.create_guest("vm1", 16.0, &OsImage::tiny_test(), 1, Tick(0));
+        host.thp_scan(Tick(1));
+        assert_eq!(host.huge_pages(), 0);
+    }
+
+    #[test]
+    fn thp_scan_madvise_follows_guest_hints() {
+        let mut host = KvmHost::new(HostConfig::paper_intel().scaled(16.0));
+        host.set_thp_policies(ThpPolicy::Madvise, ThpPolicy::Madvise);
+        host.create_guest("vm1", 16.0, &OsImage::tiny_test(), 1, Tick(0));
+        host.thp_scan(Tick(1));
+        assert_eq!(host.huge_pages(), 0, "no heap faulted yet");
+        // A Java-heap huge fault produces a hint khugepaged honors.
+        let (mm, guest) = host.mm_and_guest_mut(0);
+        let pid = guest.os.spawn("java");
+        let heap = guest
+            .os
+            .add_region(pid, 2 * HUGE_PAGE_SPAN, MemTag::JavaHeap);
+        guest
+            .os
+            .write_page(mm, pid, heap, Fingerprint::of(&[1]), Tick(2));
+        assert_eq!(guest.os.huge_hint_blocks().count(), 1);
+        host.thp_scan(Tick(3));
+        assert_eq!(host.huge_pages(), HUGE_PAGE_SPAN);
         host.mm().assert_consistent();
     }
 

@@ -1,9 +1,9 @@
 //! The KSM scanning loop.
 
 use crate::{KsmParams, KsmStats};
-use mem::{Fingerprint, FrameId, PhysMemory, Tick};
+use mem::{Fingerprint, FrameId, PhysMemory, Tick, HUGE_PAGE_SPAN};
 use obs::EventKind;
-use paging::{AddressSpace, AsId, HostMm, Mapping, Vpn};
+use paging::{AddressSpace, AsId, HostMm, Mapping, SplitReason, Vpn};
 use std::collections::{BTreeMap, HashMap, HashSet};
 
 /// Number of fingerprint shards the stable and unstable trees are
@@ -39,6 +39,12 @@ pub fn shard_of(fp: Fingerprint) -> usize {
 ///    content has not changed since the previous full pass (the checksum
 ///    test). Two unstable candidates with equal content become a new
 ///    stable node.
+/// 4. A page under a 2 MiB transparent huge mapping is never merged in
+///    place: the scanner queues a split of the huge page (counted in
+///    `thp_splits`) and its subpages become ordinary candidates on a
+///    later pass — the split-before-merge order of real ksmd. KSM
+///    splits latch the block against khugepaged re-collapse, so the two
+///    daemons cannot livelock splitting and collapsing the same run.
 ///
 /// The unstable tree is discarded at the end of every full pass (the
 /// backing maps are retained and pre-sized to their high-water mark, so
@@ -147,6 +153,12 @@ pub struct KsmScanner {
     /// Clean-region-credit trace events buffered by the planner, to be
     /// interleaved with the resolve phase's events in scan order.
     planned_events: Vec<(u32, EventKind)>,
+    /// Huge-page split requests collected this wake (split-before-merge:
+    /// a page under a 2 MiB mapping cannot enter the unstable tree until
+    /// the mapping is broken). Applied at commit in scan order; splitting
+    /// is idempotent per block, so the 512 per-page requests of one block
+    /// collapse to a single effective split.
+    planned_splits: Vec<(u32, CommitOp)>,
     /// Whole-region scan tasks deferred by the planner for the parallel
     /// classify phase; reused across wakes.
     tasks: Vec<ClassifyTask>,
@@ -256,11 +268,13 @@ struct ClassifyTask {
 
 /// What classifying one task's region produced: the candidate plan
 /// items (in page order, with their final sequence numbers), the
-/// populated-page count, and whether every populated page was already
-/// stable — exactly the facts the sequential walk tracks per region.
+/// huge-page split requests, the populated-page count, and whether every
+/// populated page was already stable — exactly the facts the sequential
+/// walk tracks per region.
 #[derive(Debug)]
 struct ClassifyOutcome {
     items: Vec<PlanItem>,
+    splits: Vec<(u32, CommitOp)>,
     mapped: u64,
     all_stable: bool,
 }
@@ -273,6 +287,13 @@ enum CommitOp {
     Merge { dup: FrameId, canonical: FrameId },
     /// Mark `frame` as a fresh stable-tree node.
     Promote { frame: FrameId },
+    /// Split the 2 MiB block `block` of the region based at `base` so
+    /// its subpages become merge candidates on a later pass.
+    Split {
+        space: AsId,
+        base: Vpn,
+        block: usize,
+    },
 }
 
 /// Everything one shard's resolve phase produced: mutations and trace
@@ -317,6 +338,7 @@ impl KsmScanner {
             stats: KsmStats::default(),
             buckets: (0..SHARD_COUNT).map(|_| Vec::new()).collect(),
             planned_events: Vec::new(),
+            planned_splits: Vec::new(),
             tasks: Vec::new(),
             seq: 0,
             last_wake: WakePhases::default(),
@@ -410,6 +432,7 @@ impl KsmScanner {
         // Phase 1: plan this wake's window against the frozen state.
         self.seq = 0;
         self.planned_events.clear();
+        self.planned_splits.clear();
         for bucket in &mut self.buckets {
             bucket.clear();
         }
@@ -649,6 +672,24 @@ impl KsmScanner {
             };
             self.region_mapped_seen += 1;
             scanned += 1;
+            if region.is_huge_block(index / HUGE_PAGE_SPAN) {
+                // Under a 2 MiB mapping: KSM breaks the huge page before
+                // its subpages can be considered (split-before-merge).
+                // Queue a seq-stamped split for commit; the page itself
+                // becomes a candidate only on a later pass.
+                self.region_all_stable = false;
+                let seq = self.seq;
+                self.seq += 1;
+                self.planned_splits.push((
+                    seq,
+                    CommitOp::Split {
+                        space,
+                        base,
+                        block: index / HUGE_PAGE_SPAN,
+                    },
+                ));
+                continue;
+            }
             if phys.is_ksm_shared(frame) {
                 // Already a stable node (or a sharer of one).
                 continue;
@@ -749,6 +790,7 @@ impl KsmScanner {
             for item in outcome.items {
                 self.buckets[shard_of(item.fp)].push(item);
             }
+            self.planned_splits.extend(outcome.splits);
         }
         tasks.clear();
         self.tasks = tasks;
@@ -756,8 +798,12 @@ impl KsmScanner {
 
     fn execute(&mut self, mm: &mut HostMm) {
         if self.buckets.iter().all(Vec::is_empty) {
-            // Converged fast path: the window held no candidates (all
-            // credits and stable skips). Only credit events remain.
+            // Converged fast path: the window held no merge candidates
+            // (credits, stable skips, and possibly huge-page splits).
+            // Split requests must still be applied or a fully-huge
+            // region would never make scan progress.
+            let splits = std::mem::take(&mut self.planned_splits);
+            self.commit_ops(mm, splits);
             let tracer = mm.tracer();
             for (_, event) in self.planned_events.drain(..) {
                 tracer.emit_with(|| event);
@@ -791,7 +837,7 @@ impl KsmScanner {
         // replay mutations and events in global scan order, so frame
         // frees, the free-list order, and the trace are those of a
         // sequential scan.
-        let mut ops: Vec<(u32, CommitOp)> = Vec::new();
+        let mut ops: Vec<(u32, CommitOp)> = std::mem::take(&mut self.planned_splits);
         let mut events: Vec<(u32, EventKind)> = std::mem::take(&mut self.planned_events);
         for outcome in outcomes {
             self.stats.merges += outcome.merges;
@@ -802,19 +848,32 @@ impl KsmScanner {
             ops.extend(outcome.ops);
             events.extend(outcome.events);
         }
-        ops.sort_unstable_by_key(|&(seq, _)| seq);
-        for (_, op) in ops {
-            match op {
-                CommitOp::Merge { dup, canonical } => mm.merge_frames(dup, canonical),
-                CommitOp::Promote { frame } => mm.mark_ksm_stable(frame),
-            }
-        }
+        self.commit_ops(mm, ops);
         events.sort_unstable_by_key(|&(seq, _)| seq);
         let tracer = mm.tracer();
         for (_, event) in events {
             tracer.emit_with(|| event);
         }
         self.last_wake.commit_nanos = commit_start.elapsed().as_nanos() as u64;
+    }
+
+    /// Applies a wake's planned mutations in global scan order. Huge-page
+    /// splits are idempotent per block, so `thp_splits` counts effective
+    /// splits only — the count is independent of how many of a block's
+    /// subpages fell inside the scan window.
+    fn commit_ops(&mut self, mm: &mut HostMm, mut ops: Vec<(u32, CommitOp)>) {
+        ops.sort_unstable_by_key(|&(seq, _)| seq);
+        for (_, op) in ops {
+            match op {
+                CommitOp::Merge { dup, canonical } => mm.merge_frames(dup, canonical),
+                CommitOp::Promote { frame } => mm.mark_ksm_stable(frame),
+                CommitOp::Split { space, base, block } => {
+                    if mm.split_block(space, base, block, SplitReason::Ksm) {
+                        self.stats.thp_splits += 1;
+                    }
+                }
+            }
+        }
     }
 
     /// The oldest last-write tick a page may carry and still pass the
@@ -848,6 +907,7 @@ fn classify_region(
         .expect("task region vanished mid-wake");
     let mut out = ClassifyOutcome {
         items: Vec::new(),
+        splits: Vec::new(),
         mapped: 0,
         all_stable: true,
     };
@@ -856,6 +916,18 @@ fn classify_region(
             continue;
         };
         out.mapped += 1;
+        if region.is_huge_block(index as usize / HUGE_PAGE_SPAN) {
+            out.all_stable = false;
+            out.splits.push((
+                task.seq_base + index as u32,
+                CommitOp::Split {
+                    space: task.space,
+                    base: task.base,
+                    block: index as usize / HUGE_PAGE_SPAN,
+                },
+            ));
+            continue;
+        }
         if phys.is_ksm_shared(frame) {
             continue;
         }
@@ -1014,6 +1086,17 @@ fn resolve_shard(
         // 3. Unstable-tree lookup.
         match shard.unstable.get(&fp) {
             Some(&candidate) => {
+                // A candidate whose block was collapsed to a huge page
+                // since insertion is no longer a 4 KiB merge target —
+                // merging into it would share a subframe of a live huge
+                // mapping. Replace the entry, like any dead candidate.
+                if spaces[candidate.space.index()]
+                    .region_containing(candidate.vpn)
+                    .is_some_and(|r| r.is_huge_page(candidate.vpn))
+                {
+                    shard.unstable.insert(fp, mapping);
+                    continue;
+                }
                 let Some(other) = spaces[candidate.space.index()].frame_at(candidate.vpn) else {
                     shard.unstable.insert(fp, mapping);
                     continue;
@@ -1318,6 +1401,62 @@ mod tests {
         }
         let baseline = drive(1);
         for threads in [2, 4, 8] {
+            assert_eq!(drive(threads), baseline, "threads={threads}");
+        }
+    }
+
+    /// Huge blocks are split (latching them against re-collapse) before
+    /// any of their subpages merge, and the split count is per effective
+    /// block split, not per scanned subpage.
+    #[test]
+    fn huge_blocks_are_split_before_their_pages_merge() {
+        let (mut mm, a, ra, b, rb) = two_vm_setup(HUGE_PAGE_SPAN as u64 * 2);
+        assert!(mm.try_collapse(a, ra, 0));
+        assert!(mm.try_collapse(a, ra, 1));
+        assert!(mm.try_collapse(b, rb, 0));
+        let mut scanner = KsmScanner::new(KsmParams::new(4096, 100));
+        converge(&mut scanner, &mut mm, Tick(0), 12);
+        assert_eq!(scanner.stats().thp_splits, 3);
+        // Once split, every page merges cross-VM like ordinary 4 KiB.
+        assert_eq!(scanner.stats().pages_sharing, 2 * HUGE_PAGE_SPAN as u64);
+        let region = mm.space(a).region_at(ra).unwrap();
+        assert_eq!(region.huge_blocks(), 0);
+        assert!(region.ksm_split_latched(0));
+        assert!(!mm.try_collapse(a, ra, 0));
+        mm.assert_consistent();
+    }
+
+    /// The huge-page split path is deterministic at any thread count,
+    /// including budget windows that cross block boundaries mid-wake.
+    #[test]
+    fn thread_count_invariant_with_huge_blocks() {
+        fn drive(threads: usize) -> (KsmStats, Vec<(Fingerprint, FrameId)>, u64) {
+            let (mut mm, a, ra, b, rb) = two_vm_setup(HUGE_PAGE_SPAN as u64 * 2);
+            assert!(mm.try_collapse(a, ra, 0));
+            assert!(mm.try_collapse(b, rb, 1));
+            let mut scanner = KsmScanner::new(KsmParams::new(300, 100)).with_threads(threads);
+            let mut t = Tick(0);
+            for round in 0..6u64 {
+                mm.write_page(a, ra.offset(round * 11), fp(5000 + round), Tick(t.0 + 1));
+                mm.write_page(b, rb.offset(round * 11), fp(5000 + round), Tick(t.0 + 1));
+                t = converge(&mut scanner, &mut mm, t, 8);
+            }
+            converge(&mut scanner, &mut mm, t, 40);
+            mm.assert_consistent();
+            let frames_sig = mm
+                .phys()
+                .iter()
+                .map(|(i, f)| (i.index() as u64) ^ u64::from(f.refcount()))
+                .sum();
+            (
+                scanner.stats(),
+                scanner.stable_frames().collect(),
+                frames_sig,
+            )
+        }
+        let baseline = drive(1);
+        assert_eq!(baseline.0.thp_splits, 2);
+        for threads in [2, 4] {
             assert_eq!(drive(threads), baseline, "threads={threads}");
         }
     }

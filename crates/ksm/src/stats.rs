@@ -34,6 +34,11 @@ pub struct KsmStats {
     /// Regions credited in O(1) by the clean-region fast path instead of
     /// being walked page by page.
     pub clean_region_skips: u64,
+    /// Transparent huge pages split so their subpages could enter the
+    /// unstable tree (the `thp_collapse_alloc`-mirroring side of the real
+    /// KSM/THP interaction: KSM never merges into a huge mapping, it
+    /// breaks the mapping first).
+    pub thp_splits: u64,
 }
 
 impl KsmStats {
@@ -68,6 +73,7 @@ impl KsmStats {
             clean_region_skips: self
                 .clean_region_skips
                 .saturating_sub(earlier.clean_region_skips),
+            thp_splits: self.thp_splits.saturating_sub(earlier.thp_splits),
         }
     }
 }

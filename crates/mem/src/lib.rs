@@ -46,6 +46,11 @@ pub use tick::{Tick, TICKS_PER_SECOND};
 /// POWER hosts).
 pub const PAGE_SIZE: usize = 4096;
 
+/// Number of 4 KiB subframes backing one 2 MiB transparent huge page
+/// (x86-64 PMD span). Huge mappings are modeled as an aligned run of
+/// this many base frames collapsed into a single translation.
+pub const HUGE_PAGE_SPAN: usize = 512;
+
 /// Converts a byte count to a page count, rounding up.
 ///
 /// # Example

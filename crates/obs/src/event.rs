@@ -234,6 +234,28 @@ pub enum EventKind {
         /// rounded to the nearest integer.
         offered_rps: u64,
     },
+    /// khugepaged collapsed an aligned 512-page run into one 2 MiB
+    /// translation.
+    HugeCollapse {
+        /// Address-space index of the region.
+        space: u32,
+        /// First virtual page of the owning region.
+        base: u64,
+        /// Region-relative 2 MiB block index that went huge.
+        block: u64,
+    },
+    /// A 2 MiB translation was demoted back to 512 base pages.
+    HugeSplit {
+        /// Address-space index of the region.
+        space: u32,
+        /// First virtual page of the owning region.
+        base: u64,
+        /// Region-relative 2 MiB block index that was split.
+        block: u64,
+        /// Why it split (`SplitReason::code()`: 0 madvise, 1 CoW,
+        /// 2 KSM candidacy).
+        reason: u64,
+    },
 }
 
 impl EventKind {
@@ -263,11 +285,15 @@ impl EventKind {
             EventKind::BalloonDeflate { .. } => "balloon_deflate",
             EventKind::RequestServe { .. } => "request_serve",
             EventKind::TrafficPhase { .. } => "traffic_phase",
+            EventKind::HugeCollapse { .. } => "huge_collapse",
+            EventKind::HugeSplit { .. } => "huge_split",
         }
     }
 
     /// The `(space, vpn)` host mapping this event concerns, if it is a
     /// per-page host event. Used to stitch page lifecycles together.
+    /// Huge-page lifecycle events report the first page of their 2 MiB
+    /// block, so a collapse/split chain stitches to one lifecycle.
     #[must_use]
     pub fn mapping(&self) -> Option<(u32, u64)> {
         match *self {
@@ -277,6 +303,10 @@ impl EventKind {
             | EventKind::MergeUnstable { space, vpn, .. }
             | EventKind::VolatileSkip { space, vpn, .. }
             | EventKind::ChainSplit { space, vpn, .. } => Some((space, vpn)),
+            EventKind::HugeCollapse { space, base, block }
+            | EventKind::HugeSplit {
+                space, base, block, ..
+            } => Some((space, base + block * 512)),
             _ => None,
         }
     }
@@ -431,6 +461,22 @@ impl TraceEvent {
             EventKind::TrafficPhase { phase, offered_rps } => {
                 field("phase", u64::from(phase));
                 field("offered_rps", offered_rps);
+            }
+            EventKind::HugeCollapse { space, base, block } => {
+                field("space", u64::from(space));
+                field("base", base);
+                field("block", block);
+            }
+            EventKind::HugeSplit {
+                space,
+                base,
+                block,
+                reason,
+            } => {
+                field("space", u64::from(space));
+                field("base", base);
+                field("block", block);
+                field("reason", reason);
             }
         }
         s.push('}');

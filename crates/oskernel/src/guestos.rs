@@ -1,10 +1,10 @@
 //! The guest OS: boots kernel memory, runs processes, owns guest frames.
 
 use crate::{GuestAddressSpace, OsImage, Pid};
-use mem::{Fingerprint, Tick};
+use mem::{Fingerprint, Tick, HUGE_PAGE_SPAN};
 use obs::EventKind;
-use paging::{AsId, HostMm, MemTag, Vpn};
-use std::collections::BTreeMap;
+use paging::{AsId, HostMm, MemTag, ThpPolicy, Vpn};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// The pseudo-pid under which kernel memory is accounted.
 pub const KERNEL_PID: Pid = Pid(0);
@@ -32,6 +32,10 @@ pub struct GuestOs {
     kernel_data_pages: usize,
     churn_cursor: u64,
     churn_carry: f64,
+    thp: ThpPolicy,
+    // Gpfn blocks the guest faulted in as (intended) huge pages — the
+    // `MADV_HUGEPAGE` hints host khugepaged honors in madvise mode.
+    huge_gpfn_blocks: BTreeSet<u64>,
 }
 
 impl GuestOs {
@@ -71,6 +75,8 @@ impl GuestOs {
             kernel_data_pages: 0,
             churn_cursor: 0,
             churn_carry: 0.0,
+            thp: ThpPolicy::Never,
+            huge_gpfn_blocks: BTreeSet::new(),
         };
         os.contexts
             .insert(KERNEL_PID, GuestAddressSpace::new("kernel"));
@@ -169,6 +175,24 @@ impl GuestOs {
         self.next_gpfn
     }
 
+    /// Sets the guest kernel's transparent-huge-page policy. Affects
+    /// future page faults only; boot layout is policy-independent.
+    pub fn set_thp_policy(&mut self, thp: ThpPolicy) {
+        self.thp = thp;
+    }
+
+    /// The guest's transparent-huge-page policy.
+    #[must_use]
+    pub fn thp_policy(&self) -> ThpPolicy {
+        self.thp
+    }
+
+    /// Gpfn blocks (gpfn / [`HUGE_PAGE_SPAN`]) the guest populated with
+    /// huge fault-around — the madvise hints host khugepaged honors.
+    pub fn huge_hint_blocks(&self) -> impl Iterator<Item = u64> + '_ {
+        self.huge_gpfn_blocks.iter().copied()
+    }
+
     /// Spawns a guest process and returns its pid. Pids ascend in spawn
     /// order from a per-boot offset.
     pub fn spawn(&mut self, name: impl Into<String>) -> Pid {
@@ -211,17 +235,77 @@ impl GuestOs {
     pub fn write_page(&mut self, mm: &mut HostMm, pid: Pid, vpn: Vpn, fp: Fingerprint, now: Tick) {
         let gpfn = match self.translate(pid, vpn) {
             Some(g) => g,
-            None => {
-                let g = self.alloc_gpfn();
-                let region = self
-                    .context_mut(pid)
-                    .region_containing_mut(vpn)
-                    .unwrap_or_else(|| panic!("{pid} write outside regions at {vpn}"));
-                region.set_gpfn(vpn, Some(g));
-                g
-            }
+            None => match self.try_huge_fault(mm, pid, vpn, now) {
+                Some(g) => g,
+                None => {
+                    let g = self.alloc_gpfn();
+                    let region = self
+                        .context_mut(pid)
+                        .region_containing_mut(vpn)
+                        .unwrap_or_else(|| panic!("{pid} write outside regions at {vpn}"));
+                    region.set_gpfn(vpn, Some(g));
+                    g
+                }
+            },
         };
         mm.write_page(self.vm_space, self.host_vpn(gpfn), fp, now);
+    }
+
+    /// Huge fault-around: under a non-`never` THP policy, a fault in an
+    /// eligible, fully-untranslated 2 MiB-aligned virtual block
+    /// populates all of its [`HUGE_PAGE_SPAN`] pages at once from an
+    /// aligned gpfn run. The 511 non-faulting pages get per-guest-unique
+    /// filler content (uninitialized-but-resident memory: THP bloat that
+    /// never merges), and the block is recorded as a khugepaged hint.
+    /// Returns the gpfn for the faulting page, or `None` to fall back to
+    /// a normal 4 KiB fault (ineligible range, partially populated
+    /// block, or no aligned guest-physical run left).
+    fn try_huge_fault(&mut self, mm: &mut HostMm, pid: Pid, vpn: Vpn, now: Tick) -> Option<u64> {
+        let span = HUGE_PAGE_SPAN as u64;
+        let (block_start, offset_in_block) = {
+            let region = self.context(pid)?.region_containing(vpn)?;
+            let eligible = match self.thp {
+                ThpPolicy::Never => false,
+                ThpPolicy::Madvise => region.tag() == MemTag::JavaHeap,
+                ThpPolicy::Always => true,
+            };
+            if !eligible {
+                return None;
+            }
+            let slot = vpn.0 - region.base().0;
+            let block = slot / span;
+            if (block + 1) * span > region.len_pages() as u64 {
+                return None;
+            }
+            let start = region.base().offset(block * span);
+            if (0..span).any(|i| region.gpfn_at(start.offset(i)).is_some()) {
+                return None;
+            }
+            (start, slot % span)
+        };
+        let g0 = self.alloc_gpfn_block()?;
+        {
+            let region = self
+                .context_mut(pid)
+                .region_containing_mut(block_start)
+                .expect("region resolved above");
+            for i in 0..span {
+                region.set_gpfn(block_start.offset(i), Some(g0 + i));
+            }
+        }
+        let salt = self.boot_salt;
+        for i in 0..span {
+            if i != offset_in_block {
+                mm.write_page(
+                    self.vm_space,
+                    self.host_vpn(g0 + i),
+                    Fingerprint::of(&[0x7487_9a6e, salt, g0 + i]),
+                    now,
+                );
+            }
+        }
+        self.huge_gpfn_blocks.insert(g0 / span);
+        Some(g0 + offset_in_block)
     }
 
     /// Translates a process page to its guest physical frame.
@@ -256,6 +340,8 @@ impl GuestOs {
             pid: pid.0,
             gvpn: vpn.0,
         });
+        self.huge_gpfn_blocks
+            .remove(&(gpfn / HUGE_PAGE_SPAN as u64));
         mm.unmap_page(self.vm_space, self.host_vpn(gpfn));
         self.free_gpfns.push(gpfn);
         true
@@ -273,6 +359,8 @@ impl GuestOs {
             pages: region.len_pages() as u64,
         });
         for (_, gpfn) in region.iter_mapped() {
+            self.huge_gpfn_blocks
+                .remove(&(gpfn / HUGE_PAGE_SPAN as u64));
             mm.unmap_page(self.vm_space, self.host_vpn(gpfn));
             self.free_gpfns.push(gpfn);
         }
@@ -291,6 +379,8 @@ impl GuestOs {
                 pages: region.len_pages() as u64,
             });
             for (_, gpfn) in region.iter_mapped() {
+                self.huge_gpfn_blocks
+                    .remove(&(gpfn / HUGE_PAGE_SPAN as u64));
                 mm.unmap_page(self.vm_space, self.host_vpn(gpfn));
                 self.free_gpfns.push(gpfn);
             }
@@ -366,6 +456,25 @@ impl GuestOs {
         let g = self.next_gpfn;
         self.next_gpfn += 1;
         g
+    }
+
+    /// Allocates an aligned run of [`HUGE_PAGE_SPAN`] fresh gpfns from
+    /// the watermark (the free list is fragmented — real huge-page
+    /// allocation needs physically contiguous memory). Alignment-gap
+    /// gpfns go to the free list for later 4 KiB faults. Returns `None`
+    /// when no aligned run fits, modeling allocation failure under
+    /// fragmentation/pressure instead of OOMing the guest.
+    fn alloc_gpfn_block(&mut self) -> Option<u64> {
+        let span = HUGE_PAGE_SPAN as u64;
+        let aligned = self.next_gpfn.next_multiple_of(span);
+        if aligned as usize + HUGE_PAGE_SPAN > self.guest_pages {
+            return None;
+        }
+        for gap in self.next_gpfn..aligned {
+            self.free_gpfns.push(gap);
+        }
+        self.next_gpfn = aligned + span;
+        Some(aligned)
     }
 }
 
@@ -493,6 +602,92 @@ mod tests {
         // ~all kernel-data pages rewritten over one simulated second.
         let data_pages = mem::mib_to_pages(img.kernel_data_mib) as u64;
         assert!(rewritten >= data_pages - 1, "rewrote {rewritten}");
+    }
+
+    #[test]
+    fn huge_fault_around_populates_a_full_block() {
+        let mut mm = HostMm::new();
+        let s = mm.create_space("vm");
+        let img = OsImage::tiny_test();
+        let mut g = GuestOs::boot(&mut mm, s, mem::mib_to_pages(16.0), &img, 1, Tick(0));
+        g.set_thp_policy(ThpPolicy::Madvise);
+        let pid = g.spawn("java");
+        let heap = g.add_region(pid, 2 * HUGE_PAGE_SPAN, MemTag::JavaHeap);
+        let resident_before = mm.phys().allocated_frames();
+        g.write_page(&mut mm, pid, heap.offset(7), Fingerprint::of(&[1]), Tick(1));
+        // One fault populated the whole first block.
+        assert_eq!(
+            mm.phys().allocated_frames(),
+            resident_before + HUGE_PAGE_SPAN
+        );
+        for i in 0..HUGE_PAGE_SPAN as u64 {
+            assert!(g.translate(pid, heap.offset(i)).is_some());
+        }
+        assert!(g
+            .translate(pid, heap.offset(HUGE_PAGE_SPAN as u64))
+            .is_none());
+        // The gpfn run is aligned, and the hint was recorded.
+        let g0 = g.translate(pid, heap).unwrap();
+        assert_eq!(g0 % HUGE_PAGE_SPAN as u64, 0);
+        assert_eq!(
+            g.huge_hint_blocks().collect::<Vec<_>>(),
+            vec![g0 / HUGE_PAGE_SPAN as u64]
+        );
+        // Faulting page holds the written content; the rest filler.
+        assert_eq!(
+            g.fingerprint_at(&mm, pid, heap.offset(7)),
+            Some(Fingerprint::of(&[1]))
+        );
+        assert!(g.fingerprint_at(&mm, pid, heap.offset(8)).is_some());
+        mm.assert_consistent();
+    }
+
+    #[test]
+    fn madvise_policy_ignores_non_heap_regions() {
+        let mut mm = HostMm::new();
+        let s = mm.create_space("vm");
+        let img = OsImage::tiny_test();
+        let mut g = GuestOs::boot(&mut mm, s, mem::mib_to_pages(16.0), &img, 1, Tick(0));
+        g.set_thp_policy(ThpPolicy::Madvise);
+        let pid = g.spawn("p");
+        let r = g.add_region(pid, 2 * HUGE_PAGE_SPAN, MemTag::OtherProcess);
+        let used = g.gpfns_in_use();
+        g.write_page(&mut mm, pid, r, Fingerprint::of(&[1]), Tick(1));
+        assert_eq!(g.gpfns_in_use(), used + 1, "non-heap must fault 4K");
+        assert_eq!(g.huge_hint_blocks().count(), 0);
+    }
+
+    #[test]
+    fn releasing_a_block_page_clears_the_hint() {
+        let mut mm = HostMm::new();
+        let s = mm.create_space("vm");
+        let img = OsImage::tiny_test();
+        let mut g = GuestOs::boot(&mut mm, s, mem::mib_to_pages(16.0), &img, 1, Tick(0));
+        g.set_thp_policy(ThpPolicy::Always);
+        let pid = g.spawn("p");
+        let r = g.add_region(pid, HUGE_PAGE_SPAN, MemTag::OtherProcess);
+        g.write_page(&mut mm, pid, r, Fingerprint::of(&[1]), Tick(1));
+        assert_eq!(g.huge_hint_blocks().count(), 1);
+        assert!(g.release_page(&mut mm, pid, r.offset(3)));
+        assert_eq!(g.huge_hint_blocks().count(), 0);
+        mm.assert_consistent();
+    }
+
+    #[test]
+    fn huge_fault_falls_back_when_no_aligned_run_fits() {
+        let mut mm = HostMm::new();
+        let s = mm.create_space("vm");
+        let img = OsImage::tiny_test();
+        // Guest too small for any aligned 512-page run beyond the kernel.
+        let pages = mem::mib_to_pages(img.total_mib()) + 64;
+        let mut g = GuestOs::boot(&mut mm, s, pages, &img, 1, Tick(0));
+        g.set_thp_policy(ThpPolicy::Always);
+        let pid = g.spawn("p");
+        let r = g.add_region(pid, HUGE_PAGE_SPAN, MemTag::OtherProcess);
+        let used = g.gpfns_in_use();
+        g.write_page(&mut mm, pid, r, Fingerprint::of(&[1]), Tick(1));
+        assert_eq!(g.gpfns_in_use(), used + 1, "must fall back to one page");
+        assert_eq!(g.huge_hint_blocks().count(), 0);
     }
 
     #[test]

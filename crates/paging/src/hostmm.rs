@@ -1,8 +1,8 @@
 //! The host kernel's memory manager.
 
 use crate::rmap::Rmap;
-use crate::{AddressSpace, AsId, Mapping, MemTag, Vpn};
-use mem::{Fingerprint, FrameId, PhysMemory, Tick};
+use crate::{AddressSpace, AsId, Mapping, MemTag, SplitReason, Vpn};
+use mem::{Fingerprint, FrameId, PhysMemory, Tick, HUGE_PAGE_SPAN};
 use obs::{EventKind, Tracer};
 
 /// The host memory manager: frame pool + every address space + rmap.
@@ -48,6 +48,8 @@ pub struct HostMm {
     rmap: Rmap,
     cow_breaks: u64,
     epoch: u64,
+    huge_collapses: u64,
+    huge_splits: u64,
     tracer: Tracer,
 }
 
@@ -104,6 +106,18 @@ impl HostMm {
     #[must_use]
     pub fn cow_breaks(&self) -> u64 {
         self.cow_breaks
+    }
+
+    /// Number of 2 MiB collapses performed so far.
+    #[must_use]
+    pub fn huge_collapses(&self) -> u64 {
+        self.huge_collapses
+    }
+
+    /// Number of 2 MiB splits performed so far (all reasons).
+    #[must_use]
+    pub fn huge_splits(&self) -> u64 {
+        self.huge_splits
     }
 
     /// The event tracer attached to this memory manager. Disabled by
@@ -175,6 +189,22 @@ impl HostMm {
     ///
     /// Panics if `vpn` lies outside every region of `space`.
     pub fn write_page(&mut self, space: AsId, vpn: Vpn, fingerprint: Fingerprint, now: Tick) {
+        // A CoW write landing inside a huge mapping demotes it to base
+        // pages first: the kernel cannot break sharing at 4 KiB
+        // granularity under a 2 MiB translation. Guarded on the region
+        // having any huge blocks so the hot path stays one comparison.
+        if let Some((base, block)) = {
+            let region = self.spaces[space.index()].region_containing(vpn);
+            region
+                .filter(|r| r.huge_blocks() > 0 && r.is_huge_page(vpn))
+                .filter(|r| {
+                    r.frame_at(vpn)
+                        .is_some_and(|frame| self.phys.refcount(frame) > 1)
+                })
+                .map(|r| (r.base(), (vpn.0 - r.base().0) as usize / HUGE_PAGE_SPAN))
+        } {
+            self.split_block(space, base, block, SplitReason::Cow);
+        }
         self.epoch += 1;
         let mapping = Mapping { space, vpn };
         let region = self.spaces[space.index()]
@@ -228,6 +258,16 @@ impl HostMm {
     ///
     /// Does nothing if the page was already unpopulated.
     pub fn unmap_page(&mut self, space: AsId, vpn: Vpn) {
+        // Unmapping any subpage of a huge mapping (madvise(DONTNEED),
+        // ballooning) splits it back to base pages first.
+        if let Some((base, block)) = {
+            self.spaces[space.index()]
+                .region_containing(vpn)
+                .filter(|r| r.huge_blocks() > 0 && r.is_huge_page(vpn))
+                .map(|r| (r.base(), (vpn.0 - r.base().0) as usize / HUGE_PAGE_SPAN))
+        } {
+            self.split_block(space, base, block, SplitReason::Madvise);
+        }
         let region = match self.spaces[space.index()].region_containing_mut(vpn) {
             Some(r) => r,
             None => return,
@@ -301,6 +341,80 @@ impl HostMm {
     pub fn mark_ksm_stable(&mut self, frame: FrameId) {
         self.epoch += 1;
         self.phys.set_ksm_shared(frame, true);
+    }
+
+    /// Attempts a khugepaged-style collapse of the `block`-th 2 MiB
+    /// block of the region based at (`space`, `base`). Succeeds only if
+    /// every one of the block's [`HUGE_PAGE_SPAN`] pages is populated
+    /// by an exclusively-owned, non-KSM frame, the block is not already
+    /// huge, and KSM has not latched it split. Returns whether the
+    /// collapse happened.
+    pub fn try_collapse(&mut self, space: AsId, base: Vpn, block: usize) -> bool {
+        let eligible = {
+            let Some(region) = self.spaces[space.index()].region_at(base) else {
+                return false;
+            };
+            block < region.block_count()
+                && !region.is_huge_block(block)
+                && !region.ksm_split_latched(block)
+                && (0..HUGE_PAGE_SPAN).all(|i| {
+                    region
+                        .frame_at_index(block * HUGE_PAGE_SPAN + i)
+                        .is_some_and(|frame| {
+                            self.phys.refcount(frame) == 1 && !self.phys.is_ksm_shared(frame)
+                        })
+                })
+        };
+        if !eligible {
+            return false;
+        }
+        let region = self.spaces[space.index()]
+            .region_containing_mut(base)
+            .expect("region vanished during collapse");
+        region.set_huge(block, true);
+        region.touch();
+        self.epoch += 1;
+        self.huge_collapses += 1;
+        self.tracer.emit_with(|| EventKind::HugeCollapse {
+            space: space.0,
+            base: base.0,
+            block: block as u64,
+        });
+        true
+    }
+
+    /// Demotes the `block`-th 2 MiB block of the region based at
+    /// (`space`, `base`) back to base pages. Idempotent: returns `false`
+    /// if the block is not currently huge. A split for
+    /// [`SplitReason::Ksm`] latches the block so khugepaged never
+    /// re-collapses what the scanner tore down.
+    pub fn split_block(
+        &mut self,
+        space: AsId,
+        base: Vpn,
+        block: usize,
+        reason: SplitReason,
+    ) -> bool {
+        let Some(region) = self.spaces[space.index()].region_containing_mut(base) else {
+            return false;
+        };
+        if region.base() != base || !region.is_huge_block(block) {
+            return false;
+        }
+        region.set_huge(block, false);
+        if reason == SplitReason::Ksm {
+            region.set_ksm_latch(block);
+        }
+        region.touch();
+        self.epoch += 1;
+        self.huge_splits += 1;
+        self.tracer.emit_with(|| EventKind::HugeSplit {
+            space: space.0,
+            base: base.0,
+            block: block as u64,
+            reason: reason.code(),
+        });
+        true
     }
 
     /// The PTE locations currently mapping `frame`.
@@ -463,6 +577,87 @@ mod tests {
         assert_eq!(mm.phys().refcount(fa), 1);
         assert_eq!(mm.fingerprint_at(a, ra), Some(fp(7)));
         mm.assert_consistent();
+    }
+
+    fn huge_setup() -> (HostMm, AsId, Vpn) {
+        let mut mm = HostMm::new();
+        let s = mm.create_space("vm");
+        let base = mm.map_region(s, 1024, MemTag::VmGuestMemory, true);
+        for i in 0..1024 {
+            mm.write_page(s, base.offset(i), fp(1000 + i), Tick(0));
+        }
+        (mm, s, base)
+    }
+
+    #[test]
+    fn collapse_requires_full_exclusive_block() {
+        let (mut mm, s, base) = huge_setup();
+        assert!(mm.try_collapse(s, base, 0));
+        assert!(mm.try_collapse(s, base, 1));
+        // Already huge: no double collapse.
+        assert!(!mm.try_collapse(s, base, 0));
+        // Out of range.
+        assert!(!mm.try_collapse(s, base, 2));
+        let region = mm.space(s).region_at(base).unwrap();
+        assert_eq!(region.huge_blocks(), 2);
+        assert_eq!(region.huge_pages(), 1024);
+        assert!(region.is_huge_page(base.offset(511)));
+        assert_eq!(mm.huge_collapses(), 2);
+        mm.assert_consistent();
+    }
+
+    #[test]
+    fn collapse_rejects_holes_and_shared_frames() {
+        let (mut mm, s, base) = huge_setup();
+        mm.unmap_page(s, base.offset(3));
+        assert!(!mm.try_collapse(s, base, 0), "hole must block collapse");
+        let f = mm.frame_at(s, base.offset(600)).unwrap();
+        mm.mark_ksm_stable(f);
+        assert!(
+            !mm.try_collapse(s, base, 1),
+            "KSM-shared subframe must block collapse"
+        );
+    }
+
+    #[test]
+    fn unmap_inside_huge_block_splits_first() {
+        let (mut mm, s, base) = huge_setup();
+        assert!(mm.try_collapse(s, base, 0));
+        mm.unmap_page(s, base.offset(100));
+        let region = mm.space(s).region_at(base).unwrap();
+        assert!(!region.is_huge_block(0));
+        assert!(!region.ksm_split_latched(0), "madvise split must not latch");
+        assert_eq!(mm.huge_splits(), 1);
+        // Refault and re-collapse: madvise splits are not permanent.
+        mm.write_page(s, base.offset(100), fp(7), Tick(1));
+        assert!(mm.try_collapse(s, base, 0));
+        mm.assert_consistent();
+    }
+
+    #[test]
+    fn ksm_split_latches_against_recollapse() {
+        let (mut mm, s, base) = huge_setup();
+        assert!(mm.try_collapse(s, base, 0));
+        assert!(mm.split_block(s, base, 0, crate::SplitReason::Ksm));
+        // Idempotent on an already-split block.
+        assert!(!mm.split_block(s, base, 0, crate::SplitReason::Ksm));
+        assert!(!mm.try_collapse(s, base, 0), "latched block must stay 4K");
+        assert!(mm.try_collapse(s, base, 1), "other blocks unaffected");
+    }
+
+    #[test]
+    fn cow_write_into_huge_block_splits() {
+        let (mut mm, s, base) = huge_setup();
+        assert!(mm.try_collapse(s, base, 0));
+        // Fabricate sharing inside the huge block (normally impossible;
+        // mirrors what a fork-style share would look like).
+        let victim = mm.frame_at(s, base.offset(8)).unwrap();
+        mm.phys_mut().inc_ref(victim);
+        mm.write_page(s, base.offset(8), fp(9), Tick(2));
+        let region = mm.space(s).region_at(base).unwrap();
+        assert!(!region.is_huge_block(0), "CoW write must demote the block");
+        assert_eq!(mm.cow_breaks(), 1);
+        mm.phys_mut().dec_ref(victim);
     }
 
     #[test]

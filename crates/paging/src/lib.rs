@@ -42,9 +42,11 @@ mod malloc;
 mod rmap;
 mod space;
 mod tag;
+mod thp;
 
 pub use hostmm::HostMm;
 pub use malloc::{Allocation, MallocArena, PageSink, MMAP_THRESHOLD};
 pub use rmap::Mapping;
 pub use space::{AddressSpace, AsId, Region, Vpn};
 pub use tag::MemTag;
+pub use thp::{SplitReason, ThpPolicy};

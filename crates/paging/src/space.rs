@@ -1,7 +1,7 @@
 //! Per-process virtual address spaces.
 
 use crate::MemTag;
-use mem::FrameId;
+use mem::{FrameId, HUGE_PAGE_SPAN};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -77,10 +77,22 @@ pub struct Region {
     // CoW break, PTE repoint, and unmap. An unchanged generation means
     // no page of the region changed content or population.
     generation: u64,
+    // Huge-page overlay: one flag per fully-contained, region-relative
+    // 2 MiB block (HUGE_PAGE_SPAN pages). A set flag means the block's
+    // 512 subframes are mapped through a single PMD-sized translation.
+    // Frames themselves stay 4 KiB in the frame table; hugeness is a
+    // property of the translation, as in FHPM-style fine-grained THP.
+    huge: Vec<bool>,
+    huge_count: usize,
+    // Blocks the KSM scanner split stay split: khugepaged must not
+    // re-collapse a block KSM tore down to merge, or the two would
+    // livelock. Splits for madvise/balloon/CoW reasons do not latch.
+    ksm_latch: Vec<bool>,
 }
 
 impl Region {
     fn new(id: u64, base: Vpn, pages: usize, tag: MemTag, mergeable: bool) -> Region {
+        let blocks = pages / HUGE_PAGE_SPAN;
         Region {
             base,
             tag,
@@ -89,6 +101,9 @@ impl Region {
             mapped: 0,
             id,
             generation: 0,
+            huge: vec![false; blocks],
+            huge_count: 0,
+            ksm_latch: vec![false; blocks],
         }
     }
 
@@ -216,6 +231,74 @@ impl Region {
             .enumerate()
             .filter(|&(_i, &raw)| raw != UNMAPPED)
             .map(|(i, &raw)| (self.base.offset(i as u64), FrameId::from_raw(raw)))
+    }
+
+    /// Number of fully-contained 2 MiB blocks the region can hold
+    /// (regions shorter than [`HUGE_PAGE_SPAN`] pages have none).
+    #[must_use]
+    pub fn block_count(&self) -> usize {
+        self.huge.len()
+    }
+
+    /// `true` if the `block`-th region-relative 2 MiB block is mapped
+    /// huge. Out-of-range blocks are never huge.
+    #[must_use]
+    pub fn is_huge_block(&self, block: usize) -> bool {
+        self.huge.get(block).copied().unwrap_or(false)
+    }
+
+    /// `true` if `vpn` lies inside a huge-mapped block of this region.
+    #[must_use]
+    pub fn is_huge_page(&self, vpn: Vpn) -> bool {
+        match self.slot_index(vpn) {
+            Some(idx) => self.is_huge_block(idx / HUGE_PAGE_SPAN),
+            None => false,
+        }
+    }
+
+    /// Number of blocks currently mapped huge.
+    #[must_use]
+    pub fn huge_blocks(&self) -> usize {
+        self.huge_count
+    }
+
+    /// Number of pages reached through huge translations
+    /// (`huge_blocks() * HUGE_PAGE_SPAN`).
+    #[must_use]
+    pub fn huge_pages(&self) -> usize {
+        self.huge_count * HUGE_PAGE_SPAN
+    }
+
+    /// Iterates over the indices of huge-mapped blocks in address order.
+    pub fn huge_block_indices(&self) -> impl Iterator<Item = usize> + '_ {
+        self.huge
+            .iter()
+            .enumerate()
+            .filter(|&(_b, &h)| h)
+            .map(|(b, _h)| b)
+    }
+
+    /// `true` if the KSM scanner split this block: khugepaged skips it
+    /// so split-to-merge and collapse never livelock.
+    #[must_use]
+    pub fn ksm_split_latched(&self, block: usize) -> bool {
+        self.ksm_latch.get(block).copied().unwrap_or(false)
+    }
+
+    pub(crate) fn set_huge(&mut self, block: usize, huge: bool) {
+        let slot = &mut self.huge[block];
+        if *slot != huge {
+            self.huge_count = if huge {
+                self.huge_count + 1
+            } else {
+                self.huge_count - 1
+            };
+            *slot = huge;
+        }
+    }
+
+    pub(crate) fn set_ksm_latch(&mut self, block: usize) {
+        self.ksm_latch[block] = true;
     }
 }
 

@@ -1,0 +1,121 @@
+//! Transparent-huge-page policy types.
+//!
+//! Linux exposes THP behaviour through
+//! `/sys/kernel/mm/transparent_hugepage/enabled`, with three settings
+//! that this model reproduces: `always` (khugepaged collapses any
+//! eligible anonymous run), `madvise` (only ranges the application
+//! flagged with `MADV_HUGEPAGE`), and `never`. The same enum serves
+//! both sides of the virtualization boundary: the *guest* policy
+//! drives fault-around (whether a guest page fault populates a whole
+//! 2 MiB-aligned block), the *host* policy drives khugepaged-style
+//! collapse of guest-memory memslots.
+
+use std::fmt;
+
+/// A transparent-huge-page policy, mirroring the Linux sysfs knob.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ThpPolicy {
+    /// No huge pages at all: every mapping stays 4 KiB.
+    #[default]
+    Never,
+    /// Huge pages only for ranges the owner advised (`MADV_HUGEPAGE`);
+    /// in this model, guest Java heaps.
+    Madvise,
+    /// Huge pages wherever an aligned, fully eligible run exists.
+    Always,
+}
+
+impl ThpPolicy {
+    /// Parses the sysfs-style policy name (`never`/`madvise`/`always`).
+    #[must_use]
+    pub fn parse(name: &str) -> Option<ThpPolicy> {
+        match name {
+            "never" => Some(ThpPolicy::Never),
+            "madvise" => Some(ThpPolicy::Madvise),
+            "always" => Some(ThpPolicy::Always),
+            _ => None,
+        }
+    }
+
+    /// The sysfs-style policy name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            ThpPolicy::Never => "never",
+            ThpPolicy::Madvise => "madvise",
+            ThpPolicy::Always => "always",
+        }
+    }
+}
+
+impl fmt::Display for ThpPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Why a huge mapping was demoted back to 4 KiB pages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SplitReason {
+    /// Part of the range was unmapped or advised away (madvise,
+    /// ballooning, region teardown).
+    Madvise,
+    /// A copy-on-write fault on a shared subframe forced the split.
+    Cow,
+    /// The KSM scanner split the mapping so its subpages could enter
+    /// the unstable tree (Linux splits huge pages before merging).
+    Ksm,
+}
+
+impl SplitReason {
+    /// Stable numeric code carried in trace events.
+    #[must_use]
+    pub fn code(self) -> u64 {
+        match self {
+            SplitReason::Madvise => 0,
+            SplitReason::Cow => 1,
+            SplitReason::Ksm => 2,
+        }
+    }
+
+    /// Human-readable reason name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            SplitReason::Madvise => "madvise",
+            SplitReason::Cow => "cow",
+            SplitReason::Ksm => "ksm",
+        }
+    }
+}
+
+impl fmt::Display for SplitReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policy_parse_round_trips() {
+        for p in [ThpPolicy::Never, ThpPolicy::Madvise, ThpPolicy::Always] {
+            assert_eq!(ThpPolicy::parse(p.name()), Some(p));
+        }
+        assert_eq!(ThpPolicy::parse("sometimes"), None);
+        assert_eq!(ThpPolicy::default(), ThpPolicy::Never);
+    }
+
+    #[test]
+    fn split_reason_codes_are_distinct() {
+        let codes = [
+            SplitReason::Madvise.code(),
+            SplitReason::Cow.code(),
+            SplitReason::Ksm.code(),
+        ];
+        assert_eq!(codes, [0, 1, 2]);
+        assert_eq!(SplitReason::Ksm.name(), "ksm");
+    }
+}

@@ -134,6 +134,16 @@ pub struct ExperimentConfig {
     /// of timeline-attribution sampling and of each scanner wake. `1`
     /// (the default) runs everything on the calling thread.
     pub threads: usize,
+    /// Host-side transparent-huge-page policy: what the khugepaged
+    /// collapse scan ([`hypervisor::KvmHost::thp_scan`]) is allowed to
+    /// promote to 2 MiB frames. `Never` (the default) reproduces the
+    /// paper's configuration exactly.
+    pub thp_host: paging::ThpPolicy,
+    /// Guest-side THP policy: whether guest kernels fault around heap
+    /// writes with 2 MiB-aligned fill ([`oskernel::GuestOs`]'s huge
+    /// fault path) and, under `Madvise`, advertise heap blocks as
+    /// collapse hints to the host.
+    pub thp_guest: paging::ThpPolicy,
 }
 
 impl ExperimentConfig {
@@ -163,6 +173,8 @@ impl ExperimentConfig {
             diagnose: false,
             audit: false,
             threads: 1,
+            thp_host: paging::ThpPolicy::Never,
+            thp_guest: paging::ThpPolicy::Never,
         }
     }
 
@@ -325,6 +337,8 @@ impl ExperimentConfig {
             diagnose: false,
             audit: false,
             threads: 1,
+            thp_host: paging::ThpPolicy::Never,
+            thp_guest: paging::ThpPolicy::Never,
         }
     }
 
@@ -423,6 +437,20 @@ impl ExperimentConfig {
     #[must_use]
     pub fn with_threads(mut self, threads: usize) -> ExperimentConfig {
         self.threads = threads.max(1);
+        self
+    }
+
+    /// Sets the host (khugepaged) and guest (fault-around) transparent
+    /// huge page policies. `Never`/`Never` — the default — reproduces
+    /// the paper's configuration.
+    #[must_use]
+    pub fn with_thp(
+        mut self,
+        host: paging::ThpPolicy,
+        guest: paging::ThpPolicy,
+    ) -> ExperimentConfig {
+        self.thp_host = host;
+        self.thp_guest = guest;
         self
     }
 
@@ -615,6 +643,17 @@ mod tests {
         assert_eq!(cfg.with_threads(0).threads, 1);
         let cfg = ExperimentConfig::tiny_test(1, false).with_threads(8);
         assert_eq!(cfg.threads, 8);
+    }
+
+    #[test]
+    fn thp_defaults_to_never_and_builder_sets_both_sides() {
+        use paging::ThpPolicy;
+        let cfg = ExperimentConfig::tiny_test(1, false);
+        assert_eq!(cfg.thp_host, ThpPolicy::Never);
+        assert_eq!(cfg.thp_guest, ThpPolicy::Never);
+        let cfg = cfg.with_thp(ThpPolicy::Always, ThpPolicy::Madvise);
+        assert_eq!(cfg.thp_host, ThpPolicy::Always);
+        assert_eq!(cfg.thp_guest, ThpPolicy::Madvise);
     }
 
     #[test]

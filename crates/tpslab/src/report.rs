@@ -56,6 +56,15 @@ pub struct ExperimentReport {
     pub usable_mib: f64,
     /// Memory-pressure slowdown factor in `(0, 1]` (1 = healthy).
     pub slowdown: f64,
+    /// Host memory mapped through 2 MiB huge frames at the end of the
+    /// run, MiB. Zero under the default `ThpPolicy::Never`.
+    pub huge_mib: f64,
+    /// TLB-reach throughput credit in `[1, 1 + gain]` from the final
+    /// huge-page fraction ([`hypervisor::PagingModel::tlb_boost`]);
+    /// exactly `1.0` when no memory is huge-mapped. The per-guest
+    /// throughput figures already include it (capped at the healthy
+    /// rate).
+    pub tlb_boost: f64,
     /// Per-guest throughput estimates (Figs. 7–8).
     pub throughput: Vec<VmThroughput>,
     /// Shared-class-cache utilisation per distinct workload:
@@ -173,6 +182,8 @@ mod tests {
             resident_mib: 0.0,
             usable_mib: 0.0,
             slowdown: 1.0,
+            huge_mib: 0.0,
+            tlb_boost: 1.0,
             throughput: vec![
                 VmThroughput {
                     name: "vm1".into(),

@@ -38,6 +38,9 @@ impl Experiment {
         for t in 1..=end.0 {
             let now = Tick(t);
             Experiment::tick_world(&mut host, &mut javas, now);
+            if t.is_multiple_of(mem::TICKS_PER_SECOND) {
+                host.thp_scan(now);
+            }
             if !switched && now >= warmup_end {
                 scanner.set_params(config.ksm.steady);
                 switched = true;
@@ -114,6 +117,12 @@ impl Experiment {
                 1,
                 host.mm().phys().total_writes() - writes_before,
             );
+            // khugepaged runs as a once-per-second host daemon, between
+            // the guest ticks and the KSM wake (like the real kernel's
+            // independent kthreads, collapse and merge interleave).
+            if t.is_multiple_of(mem::TICKS_PER_SECOND) {
+                host.thp_scan(now);
+            }
             if !switched && now >= warmup_end {
                 scanner.set_params(config.ksm.steady);
                 switched = true;
@@ -225,20 +234,34 @@ impl Experiment {
             .iter()
             .map(|g| cold_estimate_mib(config, g))
             .sum();
-        let slowdown = PagingModel::default().slowdown(
+        let paging = PagingModel::default();
+        let slowdown = paging.slowdown(
             resident_mib,
             config.host.ram_mib,
             config.host.reserve_mib,
             cold_mib,
         );
+        // TLB-reach credit: huge mappings shrink the page-walk overhead,
+        // recovering some of the paging slowdown — never beyond the
+        // healthy rate. With no huge pages the boost is exactly 1.0 and
+        // the service factor degenerates to the pure paging slowdown.
+        let huge_mib = host.huge_mib();
+        let allocated = host.mm().phys().allocated_frames();
+        let huge_fraction = if allocated == 0 {
+            0.0
+        } else {
+            host.huge_pages() as f64 / allocated as f64
+        };
+        let tlb_boost = paging.tlb_boost(huge_fraction);
+        let service = (slowdown * tlb_boost).min(1.0);
         let throughput = config
             .guests
             .iter()
             .enumerate()
             .map(|(i, spec)| VmThroughput {
                 name: format!("vm{}", i + 1),
-                throughput: spec.benchmark.drive.throughput(slowdown),
-                sla: spec.benchmark.drive.sla(slowdown),
+                throughput: spec.benchmark.drive.throughput(service),
+                sla: spec.benchmark.drive.sla(service),
             })
             .collect();
 
@@ -248,6 +271,8 @@ impl Experiment {
             resident_mib,
             usable_mib: config.host.usable_mib(),
             slowdown,
+            huge_mib,
+            tlb_boost,
             throughput,
             caches: caches
                 .values()
@@ -273,6 +298,7 @@ pub(crate) fn boot_world(
     config: &ExperimentConfig,
 ) -> (KvmHost, Vec<JavaVm>, HashMap<u64, SharedClassCache>) {
     let mut host = KvmHost::new(config.host);
+    host.set_thp_policies(config.thp_host, config.thp_guest);
     if config.trace {
         host.mm_mut().tracer_mut().enable(None);
     }
@@ -412,6 +438,49 @@ mod tests {
             "fraction {}",
             cds.mean_nonprimary_class_saving_fraction()
         );
+    }
+
+    #[test]
+    fn thp_always_builds_huge_pages_and_boosts_throughput() {
+        use crate::KsmSchedule;
+        use ksm::KsmParams;
+        use paging::ThpPolicy;
+        let no_ksm = KsmSchedule {
+            warmup: KsmParams::new(0, 100),
+            steady: KsmParams::new(0, 100),
+            warmup_seconds: 0,
+        };
+        let base = ExperimentConfig::tiny_test(2, false).with_ksm(no_ksm);
+        let thp = base.clone().with_thp(ThpPolicy::Always, ThpPolicy::Always);
+        let plain = Experiment::run(&base).unwrap();
+        let boosted = Experiment::run(&thp).unwrap();
+        // The default config is THP-free and pays no reach credit.
+        assert_eq!(plain.huge_mib, 0.0);
+        assert_eq!(plain.tlb_boost, 1.0);
+        // Under always/always with KSM off, guest fault-around populates
+        // whole blocks and khugepaged collapses them (debug builds audit
+        // the final state, so the collapsed world is conservation-clean).
+        assert!(boosted.huge_mib > 0.0, "huge {}", boosted.huge_mib);
+        assert!(boosted.tlb_boost > 1.0);
+        assert!(boosted.total_throughput() >= plain.total_throughput());
+        // And the THP world is just as deterministic.
+        let again = Experiment::run(&thp).unwrap();
+        assert_eq!(boosted.breakdown, again.breakdown);
+        assert_eq!(boosted.huge_mib, again.huge_mib);
+        assert_eq!(boosted.tlb_boost, again.tlb_boost);
+    }
+
+    #[test]
+    fn ksm_splits_huge_pages_it_scans() {
+        use paging::ThpPolicy;
+        // The real THP×KSM tension: with both daemons on, KSM breaks the
+        // huge mappings (split-before-merge) and the latch keeps
+        // khugepaged from endlessly re-collapsing behind it.
+        let cfg =
+            ExperimentConfig::tiny_test(2, false).with_thp(ThpPolicy::Always, ThpPolicy::Always);
+        let report = Experiment::run(&cfg).unwrap();
+        assert!(report.ksm.thp_splits > 0, "no splits recorded");
+        assert!(report.ksm.pages_sharing > 0);
     }
 
     #[test]

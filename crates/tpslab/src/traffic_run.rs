@@ -83,6 +83,11 @@ pub struct TrafficReport {
     pub resident_mib: f64,
     /// Final KSM counters (freshly recounted).
     pub ksm: KsmStats,
+    /// Host memory mapped through 2 MiB huge frames at the end of the
+    /// run, MiB. Zero under the default `ThpPolicy::Never` — and then
+    /// omitted from [`render`](Self::render), keeping the non-THP golden
+    /// byte-identical.
+    pub huge_mib: f64,
     /// Per-interval samples, every [`SAMPLE_SECONDS`].
     pub samples: Vec<TrafficSample>,
 }
@@ -113,6 +118,13 @@ impl TrafficReport {
             "sharing stability {:.3} | final pages_sharing {} | resident {:.1} MiB",
             self.sharing_stability, self.ksm.pages_sharing, self.resident_mib
         );
+        if self.huge_mib > 0.0 {
+            let _ = writeln!(
+                out,
+                "thp huge {:.1} MiB | thp splits {}",
+                self.huge_mib, self.ksm.thp_splits
+            );
+        }
         let _ = writeln!(
             out,
             "{:>8} {:>7} {:>8} {:>7} {:>8}",
@@ -229,6 +241,7 @@ impl Experiment {
             sharing_stability: 0.0,
             resident_mib: 0.0,
             ksm: KsmStats::default(),
+            huge_mib: 0.0,
             samples: Vec::new(),
         };
         let (mut window_offered, mut window_served) = (0u64, 0u64);
@@ -250,6 +263,11 @@ impl Experiment {
                     &mut window_offered,
                     &mut window_served,
                 );
+            }
+            // khugepaged, once per simulated second (same cadence and
+            // ordering as the tick-model loop in `run`).
+            if t.is_multiple_of(mem::TICKS_PER_SECOND) {
+                host.thp_scan(now);
             }
             if !switched && now >= warmup_end {
                 scanner.set_params(config.ksm.steady);
@@ -290,6 +308,7 @@ impl Experiment {
 
         report.ksm = scanner.stats();
         report.resident_mib = host.resident_mib();
+        report.huge_mib = host.huge_mib();
         report.throughput_rps = report.served as f64 / config.duration_seconds as f64;
         report.sharing_stability = stability(&report.samples);
         Ok(report)
@@ -340,15 +359,23 @@ fn apply_event(
                     .map(|(_, c)| c)
                     .sum::<f64>()
                     + cold_per_guest[guest];
-                *slowdown_cache = (
-                    second,
-                    PagingModel::default().slowdown(
-                        host.resident_mib(),
-                        config.host.ram_mib,
-                        config.host.reserve_mib,
-                        cold,
-                    ),
+                let model = PagingModel::default();
+                let slowdown = model.slowdown(
+                    host.resident_mib(),
+                    config.host.ram_mib,
+                    config.host.reserve_mib,
+                    cold,
                 );
+                // TLB-reach credit from whatever fraction of memory is
+                // huge-mapped this second; exactly 1.0 with no huge
+                // pages, so non-THP capacity is unchanged.
+                let allocated = host.mm().phys().allocated_frames();
+                let huge_fraction = if allocated == 0 {
+                    0.0
+                } else {
+                    host.huge_pages() as f64 / allocated as f64
+                };
+                *slowdown_cache = (second, (slowdown * model.tlb_boost(huge_fraction)).min(1.0));
             }
             // Capacity: one healthy second of service, inflated by the
             // memory-pressure slowdown. Offered load past it is shed.
@@ -526,6 +553,33 @@ mod tests {
         let threaded = Experiment::run_traffic(&base.clone().with_threads(4), &scenario).unwrap();
         assert_eq!(a.render(), threaded.render());
         assert_eq!(a, threaded);
+    }
+
+    #[test]
+    fn thp_traffic_reports_huge_memory_and_stays_deterministic() {
+        use crate::KsmSchedule;
+        use ksm::KsmParams;
+        use paging::ThpPolicy;
+        // KSM off, so the collapsed blocks survive to the final report.
+        let no_ksm = KsmSchedule {
+            warmup: KsmParams::new(0, 100),
+            steady: KsmParams::new(0, 100),
+            warmup_seconds: 0,
+        };
+        let config = cfg(2, 60)
+            .with_ksm(no_ksm)
+            .with_thp(ThpPolicy::Always, ThpPolicy::Always);
+        let a = Experiment::run_traffic(&config, &Scenario::constant()).unwrap();
+        let threaded =
+            Experiment::run_traffic(&config.clone().with_threads(4), &Scenario::constant())
+                .unwrap();
+        assert_eq!(a, threaded);
+        assert!(a.huge_mib > 0.0, "huge {}", a.huge_mib);
+        assert!(a.render().contains("thp huge"));
+        // The non-THP render carries no THP line at all.
+        let plain = Experiment::run_traffic(&cfg(2, 60), &Scenario::constant()).unwrap();
+        assert_eq!(plain.huge_mib, 0.0);
+        assert!(!plain.render().contains("thp"));
     }
 
     #[test]

@@ -10,9 +10,9 @@ use workloads::Benchmark;
 pub const USAGE: &str = "\
 usage:
   tps-java run     [--guests N] [--benchmark NAME] [--preset NAME] [--scale S] [--minutes M] [--preload]
-                   [--csv] [--audit] [--trace FILE] [--profile] [--timeline S] [--threads N]
+                   [--csv] [--audit] [--trace FILE] [--profile] [--timeline S] [--threads N] [--thp POLICY]
   tps-java traffic [--scenario NAME] [--guests N] [--benchmark NAME] [--preset NAME] [--scale S]
-                   [--minutes M] [--preload] [--audit] [--threads N]
+                   [--minutes M] [--preload] [--audit] [--threads N] [--thp POLICY]
   tps-java explain [--guests N] [--benchmark NAME] [--preset NAME] [--scale S] [--minutes M] [--preload] [--top N]
   tps-java sweep   [--from N] [--to N] [--benchmark NAME] [--scale S] [--minutes M] [--audit]
   tps-java powervm [--scale S] [--minutes M]
@@ -33,7 +33,10 @@ tracing on and reports why content-identical pages were not merged,
 plus the --top N busiest page lifecycles. --timeline S samples the
 sharing timeline with full attribution every S simulated seconds and
 prints one row per sample; --threads N walks attribution on N workers
-(the report is bit-identical at any thread count).";
+(the report is bit-identical at any thread count). --thp POLICY
+(never | madvise | always, default never) sets both the host khugepaged
+and guest fault-around transparent-huge-page policies; the run reports
+2 MiB-mapped memory and the TLB-reach throughput credit when nonzero.";
 
 /// A parse or execution error.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -71,6 +74,7 @@ struct Opts {
     timeline: Option<u64>,
     threads: usize,
     scenario: String,
+    thp: Option<String>,
 }
 
 impl Default for Opts {
@@ -93,6 +97,7 @@ impl Default for Opts {
             timeline: None,
             threads: 1,
             scenario: "constant".into(),
+            thp: None,
         }
     }
 }
@@ -157,6 +162,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, CliError> {
                     .map_err(|_| err("--threads: not a number"))?
             }
             "--scenario" => opts.scenario = value("--scenario")?.clone(),
+            "--thp" => opts.thp = Some(value("--thp")?.clone()),
             other => return Err(err(format!("unknown option {other}"))),
         }
     }
@@ -237,6 +243,14 @@ fn config_for(opts: &Opts, guests: usize) -> Result<ExperimentConfig, CliError> 
         cfg = cfg.with_audit();
     }
     cfg = cfg.with_threads(opts.threads);
+    if let Some(name) = &opts.thp {
+        let policy = tpslab::paging::ThpPolicy::parse(name).ok_or_else(|| {
+            err(format!(
+                "--thp: unknown policy {name} (never | madvise | always)"
+            ))
+        })?;
+        cfg = cfg.with_thp(policy, policy);
+    }
     if let Some(seconds) = opts.timeline {
         cfg = cfg.with_timeline(seconds).with_timeline_attribution();
     }
@@ -307,6 +321,15 @@ fn cmd_run(opts: &Opts) -> Result<String, CliError> {
         100.0 * report.mean_nonprimary_class_saving_fraction(),
         report.slowdown,
     );
+    if report.huge_mib > 0.0 || report.ksm.thp_splits > 0 {
+        let _ = writeln!(
+            out,
+            "thp huge: {:.1} MiB | tlb boost {:.3} | ksm thp splits {}",
+            report.huge_mib * opts.scale,
+            report.tlb_boost,
+            report.ksm.thp_splits,
+        );
+    }
     if !report.timeline.is_empty() {
         out.push('\n');
         let _ = writeln!(
@@ -545,6 +568,34 @@ mod tests {
         for row in ["\n      10 ", "\n      20 ", "\n      30 "] {
             assert!(text.contains(row), "missing timeline row {row:?}");
         }
+    }
+
+    #[test]
+    fn parse_thp_and_reject_unknown_policy() {
+        use tpslab::paging::ThpPolicy;
+        let opts = parse_opts(&argv("--thp always")).unwrap();
+        assert_eq!(opts.thp.as_deref(), Some("always"));
+        let cfg = config_for(&opts, 2).unwrap();
+        assert_eq!(cfg.thp_host, ThpPolicy::Always);
+        assert_eq!(cfg.thp_guest, ThpPolicy::Always);
+        let defaults = parse_opts(&argv("")).unwrap();
+        let cfg = config_for(&defaults, 2).unwrap();
+        assert_eq!(cfg.thp_host, ThpPolicy::Never);
+        let bad = parse_opts(&argv("--thp sometimes")).unwrap();
+        let e = config_for(&bad, 2).unwrap_err();
+        assert!(e.to_string().contains("--thp"), "got: {e}");
+    }
+
+    #[test]
+    fn run_with_thp_prints_the_huge_line() {
+        let text = dispatch(&argv(
+            "run --guests 2 --scale 64 --minutes 0.5 --thp always",
+        ))
+        .unwrap();
+        assert!(text.contains("thp huge:"), "got: {text}");
+        assert!(text.contains("tlb boost"));
+        let plain = dispatch(&argv("run --guests 2 --scale 64 --minutes 0.5")).unwrap();
+        assert!(!plain.contains("thp huge:"), "got: {plain}");
     }
 
     #[test]

@@ -15,7 +15,7 @@
 //!
 //! then review and commit the updated `tests/golden/*.txt`.
 
-use bench::{figures, fleet, traffic, RunOpts};
+use bench::{figures, fleet, thp, traffic, RunOpts};
 use std::fs;
 use std::path::PathBuf;
 
@@ -106,6 +106,15 @@ fn fleet_report_is_identical_at_one_and_many_threads() {
             "fleet report diverged at {threads} threads"
         );
     }
+}
+
+#[test]
+fn thp_matches_golden_master() {
+    // The THP x KSM ablation sweep. golden_text() also asserts the
+    // sharing-vs-TLB-reach frontier is non-degenerate and runs the
+    // cross-layer conservation audit in every cell, so this test is
+    // simultaneously a physics check and a formatting pin.
+    assert_golden("thp.txt", &thp::golden_text());
 }
 
 #[test]
