@@ -64,6 +64,12 @@ pub struct SnapshotEngine {
     assignment: Vec<Option<u32>>,
     caches: Vec<SpaceCache>,
     rewalked: usize,
+    /// Cumulative cache accounting across the engine's lifetime
+    /// (deterministic: derived from region generations and epochs only).
+    snapshots_total: u64,
+    rewalked_total: u64,
+    cached_total: u64,
+    epoch_short_circuits: u64,
 }
 
 impl SnapshotEngine {
@@ -78,6 +84,10 @@ impl SnapshotEngine {
             assignment: Vec::new(),
             caches: Vec::new(),
             rewalked: 0,
+            snapshots_total: 0,
+            rewalked_total: 0,
+            cached_total: 0,
+            epoch_short_circuits: 0,
         }
     }
 
@@ -92,6 +102,39 @@ impl SnapshotEngine {
     #[must_use]
     pub fn rewalked_spaces(&self) -> usize {
         self.rewalked
+    }
+
+    /// Exports the engine's deterministic cache-hit/miss counters into
+    /// `reg`: snapshots taken, spaces re-walked vs served from cache,
+    /// and whole-snapshot epoch short-circuits. Walk *latency* is
+    /// wall-clock and is recorded by the caller (the daemon / benches)
+    /// into a separated [`obs::MetricClass::Wall`] histogram.
+    pub fn record_metrics(&self, reg: &mut obs::MetricsRegistry) {
+        reg.counter(
+            "engine_snapshots_total",
+            "Snapshots taken by the attribution engine.",
+            &[],
+            self.snapshots_total,
+        );
+        reg.counter(
+            "engine_spaces_rewalked_total",
+            "Address spaces re-walked because their generation signature moved (cache misses).",
+            &[],
+            self.rewalked_total,
+        );
+        reg.counter(
+            "engine_spaces_cached_total",
+            "Address spaces served from cached walk segments (cache hits).",
+            &[],
+            self.cached_total,
+        );
+        reg.counter("engine_epoch_short_circuits_total", "Snapshots that skipped even the signature scans because the HostMm epoch was unchanged.", &[], self.epoch_short_circuits);
+        reg.gauge(
+            "engine_last_rewalked_spaces",
+            "Spaces re-walked by the most recent snapshot.",
+            &[],
+            self.rewalked as f64,
+        );
     }
 
     /// Attributes every mapped host frame, reusing cached per-space
@@ -119,6 +162,7 @@ impl SnapshotEngine {
 
         let epoch = mm.epoch();
         let dirty: Vec<usize> = if self.last_epoch == Some(epoch) {
+            self.epoch_short_circuits += 1;
             Vec::new()
         } else {
             (0..spaces.len())
@@ -126,6 +170,9 @@ impl SnapshotEngine {
                 .collect()
         };
         self.rewalked = dirty.len();
+        self.snapshots_total += 1;
+        self.rewalked_total += dirty.len() as u64;
+        self.cached_total += (spaces.len() - dirty.len()) as u64;
 
         let assignment = &self.assignment;
         let segments = par::map_parallel(&dirty, self.threads, |&i| {

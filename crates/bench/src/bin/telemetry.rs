@@ -1,0 +1,50 @@
+//! Telemetry scrape and monitoring-cost benchmark.
+//!
+//! Two modes:
+//!
+//! * default — prints one deterministic metrics scrape of the converged
+//!   scale32 world (the text pinned as `tests/golden/telemetry.txt`):
+//!
+//!   ```text
+//!   cargo run --release -p bench --bin telemetry -- --scale 128 --minutes 0.2 --threads 2
+//!   ```
+//!
+//! * `--json` — measures the cost of watching the fleet (cached query
+//!   vs. idle re-sample vs. socket roundtrip, plus concurrent query
+//!   throughput against a live mutating daemon) at scale32 and
+//!   scale256, and prints the record committed as
+//!   `results/BENCH_telemetry.json`:
+//!
+//!   ```text
+//!   cargo run --release -p bench --bin telemetry -- --json --scale 128 --minutes 0.2 --threads 2 \
+//!       > results/BENCH_telemetry.json
+//!   ```
+//!
+//! Wall-clock numbers are machine-dependent; the invariant asserted at
+//! generation time is the acceptance bound — at scale256 the cached
+//! query stays within 2x the idle re-sample.
+
+use bench::RunOpts;
+use tpslab::ExperimentConfig;
+
+fn main() {
+    let mut json = false;
+    let args: Vec<String> = std::env::args()
+        .skip(1)
+        .filter(|a| {
+            if a == "--json" {
+                json = true;
+                false
+            } else {
+                true
+            }
+        })
+        .collect();
+    let opts = RunOpts::from_slice(args);
+    if json {
+        println!("{}", bench::telemetry::bench_json(&opts));
+    } else {
+        let cfg = opts.apply(ExperimentConfig::scale32(opts.scale));
+        print!("{}", tpslab::telemetry::golden_scrape(&cfg));
+    }
+}

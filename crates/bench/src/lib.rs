@@ -25,6 +25,7 @@
 #![forbid(unsafe_code)]
 
 pub mod fleet;
+pub mod telemetry;
 pub mod thp;
 pub mod traffic;
 

@@ -75,6 +75,7 @@ impl BalloonDriver {
             guest.release_page(mm, pid, vpn);
         }
         if reclaimed > 0 {
+            mm.note_balloon_reclaim(reclaimed as u64);
             mm.tracer().emit_with(|| obs::EventKind::BalloonInflate {
                 space: vm_space.index() as u32,
                 pages: reclaimed as u64,

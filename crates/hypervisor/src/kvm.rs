@@ -270,19 +270,24 @@ impl KvmHost {
         }
     }
 
+    /// Host pages currently mapped through 2 MiB translations in one
+    /// guest's memslot.
+    #[must_use]
+    pub fn guest_huge_pages(&self, idx: usize) -> usize {
+        let g = &self.guests[idx];
+        let space = g.os.vm_space();
+        self.mm
+            .space(space)
+            .region_at(g.os.host_vpn(0))
+            .map_or(0, paging::Region::huge_pages)
+    }
+
     /// Host pages currently mapped through 2 MiB translations across
     /// every guest memslot.
     #[must_use]
     pub fn huge_pages(&self) -> usize {
-        self.guests
-            .iter()
-            .map(|g| {
-                let space = g.os.vm_space();
-                self.mm
-                    .space(space)
-                    .region_at(g.os.host_vpn(0))
-                    .map_or(0, paging::Region::huge_pages)
-            })
+        (0..self.guests.len())
+            .map(|i| self.guest_huge_pages(i))
             .sum()
     }
 
@@ -303,6 +308,43 @@ impl KvmHost {
     #[must_use]
     pub fn overcommit_mib(&self) -> f64 {
         (self.resident_mib() - self.config.usable_mib()).max(0.0)
+    }
+
+    /// Exports the host-level deterministic gauges — resident/huge/
+    /// over-commit MiB, guest count, usable RAM — into `reg`, then the
+    /// memory manager's own counters via [`HostMm::record_metrics`].
+    pub fn record_metrics(&self, reg: &mut obs::MetricsRegistry) {
+        reg.gauge(
+            "host_resident_mib",
+            "Host physical memory currently allocated, MiB.",
+            &[],
+            self.resident_mib(),
+        );
+        reg.gauge(
+            "host_huge_mib",
+            "Memory reached through 2 MiB translations, MiB.",
+            &[],
+            self.huge_mib(),
+        );
+        reg.gauge(
+            "host_overcommit_mib",
+            "Resident beyond usable RAM, MiB (zero when healthy).",
+            &[],
+            self.overcommit_mib(),
+        );
+        reg.gauge(
+            "host_usable_mib",
+            "Usable host RAM after the hypervisor reserve, MiB.",
+            &[],
+            self.config.usable_mib(),
+        );
+        reg.gauge(
+            "host_guests",
+            "Guest VMs currently defined.",
+            &[],
+            self.guests.len() as f64,
+        );
+        self.mm.record_metrics(reg);
     }
 }
 

@@ -168,13 +168,27 @@ pub struct KsmScanner {
     seq: u32,
     /// Phase timing of the most recent wake (measurement only).
     last_wake: WakePhases,
+    /// Running sum of every wake's [`WakePhases`] (measurement only).
+    wake_totals: WakePhases,
 }
 
-/// Wall-clock nanoseconds the most recent wake spent in each of the
-/// scanner's three phases. Plan and commit are inherently serial;
-/// resolve fans out over the worker pool — this split is what the fleet
-/// benchmark feeds its Amdahl projection. Pure measurement plumbing: the
-/// clocks never influence scan behaviour.
+/// Per-phase accounting of the most recent wake, split into two
+/// strictly separated halves (DESIGN.md §13):
+///
+/// * the `*_nanos` fields are **wall-clock** measurements — plan and
+///   commit are inherently serial, resolve fans out over the worker
+///   pool, and this split is what the fleet benchmark feeds its Amdahl
+///   projection. They vary run to run and host to host, and nothing
+///   deterministic (goldens, reports, the simulated-state metric
+///   series) may depend on them;
+/// * the work counters (`planned_pages`, `classify_tasks`,
+///   `resolved_items`, `committed_ops`) are **simulated-state** values
+///   derived purely from the scan window — byte-identical at any
+///   `--threads` and safe to pin in goldens and the deterministic
+///   metrics exposition.
+///
+/// Pure measurement plumbing either way: neither half influences scan
+/// behaviour.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct WakePhases {
     /// Serial cursor/budget/credit bookkeeping over the frozen state.
@@ -185,6 +199,16 @@ pub struct WakePhases {
     pub resolve_nanos: u64,
     /// Serial seq-ordered commit, event replay and pass-boundary work.
     pub commit_nanos: u64,
+    /// Deterministic: pages covered by the plan phase's scan window
+    /// (serial walk plus deferred whole-region tasks).
+    pub planned_pages: u64,
+    /// Deterministic: whole-region scan tasks run by the classify phase.
+    pub classify_tasks: u64,
+    /// Deterministic: candidate items resolved across all shards.
+    pub resolved_items: u64,
+    /// Deterministic: mutations (merges, promotions, splits) committed
+    /// in scan order.
+    pub committed_ops: u64,
 }
 
 impl WakePhases {
@@ -204,6 +228,17 @@ impl WakePhases {
     #[must_use]
     pub fn parallel_nanos(&self) -> u64 {
         self.classify_nanos + self.resolve_nanos
+    }
+
+    fn accumulate(&mut self, wake: &WakePhases) {
+        self.plan_nanos += wake.plan_nanos;
+        self.classify_nanos += wake.classify_nanos;
+        self.resolve_nanos += wake.resolve_nanos;
+        self.commit_nanos += wake.commit_nanos;
+        self.planned_pages += wake.planned_pages;
+        self.classify_tasks += wake.classify_tasks;
+        self.resolved_items += wake.resolved_items;
+        self.committed_ops += wake.committed_ops;
     }
 }
 
@@ -342,6 +377,7 @@ impl KsmScanner {
             tasks: Vec::new(),
             seq: 0,
             last_wake: WakePhases::default(),
+            wake_totals: WakePhases::default(),
         }
     }
 
@@ -349,6 +385,146 @@ impl KsmScanner {
     #[must_use]
     pub fn last_wake_phases(&self) -> WakePhases {
         self.last_wake
+    }
+
+    /// Running sum of every wake's [`WakePhases`]: the deterministic
+    /// work counters are exact simulated-state totals, the nanos are
+    /// cumulative wall-clock time per phase.
+    #[must_use]
+    pub fn wake_totals(&self) -> WakePhases {
+        self.wake_totals
+    }
+
+    /// Exports the scanner's deterministic counters (sysfs-mirror stats
+    /// and cumulative wake work) plus the wall-clock per-phase nanos
+    /// into `reg`. Simulated-state series are byte-identical at any
+    /// thread count; the nanos land in the separated
+    /// [`obs::MetricClass::Wall`] section.
+    pub fn record_metrics(&self, reg: &mut obs::MetricsRegistry) {
+        let s = self.stats;
+        reg.counter(
+            "ksm_pages_scanned_total",
+            "Cumulative pages examined by the KSM scanner.",
+            &[],
+            s.pages_scanned,
+        );
+        reg.counter(
+            "ksm_merges_total",
+            "Cumulative pages merged (stable- and unstable-tree hits).",
+            &[],
+            s.merges,
+        );
+        reg.counter(
+            "ksm_full_scans_total",
+            "Completed full passes over all mergeable memory.",
+            &[],
+            s.full_scans,
+        );
+        reg.counter(
+            "ksm_volatile_skips_total",
+            "Candidates rejected by the volatility filter.",
+            &[],
+            s.volatile_skips,
+        );
+        reg.counter(
+            "ksm_stale_stable_nodes_total",
+            "Stale stable-tree nodes discarded during lookups.",
+            &[],
+            s.stale_stable_nodes,
+        );
+        reg.counter(
+            "ksm_chain_splits_total",
+            "Stable nodes re-seeded because a chain hit max_page_sharing.",
+            &[],
+            s.chain_splits,
+        );
+        reg.counter(
+            "ksm_clean_region_skips_total",
+            "Regions credited in O(1) by the clean-region fast path.",
+            &[],
+            s.clean_region_skips,
+        );
+        reg.counter(
+            "ksm_thp_splits_total",
+            "Huge pages split so their subpages could enter the unstable tree.",
+            &[],
+            s.thp_splits,
+        );
+        reg.gauge(
+            "ksm_pages_shared",
+            "Stable-tree frames: distinct shared pages kept in memory.",
+            &[],
+            s.pages_shared as f64,
+        );
+        reg.gauge(
+            "ksm_pages_sharing",
+            "PTEs pointing at stable frames beyond the first (copies elided).",
+            &[],
+            s.pages_sharing as f64,
+        );
+        reg.gauge(
+            "ksm_stable_nodes",
+            "Stable-tree nodes currently tracked, over all shards.",
+            &[],
+            self.stable_nodes() as f64,
+        );
+        let w = self.wake_totals;
+        const WORK_HELP: &str = "Cumulative deterministic work items per KSM wake phase.";
+        reg.counter(
+            "ksm_wake_work_total",
+            WORK_HELP,
+            &[("phase", "plan_pages")],
+            w.planned_pages,
+        );
+        reg.counter(
+            "ksm_wake_work_total",
+            WORK_HELP,
+            &[("phase", "classify_tasks")],
+            w.classify_tasks,
+        );
+        reg.counter(
+            "ksm_wake_work_total",
+            WORK_HELP,
+            &[("phase", "resolve_items")],
+            w.resolved_items,
+        );
+        reg.counter(
+            "ksm_wake_work_total",
+            WORK_HELP,
+            &[("phase", "commit_ops")],
+            w.committed_ops,
+        );
+        const NANOS_HELP: &str =
+            "Cumulative wall-clock nanoseconds per KSM wake phase (non-deterministic).";
+        let wall = obs::MetricClass::Wall;
+        reg.counter_class(
+            "ksm_wake_phase_nanos_total",
+            NANOS_HELP,
+            &[("phase", "plan")],
+            wall,
+            w.plan_nanos,
+        );
+        reg.counter_class(
+            "ksm_wake_phase_nanos_total",
+            NANOS_HELP,
+            &[("phase", "classify")],
+            wall,
+            w.classify_nanos,
+        );
+        reg.counter_class(
+            "ksm_wake_phase_nanos_total",
+            NANOS_HELP,
+            &[("phase", "resolve")],
+            wall,
+            w.resolve_nanos,
+        );
+        reg.counter_class(
+            "ksm_wake_phase_nanos_total",
+            NANOS_HELP,
+            &[("phase", "commit")],
+            wall,
+            w.commit_nanos,
+        );
     }
 
     /// Sets the worker count for the resolve phase. The scan is the same
@@ -451,6 +627,7 @@ impl KsmScanner {
         }
         self.last_wake = WakePhases {
             plan_nanos: plan_start.elapsed().as_nanos() as u64,
+            planned_pages: scanned as u64,
             ..WakePhases::default()
         };
         // Phase 1b: classify the deferred whole-region scan tasks in
@@ -468,6 +645,7 @@ impl KsmScanner {
             self.last_wake.commit_nanos += boundary_start.elapsed().as_nanos() as u64;
         }
         self.stats.pages_scanned += scanned as u64;
+        self.wake_totals.accumulate(&self.last_wake);
     }
 
     /// Recomputes `pages_shared` / `pages_sharing` from the ground truth,
@@ -508,6 +686,28 @@ impl KsmScanner {
         self.stats.pages_shared = shared;
         self.stats.pages_sharing = sharing;
         self.last_recount = Some((mm.epoch(), self.stable_version));
+    }
+
+    /// Read-only [`recount`](Self::recount): computes fresh
+    /// `(pages_shared, pages_sharing)` against the ground truth without
+    /// dropping stale nodes or touching any scanner state. The
+    /// monitoring daemon uses this so a watched world stays
+    /// byte-identical to an unwatched one.
+    #[must_use]
+    pub fn count_sharing(&self, mm: &HostMm) -> (u64, u64) {
+        let phys = mm.phys();
+        let mut shared = 0u64;
+        let mut sharing = 0u64;
+        for shard in &self.shards {
+            for (&fp, &frame) in &shard.stable {
+                if phys.is_live(frame) && phys.is_ksm_shared(frame) && phys.fingerprint(frame) == fp
+                {
+                    shared += 1;
+                    sharing += u64::from(phys.refcount(frame).saturating_sub(1));
+                }
+            }
+        }
+        (shared, sharing)
     }
 
     fn begin_pass(&mut self, mm: &HostMm, now: Tick) {
@@ -770,6 +970,7 @@ impl KsmScanner {
         let phys = mm.phys();
         let spaces = mm.spaces();
         let mut tasks = std::mem::take(&mut self.tasks);
+        self.last_wake.classify_tasks = tasks.len() as u64;
         let classify_start = std::time::Instant::now();
         let outcomes = par::map_sharded(&mut tasks, self.threads, |_, task| {
             classify_region(task, phys, spaces)
@@ -822,6 +1023,7 @@ impl KsmScanner {
             .zip(self.buckets.iter_mut())
             .filter(|(_, items)| !items.is_empty())
             .collect();
+        self.last_wake.resolved_items = work.iter().map(|(_, items)| items.len() as u64).sum();
         let resolve_start = std::time::Instant::now();
         let outcomes = par::map_sharded(&mut work, self.threads, |_, (shard, items)| {
             // Classify-task items are appended after the planner's own
@@ -862,6 +1064,7 @@ impl KsmScanner {
     /// splits only — the count is independent of how many of a block's
     /// subpages fell inside the scan window.
     fn commit_ops(&mut self, mm: &mut HostMm, mut ops: Vec<(u32, CommitOp)>) {
+        self.last_wake.committed_ops += ops.len() as u64;
         ops.sort_unstable_by_key(|&(seq, _)| seq);
         for (_, op) in ops {
             match op {

@@ -1,6 +1,7 @@
 //! Observability layer for the TPS-Java reproduction.
 //!
-//! Three facilities, all zero-cost when not requested (see DESIGN.md §8):
+//! Four facilities, all zero-cost when not requested (see DESIGN.md
+//! §8 and §13):
 //!
 //! * [`Tracer`] — a ring-buffered structured-event recorder that the
 //!   core crates (`paging`, `ksm`, `oskernel`, `jvm`, `hypervisor`)
@@ -12,6 +13,10 @@
 //!   in `analysis`.
 //! * [`Profiler`] — per-phase wall-clock / simulated-tick / pages
 //!   accounting for `Experiment::run` and the KSM pass loop.
+//! * [`MetricsRegistry`] — a deterministic counter/gauge/histogram
+//!   registry with Prometheus-style text exposition, split into
+//!   byte-identical simulated-state series and clearly separated
+//!   wall-clock series (DESIGN.md §13).
 //!
 //! This crate depends only on `std` (events carry raw numeric ids, not
 //! the upper layers' newtypes), so every other crate in the workspace
@@ -34,9 +39,11 @@
 #![warn(missing_docs)]
 
 mod event;
+mod metrics;
 mod profile;
 mod tracer;
 
 pub use event::{EventKind, TraceEvent};
+pub use metrics::{MetricClass, MetricsRegistry, HISTOGRAM_BUCKETS};
 pub use profile::{PhaseReport, PhaseStat, Profiler};
 pub use tracer::{TraceLog, Tracer, DEFAULT_CAPACITY};

@@ -50,6 +50,7 @@ pub struct HostMm {
     epoch: u64,
     huge_collapses: u64,
     huge_splits: u64,
+    balloon_pages: u64,
     tracer: Tracer,
 }
 
@@ -118,6 +119,73 @@ impl HostMm {
     #[must_use]
     pub fn huge_splits(&self) -> u64 {
         self.huge_splits
+    }
+
+    /// Cumulative pages reclaimed by balloon inflations (recorded by
+    /// the hypervisor's balloon driver via
+    /// [`note_balloon_reclaim`](Self::note_balloon_reclaim)).
+    #[must_use]
+    pub fn balloon_pages(&self) -> u64 {
+        self.balloon_pages
+    }
+
+    /// Records `pages` reclaimed by a balloon inflation. Pure
+    /// accounting: the unmaps themselves already went through
+    /// [`unmap_page`](Self::unmap_page).
+    pub fn note_balloon_reclaim(&mut self, pages: u64) {
+        self.balloon_pages += pages;
+    }
+
+    /// Exports the memory manager's deterministic counters — CoW
+    /// breaks, huge-page collapse/split traffic, balloon reclaims, the
+    /// mutation epoch, allocated frames — plus the tracer's
+    /// recorded/dropped event counts into `reg`. All series are
+    /// simulated-state ([`obs::MetricClass::Sim`]) and byte-identical
+    /// at any thread count.
+    pub fn record_metrics(&self, reg: &mut obs::MetricsRegistry) {
+        reg.counter(
+            "paging_cow_breaks_total",
+            "Copy-on-write breaks performed.",
+            &[],
+            self.cow_breaks,
+        );
+        reg.counter(
+            "paging_huge_collapses_total",
+            "2 MiB huge-page collapses performed (khugepaged model).",
+            &[],
+            self.huge_collapses,
+        );
+        reg.counter(
+            "paging_huge_splits_total",
+            "2 MiB huge-page splits performed, all reasons.",
+            &[],
+            self.huge_splits,
+        );
+        reg.counter(
+            "paging_balloon_reclaimed_pages_total",
+            "Pages reclaimed from guests by balloon inflations.",
+            &[],
+            self.balloon_pages,
+        );
+        reg.counter(
+            "paging_mutation_epoch",
+            "Monotonic mutation counter over all state-changing operations.",
+            &[],
+            self.epoch,
+        );
+        reg.gauge(
+            "paging_allocated_frames",
+            "Host physical frames currently allocated.",
+            &[],
+            self.phys.allocated_frames() as f64,
+        );
+        reg.counter(
+            "obs_trace_events_recorded_total",
+            "Trace events recorded into the ring buffer.",
+            &[],
+            self.tracer.recorded(),
+        );
+        reg.counter("obs_trace_events_dropped_total", "Trace events dropped by ring-buffer wraparound (lifecycles may look complete when they are not).", &[], self.tracer.dropped());
     }
 
     /// The event tracer attached to this memory manager. Disabled by

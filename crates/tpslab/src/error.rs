@@ -31,6 +31,8 @@ pub enum Error {
     UnknownPreset(String),
     /// No traffic scenario has this name.
     UnknownScenario(String),
+    /// The monitoring daemon could not bind or serve its socket.
+    Daemon(String),
 }
 
 impl fmt::Display for Error {
@@ -59,6 +61,7 @@ impl fmt::Display for Error {
                 "unknown traffic scenario {name:?} (expected one of: {})",
                 traffic::Scenario::NAMES.join(" | ")
             ),
+            Error::Daemon(what) => write!(f, "monitoring daemon: {what}"),
         }
     }
 }

@@ -20,6 +20,11 @@
 //!   discrete-event request engine ([`traffic`]) instead of the scripted
 //!   tick loop, reporting sharing stability and throughput versus
 //!   offered load under scenarios like rolling deploys and flash crowds.
+//! * [`Daemon`] (`tpsd`) runs either world as a persistent monitoring
+//!   service: a ticker thread advances the simulation while concurrent
+//!   queries over a local socket read Prometheus-style metrics
+//!   ([`telemetry`]), per-guest attribution JSON and a live `top`-style
+//!   fleet table — all from cached snapshot segments.
 //! * [`PowerVmExperiment`] reproduces the Fig. 6 PowerVM/AIX comparison.
 //!
 //! Invalid configurations surface as a typed [`Error`], not a panic.
@@ -46,19 +51,22 @@
 #![warn(missing_docs)]
 
 mod config;
+mod daemon;
 mod error;
 mod powervm;
 mod report;
 mod run;
 pub mod sweep;
+pub mod telemetry;
 mod traffic_run;
 
 pub use config::{ExperimentBuilder, ExperimentConfig, GuestSpec, KsmSchedule, TimelineConfig};
+pub use daemon::{http_get, render_guests, Daemon, DaemonConfig};
 pub use error::Error;
 pub use powervm::{PowerVmExperiment, PowerVmFigure};
 pub use report::{ExperimentReport, TimelinePoint, VmThroughput};
 pub use run::Experiment;
-pub use traffic_run::{TrafficReport, TrafficSample};
+pub use traffic_run::{GuestTraffic, TrafficReport, TrafficSample};
 
 // Re-export the component crates for downstream users.
 pub use analysis;

@@ -30,24 +30,12 @@ impl Experiment {
     /// the simulation manually with [`tick_world`](Self::tick_world).
     #[must_use]
     pub fn build_world(config: &ExperimentConfig) -> (KvmHost, Vec<JavaVm>) {
-        let (mut host, mut javas, _) = boot_world(config);
-        let mut scanner = KsmScanner::new(config.ksm.warmup).with_threads(config.threads);
-        let warmup_end = Tick::from_seconds(config.ksm.warmup_seconds as f64);
+        let mut world = TickWorld::new(config);
         let end = Tick::from_seconds(config.duration_seconds as f64);
-        let mut switched = false;
         for t in 1..=end.0 {
-            let now = Tick(t);
-            Experiment::tick_world(&mut host, &mut javas, now);
-            if t.is_multiple_of(mem::TICKS_PER_SECOND) {
-                host.thp_scan(now);
-            }
-            if !switched && now >= warmup_end {
-                scanner.set_params(config.ksm.steady);
-                switched = true;
-            }
-            scanner.run(host.mm_mut(), now);
+            world.step(t);
         }
-        (host, javas)
+        (world.host, world.javas)
     }
 
     /// Advances the world one tick: every guest OS and its JVM, in
@@ -289,6 +277,62 @@ impl Experiment {
             phases,
             trace,
         })
+    }
+}
+
+/// A booted tick-model world that can be advanced one tick at a time:
+/// guest/JVM ticks, khugepaged at second boundaries, the KSM warm-up →
+/// steady parameter switch, and the scanner wake — exactly the per-tick
+/// body of [`Experiment::build_world`], which is a plain loop over
+/// [`step`](Self::step). The monitoring daemon drives the same steps
+/// but pauses between published epochs, so a daemon world at simulated
+/// second `s` is byte-identical to `build_world` over a config with
+/// `duration_seconds == s`.
+pub(crate) struct TickWorld {
+    pub(crate) host: KvmHost,
+    pub(crate) javas: Vec<JavaVm>,
+    pub(crate) scanner: KsmScanner,
+    steady: ksm::KsmParams,
+    warmup_end: Tick,
+    switched: bool,
+}
+
+impl TickWorld {
+    /// Boots the configured world (no ticks yet).
+    pub(crate) fn new(config: &ExperimentConfig) -> TickWorld {
+        let (host, javas, _) = boot_world(config);
+        TickWorld {
+            host,
+            javas,
+            scanner: KsmScanner::new(config.ksm.warmup).with_threads(config.threads),
+            steady: config.ksm.steady,
+            warmup_end: Tick::from_seconds(config.ksm.warmup_seconds as f64),
+            switched: false,
+        }
+    }
+
+    /// Advances the world through tick `t` (1-based).
+    pub(crate) fn step(&mut self, t: u64) {
+        let now = Tick(t);
+        Experiment::tick_world(&mut self.host, &mut self.javas, now);
+        if t.is_multiple_of(mem::TICKS_PER_SECOND) {
+            self.host.thp_scan(now);
+        }
+        if !self.switched && now >= self.warmup_end {
+            self.scanner.set_params(self.steady);
+            self.switched = true;
+        }
+        self.scanner.run(self.host.mm_mut(), now);
+    }
+
+    /// Guest views over the fleet, for attribution snapshots.
+    pub(crate) fn views(&self) -> Vec<GuestView<'_>> {
+        self.host
+            .guests()
+            .iter()
+            .zip(&self.javas)
+            .map(|(g, j)| GuestView::new(&g.name, &g.os, vec![j.pid()]))
+            .collect()
     }
 }
 

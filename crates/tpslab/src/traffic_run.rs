@@ -90,6 +90,23 @@ pub struct TrafficReport {
     pub huge_mib: f64,
     /// Per-interval samples, every [`SAMPLE_SECONDS`].
     pub samples: Vec<TrafficSample>,
+    /// Per-guest request tallies over the whole run, indexed by guest
+    /// slot. Sums across guests equal the fleet-wide
+    /// `offered`/`served`/`dropped` fields. Not rendered (the golden
+    /// text predates it); exported through
+    /// [`record_metrics`](Self::record_metrics) and the daemon.
+    pub per_guest: Vec<GuestTraffic>,
+}
+
+/// One guest's request tallies over a traffic run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GuestTraffic {
+    /// Requests routed to this guest.
+    pub offered: u64,
+    /// Requests this guest served within capacity.
+    pub served: u64,
+    /// Requests shed (over capacity, or routed while drained).
+    pub dropped: u64,
 }
 
 impl TrafficReport {
@@ -139,12 +156,83 @@ impl TrafficReport {
         }
         out
     }
+
+    /// Exports the run's deterministic traffic counters into `reg`:
+    /// fleet-wide and per-guest offered/served/shed, churn counts, and
+    /// the sharing-stability gauge. All series are simulated-state and
+    /// byte-identical at any thread count.
+    pub fn record_metrics(&self, reg: &mut obs::MetricsRegistry) {
+        reg.counter(
+            "traffic_offered_total",
+            "Requests offered fleet-wide.",
+            &[],
+            self.offered,
+        );
+        reg.counter(
+            "traffic_served_total",
+            "Requests served fleet-wide.",
+            &[],
+            self.served,
+        );
+        reg.counter(
+            "traffic_shed_total",
+            "Requests shed fleet-wide (over capacity or drained).",
+            &[],
+            self.dropped,
+        );
+        reg.counter(
+            "traffic_restarts_total",
+            "Rolling-deploy JVM restarts performed.",
+            &[],
+            self.restarts,
+        );
+        reg.counter(
+            "traffic_scale_ups_total",
+            "Autoscale guest additions performed.",
+            &[],
+            self.scale_ups,
+        );
+        reg.counter(
+            "traffic_scale_downs_total",
+            "Autoscale guest drains performed.",
+            &[],
+            self.scale_downs,
+        );
+        reg.gauge(
+            "traffic_sharing_stability",
+            "1 - mean |delta pages_sharing| / mean pages_sharing over the run's second half.",
+            &[],
+            self.sharing_stability,
+        );
+        const GUEST_HELP: &str = "Per-guest request tallies over the run.";
+        for (i, g) in self.per_guest.iter().enumerate() {
+            let idx = i.to_string();
+            reg.counter(
+                "traffic_guest_offered_total",
+                GUEST_HELP,
+                &[("guest", &idx)],
+                g.offered,
+            );
+            reg.counter(
+                "traffic_guest_served_total",
+                GUEST_HELP,
+                &[("guest", &idx)],
+                g.served,
+            );
+            reg.counter(
+                "traffic_guest_shed_total",
+                GUEST_HELP,
+                &[("guest", &idx)],
+                g.dropped,
+            );
+        }
+    }
 }
 
 /// Mutable per-guest traffic state the event sink maintains.
-struct GuestSlot {
+pub(crate) struct GuestSlot {
     /// The JVM currently running in this guest, if any.
-    java: Option<JavaVm>,
+    pub(crate) java: Option<JavaVm>,
     /// JVM launch generation (bumps the process salt on restart).
     generation: u64,
     /// Last tick this guest's kernel background churn was advanced to.
@@ -153,19 +241,38 @@ struct GuestSlot {
     cost: RequestCost,
 }
 
-impl Experiment {
-    /// Runs `config`'s fleet under `scenario`'s request traffic instead
-    /// of the tick-scripted workload. Deterministic in `config.seed` and
-    /// byte-identical at any `config.threads`.
-    ///
-    /// # Errors
-    ///
-    /// Returns a typed [`Error`] when the configuration is not runnable
-    /// (see [`ExperimentConfig::validate`]).
-    pub fn run_traffic(
+/// A booted traffic world that can be advanced one tick at a time.
+///
+/// [`Experiment::run_traffic`] is a plain loop over [`step`](Self::step)
+/// followed by [`finish`](Self::finish); the monitoring daemon drives
+/// the same steps but pauses between them to publish state, so the two
+/// paths are identical by construction.
+pub(crate) struct TrafficWorld {
+    config: ExperimentConfig,
+    cache_images: HashMap<u64, Vec<u8>>,
+    pub(crate) host: KvmHost,
+    pub(crate) slots: Vec<GuestSlot>,
+    cold_per_guest: Vec<f64>,
+    audit_enabled: bool,
+    pub(crate) scanner: KsmScanner,
+    engine: TrafficEngine,
+    healthy_rps: f64,
+    warmup_end: Tick,
+    pub(crate) end: Tick,
+    sample_ticks: u64,
+    switched: bool,
+    slowdown_cache: (u64, f64),
+    pub(crate) report: TrafficReport,
+    window_offered: u64,
+    window_served: u64,
+}
+
+impl TrafficWorld {
+    /// Validates `config` and boots the fleet under `scenario`.
+    pub(crate) fn new(
         config: &ExperimentConfig,
         scenario: &Scenario,
-    ) -> Result<TrafficReport, Error> {
+    ) -> Result<TrafficWorld, Error> {
         config.validate()?;
         let healthy_rps = config.guests[0].benchmark.drive.healthy_rps();
         let startup_seconds = config
@@ -174,7 +281,7 @@ impl Experiment {
             .map(|g| g.benchmark.profile.class_load_seconds)
             .fold(0.0_f64, f64::max)
             .ceil() as u64;
-        let mut engine = TrafficEngine::new(TrafficSpec {
+        let engine = TrafficEngine::new(TrafficSpec {
             scenario: *scenario,
             guests: config.guests.len(),
             healthy_rps,
@@ -183,13 +290,13 @@ impl Experiment {
             seed: config.seed,
         });
 
-        let (mut host, javas, caches) = boot_world(config);
+        let (host, javas, caches) = boot_world(config);
         // Keep the serialized cache images around: deploy restarts and
         // autoscale relaunches hand each fresh JVM its own byte-identical
         // copy, re-creating the CDS merge opportunity the paper measures.
         let cache_images: HashMap<u64, Vec<u8>> =
             caches.iter().map(|(&id, c)| (id, c.to_bytes())).collect();
-        let mut slots: Vec<GuestSlot> = javas
+        let slots: Vec<GuestSlot> = javas
             .into_iter()
             .enumerate()
             .map(|(i, java)| {
@@ -214,22 +321,10 @@ impl Experiment {
             .map(|g| cold_estimate_mib(config, g))
             .collect();
 
-        let audit_enabled = config.audit || cfg!(debug_assertions);
-        let mut scanner = KsmScanner::new(config.ksm.warmup).with_threads(config.threads);
-        let warmup_end = Tick::from_seconds(config.ksm.warmup_seconds as f64);
-        let end = Tick::from_seconds(config.duration_seconds as f64);
-        let sample_ticks = SAMPLE_SECONDS * u64::from(mem::TICKS_PER_SECOND as u32);
-        let mut switched = false;
-
-        // The per-second capacity model: memory pressure inflates service
-        // times, shrinking how many of the offered requests a guest can
-        // serve. Recomputed lazily once per second (`resident_mib` walks
-        // frame counters, not pages, so this is cheap but not free).
-        let mut slowdown_cache: (u64, f64) = (u64::MAX, 1.0);
-
-        let mut report = TrafficReport {
+        let guests = config.guests.len();
+        let report = TrafficReport {
             scenario: scenario.name.to_string(),
-            guests: config.guests.len(),
+            guests,
             duration_seconds: config.duration_seconds,
             offered: 0,
             served: 0,
@@ -243,75 +338,140 @@ impl Experiment {
             ksm: KsmStats::default(),
             huge_mib: 0.0,
             samples: Vec::new(),
+            per_guest: vec![GuestTraffic::default(); guests],
         };
-        let (mut window_offered, mut window_served) = (0u64, 0u64);
 
-        for t in 1..=end.0 {
-            let now = Tick(t);
-            for (at, event) in engine.events_until(now) {
-                apply_event(
-                    config,
-                    &cache_images,
-                    &mut host,
-                    &mut slots,
-                    &cold_per_guest,
-                    &mut slowdown_cache,
-                    healthy_rps,
-                    at,
-                    event,
-                    &mut report,
-                    &mut window_offered,
-                    &mut window_served,
-                );
-            }
-            // khugepaged, once per simulated second (same cadence and
-            // ordering as the tick-model loop in `run`).
-            if t.is_multiple_of(mem::TICKS_PER_SECOND) {
-                host.thp_scan(now);
-            }
-            if !switched && now >= warmup_end {
-                scanner.set_params(config.ksm.steady);
-                switched = true;
-            }
-            scanner.run(host.mm_mut(), now);
-            if t % sample_ticks == 0 || t == end.0 {
-                scanner.recount(host.mm());
-                if audit_enabled {
-                    audit_traffic(&host, &slots, &scanner);
-                }
-                report.samples.push(TrafficSample {
-                    seconds: now.as_seconds(),
-                    active_guests: slots.iter().filter(|s| s.java.is_some()).count(),
-                    offered: window_offered,
-                    served: window_served,
-                    pages_sharing: scanner.stats().pages_sharing,
-                });
-                (window_offered, window_served) = (0, 0);
-                if t == end.0 {
-                    break;
-                }
-            }
+        Ok(TrafficWorld {
+            config: config.clone(),
+            cache_images,
+            host,
+            slots,
+            cold_per_guest,
+            audit_enabled: config.audit || cfg!(debug_assertions),
+            scanner: KsmScanner::new(config.ksm.warmup).with_threads(config.threads),
+            engine,
+            healthy_rps,
+            warmup_end: Tick::from_seconds(config.ksm.warmup_seconds as f64),
+            end: Tick::from_seconds(config.duration_seconds as f64),
+            sample_ticks: SAMPLE_SECONDS * u64::from(mem::TICKS_PER_SECOND as u32),
+            switched: false,
+            // The per-second capacity model: memory pressure inflates
+            // service times, shrinking how many of the offered requests
+            // a guest can serve. Recomputed lazily once per second
+            // (`resident_mib` walks frame counters, not pages, so this
+            // is cheap but not free).
+            slowdown_cache: (u64::MAX, 1.0),
+            report,
+            window_offered: 0,
+            window_served: 0,
+        })
+    }
+
+    /// Advances the world through tick `t` (1-based): drains due
+    /// traffic events, runs khugepaged at second boundaries, runs the
+    /// KSM scanner, and takes a sharing sample on the sample cadence.
+    pub(crate) fn step(&mut self, t: u64) {
+        let now = Tick(t);
+        for (at, event) in self.engine.events_until(now) {
+            apply_event(
+                &self.config,
+                &self.cache_images,
+                &mut self.host,
+                &mut self.slots,
+                &self.cold_per_guest,
+                &mut self.slowdown_cache,
+                self.healthy_rps,
+                at,
+                event,
+                &mut self.report,
+                &mut self.window_offered,
+                &mut self.window_served,
+            );
         }
+        // khugepaged, once per simulated second (same cadence and
+        // ordering as the tick-model loop in `run`).
+        if t.is_multiple_of(mem::TICKS_PER_SECOND) {
+            self.host.thp_scan(now);
+        }
+        if !self.switched && now >= self.warmup_end {
+            self.scanner.set_params(self.config.ksm.steady);
+            self.switched = true;
+        }
+        self.scanner.run(self.host.mm_mut(), now);
+        if t.is_multiple_of(self.sample_ticks) || t == self.end.0 {
+            self.scanner.recount(self.host.mm());
+            if self.audit_enabled {
+                audit_traffic(&self.host, &self.slots, &self.scanner);
+            }
+            self.report.samples.push(TrafficSample {
+                seconds: now.as_seconds(),
+                active_guests: self.slots.iter().filter(|s| s.java.is_some()).count(),
+                offered: self.window_offered,
+                served: self.window_served,
+                pages_sharing: self.scanner.stats().pages_sharing,
+            });
+            (self.window_offered, self.window_served) = (0, 0);
+        }
+    }
 
-        // Settle kernel churn for every still-active guest so the final
-        // accounting does not depend on who happened to get the last
-        // request (one batched call per guest, once per run).
-        for (guest, slot) in slots.iter_mut().enumerate() {
+    /// Settles kernel churn for every still-active guest so the final
+    /// accounting does not depend on who happened to get the last
+    /// request (one batched call per guest), then recounts, audits and
+    /// fills in the report's end-of-run fields.
+    pub(crate) fn finish(mut self) -> TrafficReport {
+        let end = self.end;
+        for (guest, slot) in self.slots.iter_mut().enumerate() {
             if slot.java.is_some() {
-                catch_up_kernel(&mut host, slot, guest, end);
+                catch_up_kernel(&mut self.host, slot, guest, end);
             }
         }
-        scanner.recount(host.mm());
-        if audit_enabled {
-            audit_traffic(&host, &slots, &scanner);
+        self.scanner.recount(self.host.mm());
+        if self.audit_enabled {
+            audit_traffic(&self.host, &self.slots, &self.scanner);
         }
 
-        report.ksm = scanner.stats();
-        report.resident_mib = host.resident_mib();
-        report.huge_mib = host.huge_mib();
-        report.throughput_rps = report.served as f64 / config.duration_seconds as f64;
+        let mut report = self.report;
+        report.ksm = self.scanner.stats();
+        report.resident_mib = self.host.resident_mib();
+        report.huge_mib = self.host.huge_mib();
+        report.throughput_rps = report.served as f64 / self.config.duration_seconds as f64;
         report.sharing_stability = stability(&report.samples);
-        Ok(report)
+        report
+    }
+
+    /// Guest views over the current fleet (drained guests expose no
+    /// Java pids), for attribution snapshots.
+    pub(crate) fn views(&self) -> Vec<GuestView<'_>> {
+        self.host
+            .guests()
+            .iter()
+            .zip(&self.slots)
+            .map(|(g, slot)| {
+                let pids = slot.java.as_ref().map(|j| j.pid()).into_iter().collect();
+                GuestView::new(&g.name, &g.os, pids)
+            })
+            .collect()
+    }
+}
+
+impl Experiment {
+    /// Runs `config`'s fleet under `scenario`'s request traffic instead
+    /// of the tick-scripted workload. Deterministic in `config.seed` and
+    /// byte-identical at any `config.threads`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`Error`] when the configuration is not runnable
+    /// (see [`ExperimentConfig::validate`]).
+    pub fn run_traffic(
+        config: &ExperimentConfig,
+        scenario: &Scenario,
+    ) -> Result<TrafficReport, Error> {
+        let mut world = TrafficWorld::new(config, scenario)?;
+        for t in 1..=world.end.0 {
+            world.step(t);
+        }
+        Ok(world.finish())
     }
 }
 
@@ -343,11 +503,13 @@ fn apply_event(
         }
         WorkloadEvent::Requests { guest, offered } => {
             report.offered += offered;
+            report.per_guest[guest].offered += offered;
             *window_offered += offered;
             let Some(mut java) = slots[guest].java.take() else {
                 // A drained guest sheds everything still routed to it
                 // in the hand-off second.
                 report.dropped += offered;
+                report.per_guest[guest].dropped += offered;
                 return;
             };
             let second = (at.0 - 1) / u64::from(mem::TICKS_PER_SECOND as u32);
@@ -394,6 +556,8 @@ fn apply_event(
             slots[guest].java = Some(java);
             report.served += served;
             report.dropped += dropped;
+            report.per_guest[guest].served += served;
+            report.per_guest[guest].dropped += dropped;
             *window_served += served;
         }
         WorkloadEvent::RestartGuest { guest } => {

@@ -17,6 +17,8 @@ usage:
   tps-java sweep   [--from N] [--to N] [--benchmark NAME] [--scale S] [--minutes M] [--audit]
   tps-java powervm [--scale S] [--minutes M]
   tps-java smaps   [--preload]
+  tps-java serve   [--port P] [--scenario NAME] [--throttle-ms MS] [run options]
+  tps-java top     [--addr HOST:PORT] [--once] [--interval-ms MS]
 benchmarks: daytrader | specjenterprise | tpcw | tuscany
 presets: scale32 | scale256 | scale1024 — fleet SPECjEnterprise
 configurations (preset fixes the benchmark and host; --guests overrides
@@ -36,7 +38,15 @@ prints one row per sample; --threads N walks attribution on N workers
 (the report is bit-identical at any thread count). --thp POLICY
 (never | madvise | always, default never) sets both the host khugepaged
 and guest fault-around transparent-huge-page policies; the run reports
-2 MiB-mapped memory and the TLB-reach throughput credit when nonzero.";
+2 MiB-mapped memory and the TLB-reach throughput credit when nonzero.
+`serve` runs the experiment as the persistent tpsd monitoring daemon on
+a local socket (default port 7878, --port 0 for ephemeral): /metrics is
+the Prometheus-style exposition, /guest/N and /fleet and /misses are
+attribution JSON, /top is the live fleet table, /shutdown stops it.
+With --scenario the daemon ticks the traffic engine instead of the
+scripted workload; --throttle-ms slows simulated seconds to wall time
+so the view is watchable. `top` polls a daemon and repaints its fleet
+table every --interval-ms (default 1000); --once prints one snapshot.";
 
 /// A parse or execution error.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -74,7 +84,13 @@ struct Opts {
     timeline: Option<u64>,
     threads: usize,
     scenario: String,
+    scenario_explicit: bool,
     thp: Option<String>,
+    port: u16,
+    addr: Option<String>,
+    once: bool,
+    interval_ms: u64,
+    throttle_ms: u64,
 }
 
 impl Default for Opts {
@@ -97,7 +113,13 @@ impl Default for Opts {
             timeline: None,
             threads: 1,
             scenario: "constant".into(),
+            scenario_explicit: false,
             thp: None,
+            port: 7878,
+            addr: None,
+            once: false,
+            interval_ms: 1000,
+            throttle_ms: 0,
         }
     }
 }
@@ -161,8 +183,28 @@ fn parse_opts(args: &[String]) -> Result<Opts, CliError> {
                     .parse()
                     .map_err(|_| err("--threads: not a number"))?
             }
-            "--scenario" => opts.scenario = value("--scenario")?.clone(),
+            "--scenario" => {
+                opts.scenario = value("--scenario")?.clone();
+                opts.scenario_explicit = true;
+            }
             "--thp" => opts.thp = Some(value("--thp")?.clone()),
+            "--port" => {
+                opts.port = value("--port")?
+                    .parse()
+                    .map_err(|_| err("--port: not a port number"))?
+            }
+            "--addr" => opts.addr = Some(value("--addr")?.clone()),
+            "--once" => opts.once = true,
+            "--interval-ms" => {
+                opts.interval_ms = value("--interval-ms")?
+                    .parse()
+                    .map_err(|_| err("--interval-ms: not a number"))?
+            }
+            "--throttle-ms" => {
+                opts.throttle_ms = value("--throttle-ms")?
+                    .parse()
+                    .map_err(|_| err("--throttle-ms: not a number"))?
+            }
             other => return Err(err(format!("unknown option {other}"))),
         }
     }
@@ -180,6 +222,9 @@ fn parse_opts(args: &[String]) -> Result<Opts, CliError> {
     }
     if opts.threads == 0 {
         return Err(err("--threads must be positive"));
+    }
+    if opts.interval_ms == 0 {
+        return Err(err("--interval-ms must be positive"));
     }
     Ok(opts)
 }
@@ -273,6 +318,8 @@ pub fn dispatch(args: &[String]) -> Result<String, CliError> {
         "sweep" => cmd_sweep(&parse_opts(rest)?),
         "powervm" => cmd_powervm(&parse_opts(rest)?),
         "smaps" => cmd_smaps(&parse_opts(rest)?),
+        "serve" => cmd_serve(&parse_opts(rest)?),
+        "top" => cmd_top(&parse_opts(rest)?),
         other => Err(err(format!("unknown subcommand {other}"))),
     }
 }
@@ -291,6 +338,7 @@ fn cmd_run(opts: &Opts) -> Result<String, CliError> {
     if let Some(path) = &opts.trace {
         let log = report.trace.as_ref().expect("tracing was enabled");
         std::fs::write(path, log.to_jsonl()).map_err(|e| err(format!("--trace {path}: {e}")))?;
+        warn_dropped_events(log);
         let _ = writeln!(
             out,
             "trace: {} events ({} dropped, {} merged-then-broken mappings) -> {path}",
@@ -418,12 +466,27 @@ fn render_lifecycles(log: &tpslab::obs::TraceLog, top: usize) -> String {
     out
 }
 
+/// Warns on stderr when the tracer's bounded ring dropped events: the
+/// drop count itself is deterministic, but any analysis derived from
+/// the *surviving* events (lifecycles, broken-mapping sets) is partial.
+fn warn_dropped_events(log: &tpslab::obs::TraceLog) {
+    if log.dropped > 0 {
+        eprintln!(
+            "warning: trace ring buffer dropped {} events; lifecycle and \
+             broken-mapping views are incomplete (raise the tracer capacity \
+             or shorten the run)",
+            log.dropped
+        );
+    }
+}
+
 fn cmd_explain(opts: &Opts) -> Result<String, CliError> {
     let cfg = config_for(opts, opts.guests)?.with_trace().with_diagnose();
     let n_guests = cfg.guests.len();
     let report = Experiment::run(&cfg).map_err(|e| err(e.to_string()))?;
     let miss = report.merge_miss.as_ref().expect("diagnosis was enabled");
     let log = report.trace.as_ref().expect("tracing was enabled");
+    warn_dropped_events(log);
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -510,6 +573,66 @@ fn cmd_smaps(opts: &Opts) -> Result<String, CliError> {
         }
     }
     Ok(out)
+}
+
+/// `serve`: run the experiment as the persistent `tpsd` monitoring
+/// daemon. Prints the bound address immediately (so scripts using
+/// `--port 0` can discover the ephemeral port), then blocks until a
+/// client hits `/shutdown`.
+fn cmd_serve(opts: &Opts) -> Result<String, CliError> {
+    let cfg = config_for(opts, opts.guests)?;
+    let scenario = if opts.scenario_explicit {
+        Some(
+            Scenario::by_name(&opts.scenario, cfg.duration_seconds, cfg.guests.len()).ok_or_else(
+                || err(tpslab::Error::UnknownScenario(opts.scenario.clone()).to_string()),
+            )?,
+        )
+    } else {
+        None
+    };
+    let mut dcfg = tpslab::DaemonConfig::new(cfg);
+    dcfg.scenario = scenario;
+    dcfg.addr = opts
+        .addr
+        .clone()
+        .unwrap_or_else(|| format!("127.0.0.1:{}", opts.port));
+    dcfg.throttle_ms = opts.throttle_ms;
+    let mut daemon = tpslab::Daemon::spawn(dcfg).map_err(|e| err(e.to_string()))?;
+    println!("tpsd listening on {}", daemon.addr());
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    daemon.join();
+    Ok(format!(
+        "tpsd: stopped at simulated second {}\n",
+        daemon.epoch_seconds()
+    ))
+}
+
+/// `top`: poll a running daemon's `/top` endpoint. `--once` prints a
+/// single snapshot; otherwise the table is repainted in place every
+/// `--interval-ms` until the daemon goes away.
+fn cmd_top(opts: &Opts) -> Result<String, CliError> {
+    let addr = opts
+        .addr
+        .clone()
+        .unwrap_or_else(|| format!("127.0.0.1:{}", opts.port));
+    if opts.once {
+        return tpslab::http_get(&addr, "/top").map_err(|e| err(e.to_string()));
+    }
+    // First poll must succeed so a typo'd address is a hard error, not
+    // an infinite repaint loop.
+    let mut table = tpslab::http_get(&addr, "/top").map_err(|e| err(e.to_string()))?;
+    loop {
+        // ANSI clear + home, then the freshly rendered fleet table.
+        print!("\x1b[2J\x1b[H{table}");
+        use std::io::Write as _;
+        let _ = std::io::stdout().flush();
+        std::thread::sleep(std::time::Duration::from_millis(opts.interval_ms));
+        table = match tpslab::http_get(&addr, "/top") {
+            Ok(t) => t,
+            Err(_) => return Ok(format!("tps top: daemon at {addr} stopped\n")),
+        };
+    }
 }
 
 #[cfg(test)]
@@ -686,5 +809,58 @@ mod tests {
     fn sweep_emits_one_row_per_point() {
         let text = dispatch(&argv("sweep --from 1 --to 2 --scale 64 --minutes 0.5")).unwrap();
         assert_eq!(text.lines().count(), 3);
+    }
+
+    #[test]
+    fn parse_daemon_flags() {
+        let opts = parse_opts(&argv(
+            "--port 0 --addr 127.0.0.1:9999 --once --interval-ms 50 --throttle-ms 5",
+        ))
+        .unwrap();
+        assert_eq!(opts.port, 0);
+        assert_eq!(opts.addr.as_deref(), Some("127.0.0.1:9999"));
+        assert!(opts.once);
+        assert_eq!(opts.interval_ms, 50);
+        assert_eq!(opts.throttle_ms, 5);
+        assert!(!parse_opts(&argv("")).unwrap().scenario_explicit);
+        assert!(
+            parse_opts(&argv("--scenario diurnal"))
+                .unwrap()
+                .scenario_explicit
+        );
+        assert!(parse_opts(&argv("--interval-ms 0")).is_err());
+        assert!(parse_opts(&argv("--port seventy")).is_err());
+    }
+
+    #[test]
+    fn top_once_polls_a_live_daemon() {
+        let config = tpslab::ExperimentConfig::tiny_test(2, true).with_duration_seconds(10);
+        let mut daemon = tpslab::Daemon::spawn(tpslab::DaemonConfig::new(config)).unwrap();
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(120);
+        while daemon.epoch_seconds() < 3 {
+            assert!(std::time::Instant::now() < deadline, "daemon never ticked");
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        }
+        let arg = format!("top --once --addr {}", daemon.addr());
+        let table = dispatch(&argv(&arg)).unwrap();
+        assert!(table.starts_with("tpsd | epoch"), "got: {table}");
+        assert!(table.contains("resident"), "got: {table}");
+        daemon.shutdown();
+        daemon.join();
+
+        // A dead daemon is a hard error for --once.
+        assert!(dispatch(&argv(&arg)).is_err());
+    }
+
+    #[test]
+    fn serve_rejects_unknown_scenario() {
+        let e = dispatch(&argv(
+            "serve --guests 2 --scale 64 --minutes 0.5 --scenario wat --port 0",
+        ))
+        .unwrap_err();
+        assert!(
+            e.to_string().contains("unknown traffic scenario"),
+            "got: {e}"
+        );
     }
 }
