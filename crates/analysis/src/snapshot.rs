@@ -12,7 +12,7 @@ use std::collections::{BTreeMap, HashMap, HashSet};
 pub struct GuestView<'a> {
     name: &'a str,
     os: &'a GuestOs,
-    java_pids: Vec<Pid>,
+    java_pids: std::borrow::Cow<'a, [Pid]>,
 }
 
 impl<'a> GuestView<'a> {
@@ -22,7 +22,18 @@ impl<'a> GuestView<'a> {
         GuestView {
             name,
             os,
-            java_pids,
+            java_pids: std::borrow::Cow::Owned(java_pids),
+        }
+    }
+
+    /// [`new`](Self::new) without allocating: borrows a pid slice the
+    /// caller already maintains. Used on per-sample hot paths (the
+    /// monitoring daemon snapshots the fleet on every publish).
+    pub fn borrowed(name: &'a str, os: &'a GuestOs, java_pids: &'a [Pid]) -> GuestView<'a> {
+        GuestView {
+            name,
+            os,
+            java_pids: std::borrow::Cow::Borrowed(java_pids),
         }
     }
 

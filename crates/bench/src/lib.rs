@@ -25,6 +25,7 @@
 #![forbid(unsafe_code)]
 
 pub mod fleet;
+pub mod fleet_traffic;
 pub mod telemetry;
 pub mod thp;
 pub mod traffic;

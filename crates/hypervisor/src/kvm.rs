@@ -153,6 +153,13 @@ impl KvmHost {
         (&mut self.mm, &mut self.guests[idx])
     }
 
+    /// Split borrow for the traffic engine's parallel plan phase: the
+    /// memory manager plus *every* guest, all mutably. Callers shard the
+    /// slice into disjoint per-guest work.
+    pub fn mm_and_guests_mut(&mut self) -> (&mut HostMm, &mut [KvmGuest]) {
+        (&mut self.mm, &mut self.guests)
+    }
+
     /// Split borrow for whole-host operations (Satori sharing, placement
     /// summaries): the memory manager mutably plus read access to every
     /// guest OS.
@@ -208,7 +215,12 @@ impl KvmHost {
             mem::mib_to_pages(DAEMONS_MIB_PER_GIB * mem_mib / 1024.0) / DAEMON_COUNT;
         for d in 0..DAEMON_COUNT {
             let pid = os.spawn(format!("daemon{d}"));
-            let base = os.map_region(&self.mm, pid, per_daemon_pages.max(1), MemTag::OtherProcess);
+            let base = os.map_region(
+                &mut self.mm,
+                pid,
+                per_daemon_pages.max(1),
+                MemTag::OtherProcess,
+            );
             for i in 0..per_daemon_pages as u64 {
                 os.write_page(
                     &mut self.mm,

@@ -7,7 +7,7 @@ use cds::SharedClassCache;
 use mem::{Fingerprint, LayoutImage, LayoutWriter, Tick};
 use obs::EventKind;
 use oskernel::{GuestOs, Pid};
-use paging::{HostMm, MemTag, Vpn};
+use paging::{MemSink, MemTag, Vpn};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -136,7 +136,7 @@ impl ClassLoader {
     /// Advances loading to `fraction` of the start-up phase.
     pub(crate) fn tick(
         &mut self,
-        mm: &mut HostMm,
+        mm: &mut impl MemSink,
         guest: &mut GuestOs,
         pid: Pid,
         fraction: f64,
@@ -149,7 +149,7 @@ impl ClassLoader {
             private_pages += 1;
         }
         if private_pages > 0 {
-            mm.tracer().emit_with(|| EventKind::ClassLoad {
+            mm.trace(|| EventKind::ClassLoad {
                 pid: pid.0,
                 pages: private_pages,
                 from_cache: false,
@@ -169,7 +169,7 @@ impl ClassLoader {
                 cache_pages += 1;
             }
             if cache_pages > 0 {
-                mm.tracer().emit_with(|| EventKind::ClassLoad {
+                mm.trace(|| EventKind::ClassLoad {
                     pid: pid.0,
                     pages: cache_pages,
                     from_cache: true,
@@ -220,7 +220,7 @@ impl ClassLoader {
     /// Panics if `fraction` is not in `[0, 1]`.
     pub fn unload(
         &mut self,
-        mm: &mut HostMm,
+        mm: &mut impl MemSink,
         guest: &mut GuestOs,
         pid: Pid,
         fraction: f64,
@@ -267,6 +267,7 @@ mod tests {
     use super::*;
     use cds::CacheBuilder;
     use oskernel::OsImage;
+    use paging::HostMm;
 
     fn setup() -> (HostMm, GuestOs) {
         let mut mm = HostMm::new();

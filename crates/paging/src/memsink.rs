@@ -1,0 +1,305 @@
+//! Record-and-replay sink for guest-side memory mutations.
+//!
+//! The traffic engine's parallel step (DESIGN.md §14) runs guest-local
+//! work — request serving, kernel churn, start-up ticks — on a worker
+//! pool against disjoint per-guest state. Guest and JVM simulators
+//! never *read* host memory-manager state on those paths (translation,
+//! gpfn allocation and THP eligibility are all guest-private), so their
+//! host-side effects can be captured into a per-shard tape during the
+//! parallel plan phase and applied to the real [`HostMm`] serially at
+//! commit, in exactly the order a single-threaded run would have
+//! produced them. Frame allocation order, rmap contents, CoW decisions
+//! and the trace stream are then byte-identical at any thread count.
+//!
+//! [`MemSink`] is the write-only surface those simulators need;
+//! [`HostMm`] implements it by doing the work immediately, [`MemTape`]
+//! implements it by recording [`MemOp`]s for later replay.
+//!
+//! # Example
+//!
+//! ```
+//! use mem::{Fingerprint, Tick};
+//! use paging::{HostMm, MemSink, MemTape, MemTag};
+//!
+//! let mut mm = HostMm::new();
+//! let space = mm.create_space("vm");
+//! let base = mm.map_region(space, 2, MemTag::VmGuestMemory, true);
+//!
+//! // Record a write instead of applying it...
+//! let mut tape = MemTape::new(mm.tracer().is_enabled());
+//! tape.write_page(space, base, Fingerprint::of(&[7]), Tick(1));
+//! assert_eq!(mm.frame_at(space, base), None);
+//!
+//! // ...then replay it against the real memory manager.
+//! tape.replay(&mut mm);
+//! assert!(mm.frame_at(space, base).is_some());
+//! ```
+
+use crate::hostmm::HostMm;
+use crate::{AsId, Vpn};
+use mem::{Fingerprint, Tick};
+use obs::EventKind;
+use std::ops::Range;
+
+/// The write-only host-memory surface guest-side simulators mutate:
+/// page writes, page unmaps and trace emissions. Everything else they
+/// do (region bookkeeping, gpfn allocation) is guest-private state.
+pub trait MemSink {
+    /// Writes `fingerprint` to the page at (`space`, `vpn`), faulting
+    /// or CoW-breaking as needed (see [`HostMm::write_page`]).
+    fn write_page(&mut self, space: AsId, vpn: Vpn, fingerprint: Fingerprint, now: Tick);
+
+    /// Unpopulates one page, releasing its frame reference (see
+    /// [`HostMm::unmap_page`]).
+    fn unmap_page(&mut self, space: AsId, vpn: Vpn);
+
+    /// Sets the simulated tick stamped onto subsequent trace events.
+    fn trace_now(&mut self, now: u64);
+
+    /// Emits a trace event; `build` runs only when tracing is enabled.
+    fn trace(&mut self, build: impl FnOnce() -> EventKind);
+}
+
+impl MemSink for HostMm {
+    fn write_page(&mut self, space: AsId, vpn: Vpn, fingerprint: Fingerprint, now: Tick) {
+        HostMm::write_page(self, space, vpn, fingerprint, now);
+    }
+
+    fn unmap_page(&mut self, space: AsId, vpn: Vpn) {
+        HostMm::unmap_page(self, space, vpn);
+    }
+
+    fn trace_now(&mut self, now: u64) {
+        self.tracer().set_now(now);
+    }
+
+    fn trace(&mut self, build: impl FnOnce() -> EventKind) {
+        self.tracer().emit_with(build);
+    }
+}
+
+/// One recorded host-memory operation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MemOp {
+    /// A [`HostMm::write_page`].
+    Write {
+        /// Target address space.
+        space: AsId,
+        /// Target virtual page.
+        vpn: Vpn,
+        /// Content written.
+        fingerprint: Fingerprint,
+        /// Write timestamp.
+        now: Tick,
+    },
+    /// A [`HostMm::unmap_page`].
+    Unmap {
+        /// Target address space.
+        space: AsId,
+        /// Target virtual page.
+        vpn: Vpn,
+    },
+    /// A tracer `set_now`.
+    TraceNow(u64),
+    /// A trace emission.
+    Trace(EventKind),
+}
+
+/// A [`MemSink`] that records operations for later in-order replay
+/// against the real [`HostMm`].
+///
+/// Trace recording mirrors the tracer's lazy contract: the
+/// `trace_enabled` flag is captured from the real tracer when the tape
+/// is created, and [`trace`](MemSink::trace) closures only run (and
+/// only record) when it is set — a disabled tracer costs the parallel
+/// plan phase nothing, exactly like the serial path.
+#[derive(Debug, Default)]
+pub struct MemTape {
+    ops: Vec<MemOp>,
+    trace_enabled: bool,
+}
+
+impl MemTape {
+    /// Creates an empty tape. Pass the real tracer's
+    /// [`is_enabled`](obs::Tracer::is_enabled) so trace ops are only
+    /// recorded when replay would actually emit them.
+    #[must_use]
+    pub fn new(trace_enabled: bool) -> MemTape {
+        MemTape {
+            ops: Vec::new(),
+            trace_enabled,
+        }
+    }
+
+    /// Operations recorded so far (segment boundaries for interleaved
+    /// replay are expressed as ranges of this count).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// `true` if nothing has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Replays every recorded operation against `mm`, in order.
+    pub fn replay(&self, mm: &mut HostMm) {
+        self.replay_range(mm, 0..self.ops.len());
+    }
+
+    /// Replays the operations in `range` (as returned by [`len`]
+    /// bracketing) against `mm`, in order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `range` is out of bounds.
+    ///
+    /// [`len`]: Self::len
+    pub fn replay_range(&self, mm: &mut HostMm, range: Range<usize>) {
+        for op in &self.ops[range] {
+            match *op {
+                MemOp::Write {
+                    space,
+                    vpn,
+                    fingerprint,
+                    now,
+                } => mm.write_page(space, vpn, fingerprint, now),
+                MemOp::Unmap { space, vpn } => mm.unmap_page(space, vpn),
+                MemOp::TraceNow(now) => mm.tracer().set_now(now),
+                MemOp::Trace(kind) => mm.tracer().emit_with(|| kind),
+            }
+        }
+    }
+}
+
+impl MemSink for MemTape {
+    fn write_page(&mut self, space: AsId, vpn: Vpn, fingerprint: Fingerprint, now: Tick) {
+        self.ops.push(MemOp::Write {
+            space,
+            vpn,
+            fingerprint,
+            now,
+        });
+    }
+
+    fn unmap_page(&mut self, space: AsId, vpn: Vpn) {
+        self.ops.push(MemOp::Unmap { space, vpn });
+    }
+
+    fn trace_now(&mut self, now: u64) {
+        if self.trace_enabled {
+            self.ops.push(MemOp::TraceNow(now));
+        }
+    }
+
+    fn trace(&mut self, build: impl FnOnce() -> EventKind) {
+        if self.trace_enabled {
+            self.ops.push(MemOp::Trace(build()));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MemTag;
+
+    fn fp(n: u64) -> Fingerprint {
+        Fingerprint::of(&[n])
+    }
+
+    fn two_space_mm() -> (HostMm, AsId, Vpn, AsId, Vpn) {
+        let mut mm = HostMm::new();
+        let a = mm.create_space("a");
+        let b = mm.create_space("b");
+        let ra = mm.map_region(a, 8, MemTag::VmGuestMemory, true);
+        let rb = mm.map_region(b, 8, MemTag::VmGuestMemory, true);
+        (mm, a, ra, b, rb)
+    }
+
+    #[test]
+    fn replay_reproduces_a_serial_run_exactly() {
+        // The same op sequence, once applied directly and once through a
+        // tape, must leave byte-identical state — including frame ids,
+        // which depend on the allocator's LIFO free list order.
+        let run = |via_tape: bool| {
+            let (mut mm, a, ra, b, rb) = two_space_mm();
+            let ops = |sink: &mut dyn FnMut(AsId, Vpn, u64)| {
+                sink(a, ra, 1);
+                sink(b, rb, 1);
+                sink(a, ra.offset(1), 2);
+                sink(b, rb.offset(1), 3);
+            };
+            if via_tape {
+                let mut tape = MemTape::new(false);
+                ops(&mut |s, v, n| MemSink::write_page(&mut tape, s, v, fp(n), Tick(n)));
+                MemSink::unmap_page(&mut tape, a, ra.offset(1));
+                tape.write_page(b, rb.offset(2), fp(9), Tick(9));
+                tape.replay(&mut mm);
+            } else {
+                ops(&mut |s, v, n| mm.write_page(s, v, fp(n), Tick(n)));
+                mm.unmap_page(a, ra.offset(1));
+                mm.write_page(b, rb.offset(2), fp(9), Tick(9));
+            }
+            mm.assert_consistent();
+            (
+                mm.frame_at(a, ra),
+                mm.frame_at(b, rb.offset(2)),
+                mm.epoch(),
+                mm.phys().allocated_frames(),
+            )
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn replay_range_interleaves_segments() {
+        let (mut mm, a, ra, b, rb) = two_space_mm();
+        let mut tape_a = MemTape::new(false);
+        let mut tape_b = MemTape::new(false);
+        tape_a.write_page(a, ra, fp(1), Tick(1));
+        let seg_a = tape_a.len();
+        tape_a.write_page(a, ra.offset(1), fp(2), Tick(2));
+        tape_b.write_page(b, rb, fp(3), Tick(1));
+        // Replay in original batch order: a[0], b[0], a[1].
+        tape_a.replay_range(&mut mm, 0..seg_a);
+        tape_b.replay(&mut mm);
+        tape_a.replay_range(&mut mm, seg_a..tape_a.len());
+        assert_eq!(mm.phys().allocated_frames(), 3);
+        mm.assert_consistent();
+    }
+
+    #[test]
+    fn disabled_tape_records_no_trace_ops() {
+        let mut tape = MemTape::new(false);
+        tape.trace_now(5);
+        tape.trace(|| unreachable!("closure must not run when disabled"));
+        assert!(tape.is_empty());
+    }
+
+    #[test]
+    fn enabled_tape_replays_trace_events() {
+        let (mut mm, a, ra, ..) = two_space_mm();
+        mm.tracer_mut().enable(None);
+        let mut tape = MemTape::new(mm.tracer().is_enabled());
+        tape.trace_now(42);
+        tape.write_page(a, ra, fp(1), Tick(42));
+        tape.trace(|| EventKind::RequestServe {
+            pid: 7,
+            served: 3,
+            dropped: 0,
+        });
+        let recorded_before = mm.tracer().recorded();
+        tape.replay(&mut mm);
+        assert!(mm.tracer().recorded() > recorded_before);
+        let log = mm.tracer().take_log();
+        let serve = log
+            .events
+            .iter()
+            .find(|e| matches!(e.kind, EventKind::RequestServe { .. }))
+            .expect("replayed RequestServe");
+        assert_eq!(serve.tick, 42);
+    }
+}

@@ -366,6 +366,26 @@ fn publish(
     let mut reg = telemetry::world_registry(host, scanner, engine, now);
     if let Driver::Traffic(w) = driver {
         w.report.record_metrics(&mut reg);
+        // Step-phase wall clocks (DESIGN.md §14): cumulative in the
+        // world, exported as per-publish increments on the persistent
+        // wall registry so the series survives epoch rebuilds.
+        const PHASE_HELP: &str =
+            "Wall-clock nanoseconds the traffic step spent in this phase (non-deterministic).";
+        for (name, total) in [
+            ("traffic_drain_wall_ns_total", w.wall.drain_ns),
+            ("traffic_plan_wall_ns_total", w.wall.plan_ns),
+            ("traffic_commit_wall_ns_total", w.wall.commit_ns),
+            ("traffic_scan_wall_ns_total", w.wall.scan_ns),
+        ] {
+            let prev = wall.counter_value(name, &[]).unwrap_or(0);
+            wall.counter_class(
+                name,
+                PHASE_HELP,
+                &[],
+                MetricClass::Wall,
+                total.saturating_sub(prev),
+            );
+        }
     }
     wall.counter_class(
         "daemon_queries_total",
@@ -606,8 +626,8 @@ fn render_top(
     if traffic.is_some() {
         let _ = writeln!(
             out,
-            "{:>5} {:>8} {:>10} {:>9} {:>8} {:>10} {:>8}",
-            "guest", "name", "resident", "shared", "huge", "served", "shed"
+            "{:>5} {:>8} {:>10} {:>9} {:>8} {:>10} {:>10} {:>8}",
+            "guest", "name", "resident", "shared", "huge", "offered", "served", "shed"
         );
     } else {
         let _ = writeln!(
@@ -622,11 +642,12 @@ fn render_top(
             Some(t) => {
                 let _ = writeln!(
                     out,
-                    "{i:>5} {:>8} {:>10.1} {:>9.1} {:>8.1} {:>10} {:>8}",
+                    "{i:>5} {:>8} {:>10.1} {:>9.1} {:>8.1} {:>10} {:>10} {:>8}",
                     g.name,
                     g.resident_mib,
                     g.tps_saving_mib(),
                     huge,
+                    t.offered,
                     t.served,
                     t.dropped
                 );
@@ -848,7 +869,12 @@ mod tests {
             "got: {metrics}"
         );
         let top = http_get(&addr, "/top").unwrap();
+        assert!(top.contains("offered"), "got: {top}");
         assert!(top.contains("served"), "got: {top}");
+        assert!(
+            metrics.contains("traffic_plan_wall_ns_total"),
+            "got: {metrics}"
+        );
         daemon.shutdown();
         daemon.join();
     }

@@ -58,8 +58,8 @@ impl fmt::Display for Error {
             ),
             Error::UnknownScenario(name) => write!(
                 f,
-                "unknown traffic scenario {name:?} (expected one of: {})",
-                traffic::Scenario::NAMES.join(" | ")
+                "unknown traffic scenario {name:?}; expected one of:\n{}",
+                traffic::Scenario::describe_all().trim_end()
             ),
             Error::Daemon(what) => write!(f, "monitoring daemon: {what}"),
         }

@@ -66,7 +66,7 @@ pub use error::Error;
 pub use powervm::{PowerVmExperiment, PowerVmFigure};
 pub use report::{ExperimentReport, TimelinePoint, VmThroughput};
 pub use run::Experiment;
-pub use traffic_run::{GuestTraffic, TrafficReport, TrafficSample};
+pub use traffic_run::{GuestTraffic, TrafficReport, TrafficSample, TrafficWall};
 
 // Re-export the component crates for downstream users.
 pub use analysis;

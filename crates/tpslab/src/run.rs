@@ -65,7 +65,7 @@ impl Experiment {
             Profiler::disabled()
         };
         let setup_started = prof.begin();
-        let (mut host, mut javas, caches) = boot_world(config);
+        let (mut host, mut javas, caches, _) = boot_world(config);
         prof.end(
             "setup",
             setup_started,
@@ -300,7 +300,7 @@ pub(crate) struct TickWorld {
 impl TickWorld {
     /// Boots the configured world (no ticks yet).
     pub(crate) fn new(config: &ExperimentConfig) -> TickWorld {
-        let (host, javas, _) = boot_world(config);
+        let (host, javas, ..) = boot_world(config);
         TickWorld {
             host,
             javas,
@@ -336,11 +336,18 @@ impl TickWorld {
     }
 }
 
-/// Boots the host, its guests and their JVMs as configured, returning
-/// the per-workload master caches alongside for reporting.
-pub(crate) fn boot_world(
-    config: &ExperimentConfig,
-) -> (KvmHost, Vec<JavaVm>, HashMap<u64, SharedClassCache>) {
+/// What [`boot_world`] returns: the booted host, the launched JVMs, the
+/// per-workload master caches (for reporting) and their serialized byte
+/// images (reused by traffic relaunches instead of re-encoding).
+pub(crate) type BootedWorld = (
+    KvmHost,
+    Vec<JavaVm>,
+    HashMap<u64, SharedClassCache>,
+    HashMap<u64, Vec<u8>>,
+);
+
+/// Boots the host, its guests and their JVMs as configured.
+pub(crate) fn boot_world(config: &ExperimentConfig) -> BootedWorld {
     let mut host = KvmHost::new(config.host);
     host.set_thp_policies(config.thp_host, config.thp_guest);
     if config.trace {
@@ -387,7 +394,7 @@ pub(crate) fn boot_world(
             Tick::ZERO,
         ));
     }
-    (host, javas, caches)
+    (host, javas, caches, cache_images)
 }
 
 /// Runs the cross-layer conservation audit against the current host

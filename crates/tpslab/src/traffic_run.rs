@@ -9,6 +9,26 @@
 //! scanner runs exactly as in the tick model — the experiment measures
 //! how stable its sharing stays under realistic traffic.
 //!
+//! # Parallel plan → commit (DESIGN.md §14)
+//!
+//! Each drained event batch is split into **guest-local** work
+//! (request serving and start-up ticks for guests untouched by churn
+//! this batch) and **host-global** work (restarts, adds, removes,
+//! phase markers). Guest-local events only *write* host memory — every
+//! read they need (translation, gpfn allocation, THP eligibility) is
+//! guest-private — so the plan phase runs them on [`par::map_sharded`]
+//! against disjoint per-guest shards, capturing host-side effects into
+//! per-shard [`MemTape`]s. The commit phase then walks the batch in
+//! its original `(due_tick, seq)` order, applying host-global events
+//! live and replaying each guest's next tape segment in place of its
+//! local events. Frame ids, rmap contents and the trace stream are
+//! byte-identical at any `threads` setting.
+//!
+//! Per-guest serving capacity is snapshotted once per batch, *before*
+//! any event applies (see [`TrafficWorld::capacity_snapshot`]), so the
+//! served/shed split of every parallel request batch is known at
+//! classification time and thread-count invariant by construction.
+//!
 //! Costs follow the engine's invariant: a guest only pays when an event
 //! addresses it. Kernel background churn is batched — each guest
 //! remembers the last tick it was advanced to and catches up in one
@@ -26,8 +46,11 @@ use jvm::{JavaVm, JvmConfig, RequestCost};
 use ksm::{KsmScanner, KsmStats};
 use mem::Tick;
 use obs::EventKind;
+use oskernel::{GuestOs, Pid};
+use paging::{MemSink, MemTape};
 use std::collections::HashMap;
 use std::fmt::Write as _;
+use std::time::Instant;
 use traffic::{Scenario, TrafficEngine, TrafficSpec};
 use workloads::{Workload, WorkloadEvent};
 
@@ -107,6 +130,45 @@ pub struct GuestTraffic {
     pub served: u64,
     /// Requests shed (over capacity, or routed while drained).
     pub dropped: u64,
+}
+
+/// Wall-clock nanoseconds a traffic run spent in each step phase,
+/// accumulated across every tick. Wall-clock only — never part of
+/// [`TrafficReport`] or any golden; exported as `Wall`-class metrics by
+/// the daemon and pinned (as a speedup projection) by the
+/// `fleet_traffic` bench.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TrafficWall {
+    /// Draining due events out of the engine's sharded queue.
+    pub drain_ns: u64,
+    /// Classifying the batch and running guest-local work on the
+    /// worker pool (the only phase that parallelises).
+    pub plan_ns: u64,
+    /// Serial commit: host-global events plus tape replay.
+    pub commit_ns: u64,
+    /// khugepaged, the KSM scanner and sharing samples.
+    pub scan_ns: u64,
+    /// The pool-parallel share of [`scan_ns`](Self::scan_ns): the KSM
+    /// scanner's classify + resolve phases (its own wake accounting).
+    /// The remainder of `scan_ns` — scanner plan/commit, khugepaged and
+    /// sampling — runs serially.
+    pub scan_parallel_ns: u64,
+}
+
+impl TrafficWall {
+    /// Total step time across all phases.
+    #[must_use]
+    pub fn total_ns(&self) -> u64 {
+        self.drain_ns + self.plan_ns + self.commit_ns + self.scan_ns
+    }
+
+    /// The serially-executed share of [`total_ns`](Self::total_ns):
+    /// everything except the plan phase and the scanner's parallel
+    /// phases.
+    #[must_use]
+    pub fn serial_ns(&self) -> u64 {
+        self.drain_ns + self.commit_ns + self.scan_ns - self.scan_parallel_ns.min(self.scan_ns)
+    }
 }
 
 impl TrafficReport {
@@ -239,6 +301,61 @@ pub(crate) struct GuestSlot {
     churned_to: u64,
     /// Per-request memory cost for this guest's workload.
     cost: RequestCost,
+    /// The running JVM's pid, if any — maintained alongside `java` so
+    /// attribution snapshots can borrow it without allocating.
+    pids: Vec<Pid>,
+}
+
+/// Guest-local work the plan phase can run off the main thread. The
+/// served/shed split of a request batch is precomputed at
+/// classification time from the batch-start capacity snapshot, so the
+/// same numbers flow into the report, the trace stream and the JVM
+/// regardless of which path executes the event.
+#[derive(Debug, Clone, Copy)]
+enum LocalKind {
+    /// One engine start-up tick for the guest's JVM.
+    Startup,
+    /// A request batch, already split against the capacity snapshot.
+    Requests {
+        /// Requests routed to the guest this event.
+        offered: u64,
+        /// Requests within the snapshot capacity (0 while drained).
+        served: u64,
+        /// Requests shed.
+        dropped: u64,
+    },
+}
+
+/// One batch entry, in original `(due_tick, seq)` order.
+enum BatchItem {
+    /// Host-global work: applied live, serially, at commit.
+    Serial(Tick, WorkloadEvent),
+    /// Guest-local work: planned on the pool, replayed at commit.
+    Local {
+        at: Tick,
+        guest: usize,
+        kind: LocalKind,
+    },
+}
+
+/// One guest's share of a batch during the parallel plan phase: the
+/// guest's own simulator state plus a private tape for host effects.
+struct PlanShard<'a> {
+    guest: usize,
+    events: Vec<(Tick, LocalKind)>,
+    os: &'a mut GuestOs,
+    slot: &'a mut GuestSlot,
+    tape: MemTape,
+    seg_ends: Vec<usize>,
+}
+
+/// A planned guest's tape, detached from the guest borrows so the
+/// commit phase can mutate the host again. `seg_ends[i]` brackets the
+/// ops recorded by the guest's `i`-th local event.
+struct PlannedTape {
+    guest: usize,
+    tape: MemTape,
+    seg_ends: Vec<usize>,
 }
 
 /// A booted traffic world that can be advanced one tick at a time.
@@ -261,7 +378,7 @@ pub(crate) struct TrafficWorld {
     pub(crate) end: Tick,
     sample_ticks: u64,
     switched: bool,
-    slowdown_cache: (u64, f64),
+    pub(crate) wall: TrafficWall,
     pub(crate) report: TrafficReport,
     window_offered: u64,
     window_served: u64,
@@ -290,12 +407,11 @@ impl TrafficWorld {
             seed: config.seed,
         });
 
-        let (host, javas, caches) = boot_world(config);
-        // Keep the serialized cache images around: deploy restarts and
-        // autoscale relaunches hand each fresh JVM its own byte-identical
-        // copy, re-creating the CDS merge opportunity the paper measures.
-        let cache_images: HashMap<u64, Vec<u8>> =
-            caches.iter().map(|(&id, c)| (id, c.to_bytes())).collect();
+        // Keep the boot's serialized cache images around: deploy
+        // restarts and autoscale relaunches hand each fresh JVM its own
+        // byte-identical copy, re-creating the CDS merge opportunity
+        // the paper measures.
+        let (host, javas, _, cache_images) = boot_world(config);
         let slots: Vec<GuestSlot> = javas
             .into_iter()
             .enumerate()
@@ -307,11 +423,13 @@ impl TrafficWorld {
                         cost = cost.scaled(factor);
                     }
                 }
+                let pids = vec![java.pid()];
                 GuestSlot {
                     java: Some(java),
                     generation: 0,
                     churned_to: 0,
                     cost,
+                    pids,
                 }
             })
             .collect();
@@ -355,12 +473,7 @@ impl TrafficWorld {
             end: Tick::from_seconds(config.duration_seconds as f64),
             sample_ticks: SAMPLE_SECONDS * u64::from(mem::TICKS_PER_SECOND as u32),
             switched: false,
-            // The per-second capacity model: memory pressure inflates
-            // service times, shrinking how many of the offered requests
-            // a guest can serve. Recomputed lazily once per second
-            // (`resident_mib` walks frame counters, not pages, so this
-            // is cheap but not free).
-            slowdown_cache: (u64::MAX, 1.0),
+            wall: TrafficWall::default(),
             report,
             window_offered: 0,
             window_served: 0,
@@ -368,26 +481,16 @@ impl TrafficWorld {
     }
 
     /// Advances the world through tick `t` (1-based): drains due
-    /// traffic events, runs khugepaged at second boundaries, runs the
-    /// KSM scanner, and takes a sharing sample on the sample cadence.
+    /// traffic events, applies them (plan → commit), runs khugepaged at
+    /// second boundaries, runs the KSM scanner, and takes a sharing
+    /// sample on the sample cadence.
     pub(crate) fn step(&mut self, t: u64) {
         let now = Tick(t);
-        for (at, event) in self.engine.events_until(now) {
-            apply_event(
-                &self.config,
-                &self.cache_images,
-                &mut self.host,
-                &mut self.slots,
-                &self.cold_per_guest,
-                &mut self.slowdown_cache,
-                self.healthy_rps,
-                at,
-                event,
-                &mut self.report,
-                &mut self.window_offered,
-                &mut self.window_served,
-            );
-        }
+        let drain_start = Instant::now();
+        let batch = self.engine.events_until(now);
+        self.wall.drain_ns += drain_start.elapsed().as_nanos() as u64;
+        self.apply_batch(&batch);
+        let scan_start = Instant::now();
         // khugepaged, once per simulated second (same cadence and
         // ordering as the tick-model loop in `run`).
         if t.is_multiple_of(mem::TICKS_PER_SECOND) {
@@ -412,6 +515,240 @@ impl TrafficWorld {
             });
             (self.window_offered, self.window_served) = (0, 0);
         }
+        self.wall.scan_ns += scan_start.elapsed().as_nanos() as u64;
+        self.wall.scan_parallel_ns = self.scanner.wake_totals().parallel_nanos();
+    }
+
+    /// Serving capacity per guest for one batch, snapshotted before any
+    /// of its events apply: one healthy second of service, inflated by
+    /// the memory-pressure slowdown and credited for TLB reach from
+    /// whatever fraction of memory is huge-mapped. Offered load past it
+    /// is shed. A single pre-batch snapshot (rather than a lazy
+    /// per-second cache) makes every request's served/shed split a pure
+    /// function of batch-start state — identical on the serial and
+    /// parallel paths. Empty when the batch carries no requests.
+    fn capacity_snapshot(&self, batch: &[(Tick, WorkloadEvent)]) -> Vec<u64> {
+        if !batch
+            .iter()
+            .any(|(_, e)| matches!(e, WorkloadEvent::Requests { .. }))
+        {
+            return Vec::new();
+        }
+        let cold_active: f64 = self
+            .slots
+            .iter()
+            .zip(&self.cold_per_guest)
+            .filter(|(s, _)| s.java.is_some())
+            .map(|(_, c)| *c)
+            .sum();
+        let model = PagingModel::default();
+        let resident = self.host.resident_mib();
+        let allocated = self.host.mm().phys().allocated_frames();
+        let huge_fraction = if allocated == 0 {
+            0.0
+        } else {
+            self.host.huge_pages() as f64 / allocated as f64
+        };
+        // Exactly 1.0 with no huge pages, so non-THP capacity is
+        // unchanged by the TLB-reach credit.
+        let boost = model.tlb_boost(huge_fraction);
+        self.cold_per_guest
+            .iter()
+            .map(|&cold| {
+                let slowdown = model.slowdown(
+                    resident,
+                    self.config.host.ram_mib,
+                    self.config.host.reserve_mib,
+                    cold_active + cold,
+                );
+                (self.healthy_rps * (slowdown * boost).min(1.0))
+                    .ceil()
+                    .max(1.0) as u64
+            })
+            .collect()
+    }
+
+    /// Applies one drained batch: classify into guest-local versus
+    /// host-global work, plan the local work (on the pool when it spans
+    /// more than one guest), then commit everything in original order.
+    fn apply_batch(&mut self, batch: &[(Tick, WorkloadEvent)]) {
+        if batch.is_empty() {
+            return;
+        }
+        let plan_start = Instant::now();
+        let caps = self.capacity_snapshot(batch);
+
+        // A guest churned this batch (restarted, added or removed)
+        // serialises *all* of its events: its JVM presence and kernel
+        // state change mid-batch in ways only in-order application
+        // reproduces.
+        let n = self.slots.len();
+        let mut serial_guest = vec![false; n];
+        for (_, event) in batch {
+            if let WorkloadEvent::RestartGuest { guest }
+            | WorkloadEvent::AddGuest { guest }
+            | WorkloadEvent::RemoveGuest { guest } = event
+            {
+                serial_guest[*guest] = true;
+            }
+        }
+
+        let mut items: Vec<BatchItem> = Vec::with_capacity(batch.len());
+        let mut local_events: Vec<Vec<(Tick, LocalKind)>> = vec![Vec::new(); n];
+        let mut local_guests = 0usize;
+        for &(at, event) in batch {
+            let local = match event {
+                WorkloadEvent::StartupTick { guest } if !serial_guest[guest] => {
+                    Some((guest, LocalKind::Startup))
+                }
+                WorkloadEvent::Requests { guest, offered } if !serial_guest[guest] => {
+                    // JVM presence is batch-constant for non-churned
+                    // guests, so the split is final here.
+                    let kind = if self.slots[guest].java.is_some() {
+                        let served = offered.min(caps[guest]);
+                        LocalKind::Requests {
+                            offered,
+                            served,
+                            dropped: offered - served,
+                        }
+                    } else {
+                        LocalKind::Requests {
+                            offered,
+                            served: 0,
+                            dropped: offered,
+                        }
+                    };
+                    Some((guest, kind))
+                }
+                _ => None,
+            };
+            match local {
+                Some((guest, kind)) => {
+                    if local_events[guest].is_empty() {
+                        local_guests += 1;
+                    }
+                    local_events[guest].push((at, kind));
+                    items.push(BatchItem::Local { at, guest, kind });
+                }
+                None => items.push(BatchItem::Serial(at, event)),
+            }
+        }
+
+        // Plan: run guest-local work on the pool, one shard per guest.
+        // With one thread (or one busy guest) planning would only add
+        // tape overhead, so those batches commit directly instead.
+        let planned = if self.config.threads > 1 && local_guests > 1 {
+            self.plan_parallel(&mut local_events)
+        } else {
+            Vec::new()
+        };
+        self.wall.plan_ns += plan_start.elapsed().as_nanos() as u64;
+
+        let commit_start = Instant::now();
+        self.commit(&items, &caps, &planned);
+        self.wall.commit_ns += commit_start.elapsed().as_nanos() as u64;
+    }
+
+    /// The parallel plan phase: each busy guest's local events run on
+    /// the worker pool against its own simulator state, recording host
+    /// effects into a private tape. Returns the detached tapes with
+    /// per-event segment boundaries.
+    fn plan_parallel(&mut self, local_events: &mut [Vec<(Tick, LocalKind)>]) -> Vec<PlannedTape> {
+        let threads = self.config.threads;
+        let (mm, guests) = self.host.mm_and_guests_mut();
+        let trace_enabled = mm.tracer().is_enabled();
+        let mut shards: Vec<PlanShard<'_>> = guests
+            .iter_mut()
+            .zip(self.slots.iter_mut())
+            .enumerate()
+            .filter_map(|(i, (kvm, slot))| {
+                let events = std::mem::take(&mut local_events[i]);
+                if events.is_empty() {
+                    return None;
+                }
+                Some(PlanShard {
+                    guest: i,
+                    events,
+                    os: &mut kvm.os,
+                    slot,
+                    tape: MemTape::new(trace_enabled),
+                    seg_ends: Vec::new(),
+                })
+            })
+            .collect();
+        let _unit: Vec<()> = par::map_sharded(&mut shards, threads, |_, shard| {
+            shard.seg_ends.reserve(shard.events.len());
+            for &(at, kind) in &shard.events {
+                run_local_event(&mut shard.tape, shard.os, shard.slot, at, kind);
+                shard.seg_ends.push(shard.tape.len());
+            }
+        });
+        shards
+            .into_iter()
+            .map(|s| PlannedTape {
+                guest: s.guest,
+                tape: s.tape,
+                seg_ends: s.seg_ends,
+            })
+            .collect()
+    }
+
+    /// The serial commit phase: walk the batch in original order,
+    /// applying host-global events live, replaying planned guests'
+    /// tape segments, and running unplanned local events directly.
+    fn commit(&mut self, items: &[BatchItem], caps: &[u64], planned: &[PlannedTape]) {
+        let mut shard_of = vec![usize::MAX; self.slots.len()];
+        for (si, p) in planned.iter().enumerate() {
+            shard_of[p.guest] = si;
+        }
+        // (next segment, op offset) per planned guest.
+        let mut cursor: Vec<(usize, usize)> = vec![(0, 0); planned.len()];
+        for item in items {
+            match *item {
+                BatchItem::Serial(at, event) => apply_serial_event(
+                    &self.config,
+                    &self.cache_images,
+                    &mut self.host,
+                    &mut self.slots,
+                    caps,
+                    at,
+                    event,
+                    &mut self.report,
+                    &mut self.window_offered,
+                    &mut self.window_served,
+                ),
+                BatchItem::Local { at, guest, kind } => {
+                    if let LocalKind::Requests {
+                        offered,
+                        served,
+                        dropped,
+                    } = kind
+                    {
+                        self.report.offered += offered;
+                        self.report.served += served;
+                        self.report.dropped += dropped;
+                        let g = &mut self.report.per_guest[guest];
+                        g.offered += offered;
+                        g.served += served;
+                        g.dropped += dropped;
+                        self.window_offered += offered;
+                        self.window_served += served;
+                    }
+                    let si = shard_of[guest];
+                    if si == usize::MAX {
+                        let (mm, g) = self.host.mm_and_guest_mut(guest);
+                        run_local_event(mm, &mut g.os, &mut self.slots[guest], at, kind);
+                    } else {
+                        let (seg, start) = cursor[si];
+                        let end = planned[si].seg_ends[seg];
+                        planned[si]
+                            .tape
+                            .replay_range(self.host.mm_mut(), start..end);
+                        cursor[si] = (seg + 1, end);
+                    }
+                }
+            }
+        }
     }
 
     /// Settles kernel churn for every still-active guest so the final
@@ -422,7 +759,8 @@ impl TrafficWorld {
         let end = self.end;
         for (guest, slot) in self.slots.iter_mut().enumerate() {
             if slot.java.is_some() {
-                catch_up_kernel(&mut self.host, slot, guest, end);
+                let (mm, g) = self.host.mm_and_guest_mut(guest);
+                catch_up_kernel(mm, &mut g.os, slot, end);
             }
         }
         self.scanner.recount(self.host.mm());
@@ -440,16 +778,14 @@ impl TrafficWorld {
     }
 
     /// Guest views over the current fleet (drained guests expose no
-    /// Java pids), for attribution snapshots.
+    /// Java pids), for attribution snapshots. Borrows each slot's pid
+    /// list — no per-view allocation on the daemon's publish path.
     pub(crate) fn views(&self) -> Vec<GuestView<'_>> {
         self.host
             .guests()
             .iter()
             .zip(&self.slots)
-            .map(|(g, slot)| {
-                let pids = slot.java.as_ref().map(|j| j.pid()).into_iter().collect();
-                GuestView::new(&g.name, &g.os, pids)
-            })
+            .map(|(g, slot)| GuestView::borrowed(&g.name, &g.os, &slot.pids))
             .collect()
     }
 }
@@ -467,24 +803,81 @@ impl Experiment {
         config: &ExperimentConfig,
         scenario: &Scenario,
     ) -> Result<TrafficReport, Error> {
+        Ok(Self::run_traffic_timed(config, scenario)?.0)
+    }
+
+    /// [`run_traffic`](Self::run_traffic), also returning the wall-clock
+    /// phase breakdown. The report is deterministic; the
+    /// [`TrafficWall`] is wall-clock and varies run to run.
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`Error`] when the configuration is not runnable
+    /// (see [`ExperimentConfig::validate`]).
+    pub fn run_traffic_timed(
+        config: &ExperimentConfig,
+        scenario: &Scenario,
+    ) -> Result<(TrafficReport, TrafficWall), Error> {
         let mut world = TrafficWorld::new(config, scenario)?;
         for t in 1..=world.end.0 {
             world.step(t);
         }
-        Ok(world.finish())
+        let wall = world.wall;
+        Ok((world.finish(), wall))
     }
 }
 
-/// Applies one workload event to the world, updating the report tallies.
+/// Runs one guest-local event against any [`MemSink`] — the real
+/// [`HostMm`](paging::HostMm) on the serial path, a [`MemTape`] during
+/// the parallel plan. Shared so both paths execute the exact same op
+/// sequence by construction.
+fn run_local_event<M: MemSink>(
+    mm: &mut M,
+    os: &mut GuestOs,
+    slot: &mut GuestSlot,
+    at: Tick,
+    kind: LocalKind,
+) {
+    match kind {
+        LocalKind::Startup => {
+            let Some(mut java) = slot.java.take() else {
+                return;
+            };
+            catch_up_kernel(mm, os, slot, at);
+            java.advance_startup(mm, os, at);
+            slot.java = Some(java);
+        }
+        LocalKind::Requests {
+            served, dropped, ..
+        } => {
+            let Some(mut java) = slot.java.take() else {
+                // A drained guest sheds everything still routed to it
+                // in the hand-off second (tallied by the caller).
+                return;
+            };
+            catch_up_kernel(mm, os, slot, at);
+            java.serve_requests(mm, os, &slot.cost, served, at);
+            mm.trace_now(at.0);
+            mm.trace(|| EventKind::RequestServe {
+                pid: java.pid().0,
+                served,
+                dropped,
+            });
+            slot.java = Some(java);
+        }
+    }
+}
+
+/// Applies one host-global workload event live, updating the report
+/// tallies. Guest-local events route through [`run_local_event`] with
+/// the same capacity snapshot the parallel plan used.
 #[allow(clippy::too_many_arguments)]
-fn apply_event(
+fn apply_serial_event(
     config: &ExperimentConfig,
     cache_images: &HashMap<u64, Vec<u8>>,
     host: &mut KvmHost,
     slots: &mut [GuestSlot],
-    cold_per_guest: &[f64],
-    slowdown_cache: &mut (u64, f64),
-    healthy_rps: f64,
+    caps: &[u64],
     at: Tick,
     event: WorkloadEvent,
     report: &mut TrafficReport,
@@ -493,67 +886,31 @@ fn apply_event(
 ) {
     match event {
         WorkloadEvent::StartupTick { guest } => {
-            let Some(mut java) = slots[guest].java.take() else {
-                return;
-            };
-            catch_up_kernel(host, &mut slots[guest], guest, at);
             let (mm, g) = host.mm_and_guest_mut(guest);
-            java.advance_startup(mm, &mut g.os, at);
-            slots[guest].java = Some(java);
+            run_local_event(mm, &mut g.os, &mut slots[guest], at, LocalKind::Startup);
         }
         WorkloadEvent::Requests { guest, offered } => {
             report.offered += offered;
             report.per_guest[guest].offered += offered;
             *window_offered += offered;
-            let Some(mut java) = slots[guest].java.take() else {
-                // A drained guest sheds everything still routed to it
-                // in the hand-off second.
-                report.dropped += offered;
-                report.per_guest[guest].dropped += offered;
-                return;
+            let (served, dropped) = if slots[guest].java.is_some() {
+                let served = offered.min(caps[guest]);
+                (served, offered - served)
+            } else {
+                (0, offered)
             };
-            let second = (at.0 - 1) / u64::from(mem::TICKS_PER_SECOND as u32);
-            if slowdown_cache.0 != second {
-                let cold: f64 = slots
-                    .iter()
-                    .zip(cold_per_guest)
-                    .filter(|(s, _)| s.java.is_some())
-                    .map(|(_, c)| c)
-                    .sum::<f64>()
-                    + cold_per_guest[guest];
-                let model = PagingModel::default();
-                let slowdown = model.slowdown(
-                    host.resident_mib(),
-                    config.host.ram_mib,
-                    config.host.reserve_mib,
-                    cold,
-                );
-                // TLB-reach credit from whatever fraction of memory is
-                // huge-mapped this second; exactly 1.0 with no huge
-                // pages, so non-THP capacity is unchanged.
-                let allocated = host.mm().phys().allocated_frames();
-                let huge_fraction = if allocated == 0 {
-                    0.0
-                } else {
-                    host.huge_pages() as f64 / allocated as f64
-                };
-                *slowdown_cache = (second, (slowdown * model.tlb_boost(huge_fraction)).min(1.0));
-            }
-            // Capacity: one healthy second of service, inflated by the
-            // memory-pressure slowdown. Offered load past it is shed.
-            let capacity = (healthy_rps * slowdown_cache.1).ceil().max(1.0) as u64;
-            let served = offered.min(capacity);
-            let dropped = offered - served;
-            catch_up_kernel(host, &mut slots[guest], guest, at);
             let (mm, g) = host.mm_and_guest_mut(guest);
-            java.serve_requests(mm, &mut g.os, &slots[guest].cost, served, at);
-            mm.tracer().set_now(at.0);
-            mm.tracer().emit_with(|| EventKind::RequestServe {
-                pid: java.pid().0,
-                served,
-                dropped,
-            });
-            slots[guest].java = Some(java);
+            run_local_event(
+                mm,
+                &mut g.os,
+                &mut slots[guest],
+                at,
+                LocalKind::Requests {
+                    offered,
+                    served,
+                    dropped,
+                },
+            );
             report.served += served;
             report.dropped += dropped;
             report.per_guest[guest].served += served;
@@ -576,9 +933,10 @@ fn apply_event(
         WorkloadEvent::RemoveGuest { guest } => {
             report.scale_downs += 1;
             if let Some(java) = slots[guest].java.take() {
-                catch_up_kernel(host, &mut slots[guest], guest, at);
                 let (mm, g) = host.mm_and_guest_mut(guest);
+                catch_up_kernel(mm, &mut g.os, &mut slots[guest], at);
                 g.os.kill(mm, java.pid());
+                slots[guest].pids.clear();
             }
         }
         WorkloadEvent::Phase { phase, offered_rps } => {
@@ -602,11 +960,11 @@ fn relaunch(
     guest: usize,
     at: Tick,
 ) {
-    catch_up_kernel(host, &mut slots[guest], guest, at);
     let spec = &config.guests[guest];
     let slot = &mut slots[guest];
-    slot.generation += 1;
     let (mm, g) = host.mm_and_guest_mut(guest);
+    catch_up_kernel(mm, &mut g.os, slot, at);
+    slot.generation += 1;
     if let Some(java) = slot.java.take() {
         g.os.kill(mm, java.pid());
     }
@@ -620,24 +978,20 @@ fn relaunch(
         let copy = SharedClassCache::from_bytes(bytes).expect("cache image decodes");
         cfg = cfg.with_shared_cache(copy);
     }
-    slot.java = Some(JavaVm::launch(
-        mm,
-        &mut g.os,
-        cfg,
-        spec.benchmark.profile.clone(),
-        at,
-    ));
+    let vm = JavaVm::launch(mm, &mut g.os, cfg, spec.benchmark.profile.clone(), at);
+    slot.pids.clear();
+    slot.pids.push(vm.pid());
+    slot.java = Some(vm);
 }
 
 /// Advances a guest's kernel background churn from wherever it last ran
-/// to `at`, in one batched call.
-fn catch_up_kernel(host: &mut KvmHost, slot: &mut GuestSlot, guest: usize, at: Tick) {
+/// to `at`, in one batched call against any [`MemSink`].
+fn catch_up_kernel<M: MemSink>(mm: &mut M, os: &mut GuestOs, slot: &mut GuestSlot, at: Tick) {
     let ticks = at.0.saturating_sub(slot.churned_to);
     if ticks == 0 {
         return;
     }
-    let (mm, g) = host.mm_and_guest_mut(guest);
-    g.os.tick_many(mm, at, ticks as u32);
+    os.tick_many(mm, at, ticks as u32);
     slot.churned_to = at.0;
 }
 
@@ -648,10 +1002,7 @@ fn audit_traffic(host: &KvmHost, slots: &[GuestSlot], scanner: &KsmScanner) {
         .guests()
         .iter()
         .zip(slots)
-        .map(|(g, slot)| {
-            let pids = slot.java.as_ref().map(|j| j.pid()).into_iter().collect();
-            GuestView::new(&g.name, &g.os, pids)
-        })
+        .map(|(g, slot)| GuestView::borrowed(&g.name, &g.os, &slot.pids))
         .collect();
     let world = audit::World {
         mm: host.mm(),
@@ -717,6 +1068,37 @@ mod tests {
         let threaded = Experiment::run_traffic(&base.clone().with_threads(4), &scenario).unwrap();
         assert_eq!(a.render(), threaded.render());
         assert_eq!(a, threaded);
+    }
+
+    #[test]
+    fn churn_scenarios_stay_thread_independent() {
+        // Rolling deploys and autoscale exercise the serial/local split:
+        // churned guests must serialise while the rest of the fleet
+        // plans in parallel, and the commit order must still be exact.
+        for (config, scenario) in [
+            (cfg(3, 90), Scenario::rolling_deploy(90, 3)),
+            (cfg(4, 90), Scenario::autoscale(90, 4)),
+        ] {
+            let serial = Experiment::run_traffic(&config, &scenario).unwrap();
+            for threads in [2, 8] {
+                let t = Experiment::run_traffic(&config.clone().with_threads(threads), &scenario)
+                    .unwrap();
+                assert_eq!(serial, t, "{} diverged at {threads} threads", scenario.name);
+            }
+        }
+    }
+
+    #[test]
+    fn wall_phases_are_recorded_and_stay_out_of_the_report() {
+        let (report, wall) =
+            Experiment::run_traffic_timed(&cfg(2, 30), &Scenario::constant()).unwrap();
+        assert!(wall.scan_ns > 0);
+        assert!(wall.drain_ns > 0);
+        assert!(wall.total_ns() >= wall.serial_ns());
+        // Same config, fresh run: the deterministic report matches even
+        // though the wall numbers will not.
+        let again = Experiment::run_traffic(&cfg(2, 30), &Scenario::constant()).unwrap();
+        assert_eq!(report, again);
     }
 
     #[test]

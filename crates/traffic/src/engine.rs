@@ -4,7 +4,7 @@ use crate::curve::jitter;
 use crate::scenario::Scenario;
 use mem::Tick;
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
 use workloads::WorkloadEvent;
 
 /// Everything the engine needs to know about the run it drives.
@@ -59,12 +59,22 @@ impl PartialOrd for Queued {
 
 /// The discrete-event traffic engine.
 ///
-/// A binary heap of `(tick, sequence)`-ordered entries drives everything
-/// the workload side does: request arrivals (one batched entry per
-/// simulated second, and only for seconds with non-zero offered load),
-/// per-guest start-up ticks (scheduled only while a guest boots), deploy
-/// waves and autoscale churn. An idle guest has **no** queued entries —
-/// the engine's cost is O(pending events), never O(guests).
+/// `(tick, sequence)`-ordered entries drive everything the workload side
+/// does: request arrivals (one batched entry per simulated second, and
+/// only for seconds with non-zero offered load), per-guest start-up
+/// ticks (scheduled only while a guest boots), deploy waves and
+/// autoscale churn. An idle guest has **no** queued entries — the
+/// engine's cost is O(pending events), never O(guests).
+///
+/// The queue is sharded for fleet scale (DESIGN.md §14): host-global
+/// entries (arrivals, deploys) live in one binary heap, while each
+/// guest's start-up chain lives in its own deque, kept sorted because
+/// start-up pushes are provably append-only — every push targets the
+/// *next* second with a strictly larger sequence number than anything
+/// the shard already holds. A frontier heap over the shard heads (one
+/// entry per non-empty shard) makes the merged pop O(log shards), so
+/// draining stays cheap at 1024 guests while the emitted stream stays
+/// byte-identical to the single-heap engine's.
 ///
 /// Everything is computed from the spec with integer and exact-in-f64
 /// arithmetic; there is no RNG state and no transcendental math, so the
@@ -73,7 +83,13 @@ impl PartialOrd for Queued {
 #[derive(Debug)]
 pub struct TrafficEngine {
     spec: TrafficSpec,
-    queue: BinaryHeap<Reverse<Queued>>,
+    /// Host-global entries: arrivals and deploy waves.
+    global: BinaryHeap<Reverse<Queued>>,
+    /// Per-guest start-up chains, each sorted by `(due, seq)`.
+    shards: Vec<VecDeque<Queued>>,
+    /// Min-heap of `(due, seq, guest)` shard heads — exactly one entry
+    /// per non-empty shard, always equal to that shard's front.
+    frontier: BinaryHeap<Reverse<(u64, u64, usize)>>,
     seq: u64,
     /// Which fleet indices currently run a JVM.
     active: Vec<bool>,
@@ -92,7 +108,9 @@ impl TrafficEngine {
     pub fn new(spec: TrafficSpec) -> TrafficEngine {
         let mut engine = TrafficEngine {
             spec,
-            queue: BinaryHeap::new(),
+            global: BinaryHeap::new(),
+            shards: vec![VecDeque::new(); spec.guests],
+            frontier: BinaryHeap::new(),
             seq: 0,
             active: vec![true; spec.guests],
             carry: vec![0.0; spec.guests],
@@ -121,19 +139,54 @@ impl TrafficEngine {
     /// prove a tick is event-free without popping anything.
     #[must_use]
     pub fn next_due(&self) -> Option<Tick> {
-        self.queue.peek().map(|Reverse(q)| Tick(q.due))
+        let global = self.global.peek().map(|&Reverse(q)| (q.due, q.seq));
+        let shard = self
+            .frontier
+            .peek()
+            .map(|&Reverse((due, seq, _))| (due, seq));
+        match (global, shard) {
+            (Some(g), Some(s)) => Some(Tick(g.min(s).0)),
+            (Some((due, _)), None) | (None, Some((due, _))) => Some(Tick(due)),
+            (None, None) => None,
+        }
     }
 
     /// Pops every entry due at or before `now` and returns the workload
     /// events they expand to, stamped with their due tick, in
-    /// deterministic order.
+    /// deterministic order — the merged `(due, seq)` order across the
+    /// global heap and every shard. Sequence numbers are globally
+    /// unique, so the merge never ties.
     pub fn events_until(&mut self, now: Tick) -> Vec<(Tick, WorkloadEvent)> {
         let mut out = Vec::new();
-        while let Some(&Reverse(q)) = self.queue.peek() {
-            if q.due > now.0 {
-                break;
-            }
-            self.queue.pop();
+        loop {
+            let global = self.global.peek().map(|&Reverse(q)| (q.due, q.seq));
+            let shard = self.frontier.peek().map(|&Reverse(head)| head);
+            let take_shard = match (global, shard) {
+                (None, None) => break,
+                (Some(_), None) => false,
+                (None, Some(_)) => true,
+                (Some(g), Some((due, seq, _))) => (due, seq) < g,
+            };
+            let q = if take_shard {
+                let Reverse((due, _, guest)) = self.frontier.pop().expect("peeked above");
+                if due > now.0 {
+                    self.frontier.push(Reverse(shard.expect("peeked above")));
+                    break;
+                }
+                let q = self.shards[guest]
+                    .pop_front()
+                    .expect("frontier tracks non-empty shards");
+                if let Some(head) = self.shards[guest].front() {
+                    self.frontier.push(Reverse((head.due, head.seq, guest)));
+                }
+                q
+            } else {
+                let due = global.expect("peeked above").0;
+                if due > now.0 {
+                    break;
+                }
+                self.global.pop().expect("peeked above").0
+            };
             self.process(q, &mut out);
         }
         out
@@ -147,11 +200,26 @@ impl TrafficEngine {
 
     fn push(&mut self, due: u64, action: Action) {
         self.seq += 1;
-        self.queue.push(Reverse(Queued {
+        let q = Queued {
             due,
             seq: self.seq,
             action,
-        }));
+        };
+        match action {
+            Action::Startup { guest, .. } => {
+                // Append-only by construction: a start-up entry is only
+                // pushed for the second after the one being processed,
+                // with a fresh (strictly larger) sequence number, so it
+                // sorts after everything already in the shard.
+                let shard = &mut self.shards[guest];
+                debug_assert!(shard.back().is_none_or(|b| (b.due, b.seq) < (due, q.seq)));
+                if shard.is_empty() {
+                    self.frontier.push(Reverse((due, q.seq, guest)));
+                }
+                shard.push_back(q);
+            }
+            Action::Arrive { .. } | Action::Deploy { .. } => self.global.push(Reverse(q)),
+        }
     }
 
     fn process(&mut self, q: Queued, out: &mut Vec<(Tick, WorkloadEvent)>) {

@@ -162,6 +162,43 @@ impl Scenario {
         "noisy-neighbor",
         "autoscale",
     ];
+
+    /// Each scenario name paired with a one-line description, in
+    /// [`NAMES`](Self::NAMES) order.
+    pub const DESCRIPTIONS: [(&'static str, &'static str); 6] = [
+        ("constant", "steady healthy load, no fleet churn"),
+        ("diurnal", "two day/night cycles, 20%..125% of healthy load"),
+        ("flash-crowd", "quiet 40% load with a 2.5x spike mid-run"),
+        (
+            "rolling-deploy",
+            "steady 80% load while the fleet restarts in four waves",
+        ),
+        (
+            "noisy-neighbor",
+            "healthy load with guest 0 doing 4x the memory work",
+        ),
+        (
+            "autoscale",
+            "diurnal load with guests drained and re-added to track it",
+        ),
+    ];
+
+    /// Renders the scenario table — one `name  description` line per
+    /// scenario — as shown by `tps scenario list` and the unknown-
+    /// scenario error.
+    #[must_use]
+    pub fn describe_all() -> String {
+        let width = Self::DESCRIPTIONS
+            .iter()
+            .map(|(name, _)| name.len())
+            .max()
+            .unwrap_or(0);
+        let mut out = String::new();
+        for (name, what) in Self::DESCRIPTIONS {
+            out.push_str(&format!("  {name:<width$}  {what}\n"));
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -175,6 +212,18 @@ mod tests {
             assert_eq!(s.name, name);
         }
         assert!(Scenario::by_name("bogus", 120, 4).is_none());
+    }
+
+    #[test]
+    fn descriptions_cover_every_name_in_order() {
+        assert_eq!(
+            Scenario::DESCRIPTIONS.map(|(name, _)| name),
+            Scenario::NAMES
+        );
+        let table = Scenario::describe_all();
+        for (name, what) in Scenario::DESCRIPTIONS {
+            assert!(table.contains(name) && table.contains(what));
+        }
     }
 
     #[test]

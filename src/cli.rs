@@ -19,6 +19,7 @@ usage:
   tps-java smaps   [--preload]
   tps-java serve   [--port P] [--scenario NAME] [--throttle-ms MS] [run options]
   tps-java top     [--addr HOST:PORT] [--once] [--interval-ms MS]
+  tps-java scenario list
 benchmarks: daytrader | specjenterprise | tpcw | tuscany
 presets: scale32 | scale256 | scale1024 — fleet SPECjEnterprise
 configurations (preset fixes the benchmark and host; --guests overrides
@@ -26,7 +27,8 @@ the guest count, validated against the preset's memory budget).
 scenarios: constant | diurnal | flash-crowd | rolling-deploy |
 noisy-neighbor | autoscale — `traffic` replaces the scripted tick
 workload with the discrete-event request engine and reports sharing
-stability and throughput versus offered load.
+stability and throughput versus offered load; `scenario list` describes
+each one.
 --audit runs the cross-layer conservation audit at the end of each
 experiment (always on in debug builds) and aborts on any violation.
 --trace FILE writes the page-lifecycle event trace as JSONL; --profile
@@ -320,6 +322,7 @@ pub fn dispatch(args: &[String]) -> Result<String, CliError> {
         "smaps" => cmd_smaps(&parse_opts(rest)?),
         "serve" => cmd_serve(&parse_opts(rest)?),
         "top" => cmd_top(&parse_opts(rest)?),
+        "scenario" => cmd_scenario(rest),
         other => Err(err(format!("unknown subcommand {other}"))),
     }
 }
@@ -401,6 +404,17 @@ fn cmd_run(opts: &Opts) -> Result<String, CliError> {
         out.push_str(&phases.render());
     }
     Ok(out)
+}
+
+/// `tps-java scenario list`: one line per traffic scenario, the same
+/// table the unknown-scenario error shows.
+fn cmd_scenario(rest: &[String]) -> Result<String, CliError> {
+    match rest.first().map(String::as_str) {
+        Some("list") | None => Ok(format!("traffic scenarios:\n{}", Scenario::describe_all())),
+        Some(other) => Err(err(format!(
+            "unknown scenario subcommand {other} (expected: list)"
+        ))),
+    }
 }
 
 fn cmd_traffic(opts: &Opts) -> Result<String, CliError> {
@@ -862,5 +876,27 @@ mod tests {
             e.to_string().contains("unknown traffic scenario"),
             "got: {e}"
         );
+    }
+
+    #[test]
+    fn scenario_list_prints_the_table_the_error_shows() {
+        let out = dispatch(&argv("scenario list")).unwrap();
+        for (name, what) in Scenario::DESCRIPTIONS {
+            assert!(out.contains(name) && out.contains(what), "got:\n{out}");
+        }
+        // Bare `scenario` defaults to the listing; anything else is an error.
+        assert_eq!(dispatch(&argv("scenario")).unwrap(), out);
+        assert!(dispatch(&argv("scenario wat")).is_err());
+        // The unknown-scenario error renders the same table.
+        let e = dispatch(&argv(
+            "traffic --guests 1 --scale 64 --minutes 0.1 --scenario wat",
+        ))
+        .unwrap_err();
+        for (name, what) in Scenario::DESCRIPTIONS {
+            assert!(
+                e.to_string().contains(name) && e.to_string().contains(what),
+                "got: {e}"
+            );
+        }
     }
 }

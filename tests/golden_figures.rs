@@ -15,7 +15,7 @@
 //!
 //! then review and commit the updated `tests/golden/*.txt`.
 
-use bench::{figures, fleet, thp, traffic, RunOpts};
+use bench::{figures, fleet, fleet_traffic, thp, traffic, RunOpts};
 use std::fs;
 use std::path::PathBuf;
 
@@ -124,6 +124,16 @@ fn traffic_matches_golden_master() {
     // so this text is byte-identical at any thread count and any diff
     // is a real behaviour change in the engine or the report.
     assert_golden("traffic.txt", &traffic::golden_text());
+}
+
+#[test]
+fn fleet_traffic_matches_golden_master() {
+    // Fleet-preset traffic: flash-crowd and rolling-deploy on a 64-guest
+    // fleet at the over-commit knee. Asserting the same golden at 1 and
+    // 4 threads is the parallel engine's core guarantee — the plan →
+    // commit split (DESIGN.md §14) may not change a single byte.
+    assert_golden("fleet_traffic.txt", &fleet_traffic::golden_text(1));
+    assert_golden("fleet_traffic.txt", &fleet_traffic::golden_text(4));
 }
 
 #[test]
